@@ -1,0 +1,85 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+section and prints it in tabular form.  Configuration by environment:
+
+``REPRO_SCALE``
+    Global matrix-size scale (default 1.0 = the published UFL sizes;
+    smaller values shrink n and nnz together, preserving nnz/n, for
+    quick runs — e.g. REPRO_SCALE=0.2 finishes in ~1 minute).  The shapes of all figures are scale-robust; the
+    ws-axis of Fig. 6 shifts with the scale (recorded in the output).
+``REPRO_IDS``
+    Comma-separated matrix ids to restrict the suite (default: all 32).
+``REPRO_ITERATIONS``
+    SpMV repetitions per timed run (default 16).
+
+Experiments are memoized per (matrix, scale) for the whole pytest
+session, so figures sharing core counts reuse trace analyses.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core import SpMVExperiment
+from repro.sparse import SUITE, build_matrix
+
+__all__ = ["bench_scale", "bench_ids", "bench_iterations", "suite_experiments"]
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def bench_ids() -> Optional[List[int]]:
+    raw = os.environ.get("REPRO_IDS", "").strip()
+    if not raw:
+        return None
+    return [int(tok) for tok in raw.split(",")]
+
+
+def bench_iterations() -> int:
+    return int(os.environ.get("REPRO_ITERATIONS", "16"))
+
+
+_EXPERIMENTS: Dict[Tuple[int, float], SpMVExperiment] = {}
+
+
+def experiment_for(mid: int, scale: float) -> SpMVExperiment:
+    key = (mid, scale)
+    if key not in _EXPERIMENTS:
+        entry = next(e for e in SUITE if e.mid == mid)
+        _EXPERIMENTS[key] = SpMVExperiment(
+            build_matrix(mid, scale=scale), name=entry.name
+        )
+    return _EXPERIMENTS[key]
+
+
+def suite_experiments(
+    scale: Optional[float] = None,
+    ids: Optional[List[int]] = None,
+) -> List[Tuple[int, SpMVExperiment]]:
+    """(matrix id, experiment) pairs for the configured suite subset,
+    memoized for the whole session (same shape as
+    :func:`repro.core.figures.suite_experiments`)."""
+    scale = bench_scale() if scale is None else scale
+    ids = bench_ids() if ids is None else ids
+    out = []
+    for e in SUITE:
+        if ids is not None and e.mid not in ids:
+            continue
+        out.append((e.mid, experiment_for(e.mid, scale)))
+    return out
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def iterations() -> int:
+    return bench_iterations()

@@ -1,0 +1,50 @@
+"""Ablation A4 — calibration sensitivity of the headline effects.
+
+Perturbs each calibrated P54C constant by ±25 % and re-derives the
+four headline effects.  Every effect must keep its direction (and stay
+within a factor-of-two band of its nominal size) across the sweep —
+otherwise the reproduction would be reporting its own tuning.
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_table
+from repro.core.sensitivity import measure_effects, sensitivity_sweep
+from repro.sparse import build_matrix
+
+from conftest import bench_iterations
+
+SCALE = 0.4
+
+
+def sweep():
+    streaming = build_matrix(7, scale=SCALE)   # sme3Dc: memory-bound
+    short_row = build_matrix(25, scale=SCALE)  # ncvxbqp1: short rows
+    nominal = measure_effects(streaming, short_row, iterations=bench_iterations())
+    rows = sensitivity_sweep(streaming, short_row, iterations=bench_iterations())
+    return nominal, rows
+
+
+def test_ablation_sensitivity(benchmark, capsys):
+    nominal, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(banner("Ablation A4: +/-25% perturbation of calibrated constants"))
+        print(
+            format_table(
+                rows,
+                ["param", "factor", "hop3 deg", "mapping speedup", "no-x speedup", "conf1 speedup"],
+                caption=f"nominal effects: {', '.join(f'{k}={v:.3f}' for k, v in nominal.as_dict().items())}",
+            )
+        )
+    for r in rows:
+        # Directions must survive every perturbation.
+        assert r["hop3 deg"] > 0.04
+        assert r["mapping speedup"] > 1.05
+        assert r["no-x speedup"] > 1.2
+        assert r["conf1 speedup"] > 1.1
+        # Magnitudes stay within a factor of ~2 of nominal.
+        for key, nom in nominal.as_dict().items():
+            span = (r[key] - 1) / (nom - 1) if nom != 1 else 1.0
+            if key == "hop3 deg":
+                span = r[key] / nominal.hop3_degradation
+            assert 0.5 < span < 2.0, f"{r['param']} x{r['factor']}: {key} moved {span:.2f}x"

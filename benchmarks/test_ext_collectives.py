@@ -1,0 +1,100 @@
+"""Extension E3 — RCCE collective cost curves on the modeled mesh.
+
+The RCCE paper (ref. [3]) characterizes the library by point-to-point
+latency/bandwidth and collective scaling; this benchmark produces the
+same curves for the model: message time vs size (MPB chunking visible
+as a slope change), and barrier/allreduce latency vs UE count under
+both mesh clocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import banner, format_series
+from repro.core.mapping import distance_reduction_mapping
+from repro.rcce import MPB_BYTES_PER_CORE, RCCERuntime
+from repro.scc import CONF0, CONF1
+
+SIZES = [64, 1024, MPB_BYTES_PER_CORE, 8 * MPB_BYTES_PER_CORE, 64 * MPB_BYTES_PER_CORE]
+UE_COUNTS = [2, 4, 8, 16, 32, 48]
+
+
+def p2p_curve(config):
+    times = []
+    for size in SIZES:
+        def fn(comm, size=size):
+            if comm.ue == 0:
+                yield from comm.send(np.zeros(size // 8), dest=1)
+            else:
+                yield from comm.recv(source=0)
+
+        rt = RCCERuntime([0, 47], config=config)
+        rt.run(fn)
+        times.append(rt.sim.now * 1e6)
+    return times
+
+
+def collective_curve(config):
+    barrier_us, allreduce_us = [], []
+    for n in UE_COUNTS:
+        def barrier_fn(comm):
+            yield from comm.barrier()
+
+        def allreduce_fn(comm):
+            yield from comm.allreduce(np.ones(128))
+
+        rt = RCCERuntime(distance_reduction_mapping(n), config=config)
+        rt.run(barrier_fn)
+        barrier_us.append(rt.sim.now * 1e6)
+        rt2 = RCCERuntime(distance_reduction_mapping(n), config=config)
+        rt2.run(allreduce_fn)
+        allreduce_us.append(rt2.sim.now * 1e6)
+    return barrier_us, allreduce_us
+
+
+def test_ext_p2p_message_cost(benchmark, capsys):
+    slow = p2p_curve(CONF0)
+    fast = benchmark.pedantic(lambda: p2p_curve(CONF1), rounds=1, iterations=1)
+    with capsys.disabled():
+        print(banner("Extension E3a: corner-to-corner message time vs size"))
+        print(
+            format_series(
+                "bytes",
+                SIZES,
+                {"mesh 800MHz (us)": slow, "mesh 1.6GHz (us)": fast},
+                caption="core 0 -> core 47; MPB chunking kicks in past 8 KB",
+            )
+        )
+    # Cost grows with size; the fast mesh is strictly faster.
+    assert slow == sorted(slow)
+    assert all(f < s for f, s in zip(fast, slow))
+    # Chunked transfers pay per-chunk headers: past the MPB size the
+    # per-byte cost stops improving.
+    per_byte_small = slow[1] / SIZES[1]
+    per_byte_large = slow[-1] / SIZES[-1]
+    assert per_byte_large >= per_byte_small * 0.5
+
+
+def test_ext_collective_scaling(benchmark, capsys):
+    barrier_us, allreduce_us = benchmark.pedantic(
+        lambda: collective_curve(CONF0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(banner("Extension E3b: collective latency vs UE count (conf0)"))
+        print(
+            format_series(
+                "UEs",
+                UE_COUNTS,
+                {"barrier (us)": barrier_us, "allreduce 1KB (us)": allreduce_us},
+                caption="binomial trees: ~log2(n) growth",
+            )
+        )
+    # Logarithmic round count, but each round's messages also travel
+    # farther as the job spreads over the mesh: sub-linear overall
+    # (a flat linear algorithm over the same spread would cost ~24x
+    # the rounds alone; we allow amply less than rounds x distance).
+    assert barrier_us[-1] > barrier_us[0]
+    assert barrier_us[-1] < 32 * barrier_us[0]
+    assert barrier_us[-1] < 2.0  # microseconds: sane absolute scale
+    assert all(a >= b for a, b in zip(allreduce_us, barrier_us))

@@ -1,0 +1,96 @@
+"""Extension E5 — why the paper partitions by nonzeros, not rows.
+
+Sec. IV states the partitioning scheme "splits the matrix row-wise in
+such a way that the same amount of nonzeros would be assigned to each
+unit of execution".  This benchmark quantifies the alternative: an
+equal-row split on the suite's skewed matrices (dense-row families)
+leaves one UE holding most of the work, and the barrier makes everyone
+wait for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SpMVExperiment, banner, format_table
+from repro.sparse import COOMatrix, build_matrix, entry_by_id
+
+from conftest import bench_iterations
+
+SKEWED_IDS = [21]        # fp: dense rows concentrated enough to skew
+UNIFORM_IDS = [7, 14]    # sme3Dc, sparsine: even row lengths
+N_CORES = 24
+SCALE_CAP = 0.4
+
+
+def arrowhead(n: int, dense_rows: int, seed: int = 5):
+    """Textbook imbalance case: the last rows are nearly dense."""
+    rng = np.random.default_rng(seed)
+    diag = np.arange(n, dtype=np.int64)
+    rows = [diag]
+    cols = [diag]
+    for k in range(dense_rows):
+        r = n - 1 - k
+        c = rng.choice(n, size=n // 2, replace=False)
+        rows.append(np.full(c.size, r, dtype=np.int64))
+        cols.append(c.astype(np.int64))
+    rr = np.concatenate(rows)
+    cc = np.concatenate(cols)
+    return COOMatrix(n, n, rr, cc, rng.uniform(0.5, 1.5, rr.size)).to_csr()
+
+
+def matrices():
+    for mid in SKEWED_IDS + UNIFORM_IDS:
+        e = entry_by_id(mid)
+        yield mid, e.name, build_matrix(mid, scale=SCALE_CAP)
+    yield 0, "arrowhead", arrowhead(20_000, 60)
+
+
+def partitioning_data(iterations: int):
+    rows = []
+    for mid, name, a in matrices():
+        balanced = SpMVExperiment(a, name=name, partitioner="balanced")
+        uniform = SpMVExperiment(a, name=name, partitioner="uniform")
+        rb = balanced.run(n_cores=N_CORES, iterations=iterations)
+        ru = uniform.run(n_cores=N_CORES, iterations=iterations)
+        rows.append(
+            {
+                "id": mid,
+                "name": name,
+                "imbalance uniform": uniform.partition(N_CORES).imbalance(a),
+                "imbalance balanced": balanced.partition(N_CORES).imbalance(a),
+                "MFLOPS uniform": ru.mflops,
+                "MFLOPS balanced": rb.mflops,
+                "speedup": ru.makespan / rb.makespan,
+            }
+        )
+    return rows
+
+
+def test_ext_partitioning(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: partitioning_data(bench_iterations()), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(banner("Extension E5: balanced-nnz vs equal-rows partitioning"))
+        print(
+            format_table(
+                rows,
+                [
+                    "id", "name",
+                    "imbalance uniform", "imbalance balanced",
+                    "MFLOPS uniform", "MFLOPS balanced", "speedup",
+                ],
+                caption=f"{N_CORES} cores, conf0 (speedup = balanced over uniform)",
+                floatfmt=".2f",
+            )
+        )
+    by_id = {r["id"]: r for r in rows}
+    for mid in SKEWED_IDS + [0]:
+        r = by_id[mid]
+        assert r["imbalance uniform"] > 1.5
+        assert r["imbalance balanced"] < 1.2
+        assert r["speedup"] > 1.2  # the paper's scheme matters here
+    for mid in UNIFORM_IDS:
+        # Even-row-length matrices barely care.
+        assert 0.9 < by_id[mid]["speedup"] < 1.3

@@ -1,0 +1,86 @@
+"""Extension E1 — locality reordering on the SCC model.
+
+Not a paper figure: the paper's Sec. IV-C attributes the SCC's SpMV
+pain to the irregular x gather, and its Sec. V cites the authors' own
+locality-optimization line of work.  This benchmark closes that loop.
+
+Real applications often present FEM matrices with scrambled node
+numbering; reverse Cuthill-McKee recovers the band and with it the
+gather locality.  We scramble two banded testbed entries (simulating
+bad mesh numbering), reorder them back, and measure the SpMV change on
+the simulated chip.  A structureless matrix (sparsine) rides along as a
+negative control: RCM cannot invent locality that is not there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SpMVExperiment, banner, format_table
+from repro.sparse import (
+    build_matrix,
+    entry_by_id,
+    mean_column_distance,
+    permute_symmetric,
+    reverse_cuthill_mckee,
+)
+
+from conftest import bench_iterations
+
+SCRAMBLED_IDS = [7, 20]   # sme3Dc, sme3Da: banded structure to recover
+CONTROL_ID = 14           # sparsine: genuinely unstructured
+N_CORES = 8
+SCALE_CAP = 0.5
+
+
+def reordering_data(iterations: int):
+    rows = []
+    rng = np.random.default_rng(2012)
+    for mid in SCRAMBLED_IDS + [CONTROL_ID]:
+        e = entry_by_id(mid)
+        a = build_matrix(mid, scale=SCALE_CAP)
+        if mid != CONTROL_ID:
+            a = permute_symmetric(a, rng.permutation(a.n_rows))  # scramble
+        perm = reverse_cuthill_mckee(a)
+        b = permute_symmetric(a, perm)
+        base = SpMVExperiment(a, name=e.name).run(n_cores=N_CORES, iterations=iterations)
+        rcm = SpMVExperiment(b, name=e.name).run(n_cores=N_CORES, iterations=iterations)
+        rows.append(
+            {
+                "id": mid,
+                "name": e.name + ("" if mid == CONTROL_ID else " (scrambled)"),
+                "dist before": mean_column_distance(a),
+                "dist after": mean_column_distance(b),
+                "MFLOPS before": base.mflops,
+                "MFLOPS after": rcm.mflops,
+                "speedup": base.makespan / rcm.makespan,
+            }
+        )
+    return rows
+
+
+def test_ext_rcm_reordering(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: reordering_data(bench_iterations()), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(banner("Extension E1: reverse Cuthill-McKee reordering"))
+        print(
+            format_table(
+                rows,
+                ["id", "name", "dist before", "dist after", "MFLOPS before", "MFLOPS after", "speedup"],
+                caption=f"{N_CORES} cores, conf0 — scrambled FEM matrices recover "
+                "their band; the unstructured control does not",
+                floatfmt=".2f",
+            )
+        )
+    by_id = {r["id"]: r for r in rows}
+    for mid in SCRAMBLED_IDS:
+        r = by_id[mid]
+        # RCM restores the band (order-of-magnitude column compaction)
+        # and buys real simulated performance.
+        assert r["dist after"] < r["dist before"] / 3
+        assert r["speedup"] > 1.10
+    # The control may move a little but cannot gain much: no structure.
+    control = by_id[CONTROL_ID]
+    assert control["speedup"] < min(by_id[m]["speedup"] for m in SCRAMBLED_IDS)

@@ -1,0 +1,66 @@
+"""Extension E4 — the SCC's own roofline and where the suite sits.
+
+Locates every testbed matrix against the chip's compute and bandwidth
+ceilings (the analysis Williams et al. apply to the multicores the
+paper compares against).  The simulated performance must respect the
+roofline, and the memory-bound majority explains the paper's
+'~1% of peak' framing for SpMV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import banner, format_table
+from repro.core.roofline import SCCRoofline, locate_matrix
+
+from conftest import bench_iterations, suite_experiments
+
+
+def roofline_data(iterations: int):
+    roof = SCCRoofline()
+    rows = []
+    for mid, exp in suite_experiments():
+        pt = locate_matrix(exp.name, exp.traces(48), roof, iterations=iterations)
+        r = exp.run(n_cores=48, iterations=iterations)
+        rows.append(
+            {
+                "id": mid,
+                "name": exp.name,
+                "AI flop/B": pt.arithmetic_intensity,
+                "roofline MFLOPS": pt.attainable_gflops * 1000,
+                "simulated MFLOPS": r.mflops,
+                "bound": pt.bound,
+            }
+        )
+    return roof, rows
+
+
+def test_ext_scc_roofline(benchmark, capsys, scale):
+    roof, rows = benchmark.pedantic(
+        lambda: roofline_data(bench_iterations()), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(banner(f"Extension E4: SCC roofline, 48 cores conf0 (scale={scale})"))
+        print(
+            f"compute ceiling {roof.peak_gflops:.2f} GFLOPS/s, "
+            f"bandwidth ceiling {roof.bandwidth_gbs:.2f} GB/s, "
+            f"ridge at {roof.ridge_point:.2f} flop/byte"
+        )
+        print(
+            format_table(
+                rows,
+                ["id", "name", "AI flop/B", "roofline MFLOPS", "simulated MFLOPS", "bound"],
+                floatfmt=".1f",
+            )
+        )
+    finite = [r for r in rows if np.isfinite(r["AI flop/B"])]
+    # The simulator never exceeds the roofline (5% slack for barriers
+    # vs ceiling bookkeeping).
+    for r in finite:
+        assert r["simulated MFLOPS"] <= r["roofline MFLOPS"] * 1.05
+    # SpMV on this chip is mostly a memory-bound story — at paper
+    # scale; shrunken suites become L2-resident, so only assert there.
+    frac_memory = np.mean([r["bound"] == "memory" for r in rows])
+    if scale >= 0.8:
+        assert frac_memory > 0.5

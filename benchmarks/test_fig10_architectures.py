@@ -1,0 +1,58 @@
+"""Figure 10 — architectural comparison.
+
+Suite-average SpMV throughput and MFLOPS/W of the modeled SCC (conf0
+and conf1) against roofline models of Itanium2 Montvale, Xeon X5570,
+Opteron 6174, Tesla C1060 and Tesla M2050.  Paper findings: the SCC
+beats only the Itanium2 on both axes; the M2050 leads with
+7.9 GFLOPS/s (7.6x SCC conf0) and ~35 MFLOPS/W.
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_table
+from repro.core.figures import fig10_data
+
+from conftest import bench_iterations, suite_experiments
+
+
+def test_fig10_architectural_comparison(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: fig10_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+    rows_sorted = sorted(rows, key=lambda r: r["gflops"])
+    with capsys.disabled():
+        print(banner(f"Fig. 10: architectural comparison (scale={scale})"))
+        print(
+            format_table(
+                rows_sorted,
+                ["system", "gflops", "watts", "mflops_per_watt", "source"],
+                caption="suite-average SpMV (paper: SCC beats only the "
+                "Itanium2; Tesla M2050 leads at 7.9 GFLOPS/s, 35 MFLOPS/W)",
+            )
+        )
+
+    perf = {r["system"]: r["gflops"] for r in rows}
+    eff = {r["system"]: r["mflops_per_watt"] for r in rows}
+
+    # SCC sits between the Itanium2 and everything else (performance).
+    assert perf["Itanium2 Montvale"] < perf["SCC conf0"]
+    for other in ("Xeon X5570", "Opteron 6174", "Tesla C1060", "Tesla M2050"):
+        assert perf[other] > perf["SCC conf1"]
+
+    # M2050 dominance on both axes.
+    assert perf["Tesla M2050"] == max(perf.values())
+    assert eff["Tesla M2050"] == max(eff.values())
+    assert 30 <= eff["Tesla M2050"] <= 40  # paper: ~35 MFLOPS/W
+
+    # GPU-vs-CPU ratios from the paper's text.
+    assert perf["Tesla C1060"] / perf["Xeon X5570"] > 2.0
+    assert perf["Tesla C1060"] / perf["Opteron 6174"] > 1.4
+
+    # Efficiency: SCC beats the Itanium2, by a wider margin than in
+    # raw performance (paper Sec. IV-E).
+    assert eff["SCC conf0"] > eff["Itanium2 Montvale"]
+    perf_ratio = perf["SCC conf0"] / perf["Itanium2 Montvale"]
+    eff_ratio = eff["SCC conf0"] / eff["Itanium2 Montvale"]
+    assert eff_ratio > perf_ratio

@@ -1,0 +1,37 @@
+"""Figure 3 — single-core SpMV performance vs distance to the memory
+controller.
+
+The paper maps one UE onto cores 0, 1, 2 and 3 hops from their MC and
+reports the suite-average performance: monotone degradation, ~12 %
+at 3 hops.
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_series
+from repro.core.figures import FIG3_HOPS, fig3_data
+
+from conftest import bench_iterations, suite_experiments
+
+
+def test_fig3_single_core_hop_distance(benchmark, capsys, scale):
+    avg_mflops = benchmark.pedantic(
+        lambda: fig3_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+    series = [avg_mflops[h] for h in FIG3_HOPS]
+    rel = [100 * (1 - v / series[0]) for v in series]
+    with capsys.disabled():
+        print(banner(f"Fig. 3: single-core performance vs hops to MC (scale={scale})"))
+        print(
+            format_series(
+                "hops",
+                FIG3_HOPS,
+                {"avg MFLOPS/s": series, "degradation %": rel},
+                caption="suite-average, conf0 (paper: ~12% at 3 hops)",
+            )
+        )
+    # Monotone degradation, in the paper's neighbourhood at 3 hops.
+    assert series == sorted(series, reverse=True)
+    assert 5.0 <= rel[3] <= 25.0

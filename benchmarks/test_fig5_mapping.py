@@ -1,0 +1,43 @@
+"""Figure 5 — standard vs distance-reduction mapping across core counts.
+
+Regenerates the suite-average performance of both mappings for 1..48
+cores plus the speedup series.  Paper findings: the distance-reduction
+mapping wins at every intermediate core count (up to ~1.23x on the
+suite average), the two mappings coincide at 1-2 cores and use the same
+core set at 48.
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_series
+from repro.core.figures import FIG5_CORE_COUNTS, fig5_data
+
+from conftest import bench_iterations, suite_experiments
+
+
+def test_fig5_mapping_comparison(benchmark, capsys, scale):
+    std_avg, dr_avg = benchmark.pedantic(
+        lambda: fig5_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = [d / s for d, s in zip(dr_avg, std_avg)]
+    with capsys.disabled():
+        print(banner(f"Fig. 5: mapping configurations (scale={scale})"))
+        print(
+            format_series(
+                "cores",
+                FIG5_CORE_COUNTS,
+                {
+                    "standard MFLOPS/s": std_avg,
+                    "dist-reduction MFLOPS/s": dr_avg,
+                    "speedup": speedup,
+                },
+                caption="suite-average, conf0 (paper: speedups up to 1.23)",
+            )
+        )
+    # 1-2 cores: identical core sets -> identical performance.
+    assert speedup[0] == 1.0 and abs(speedup[1] - 1.0) < 1e-9
+    # Distance reduction never loses and wins somewhere in the middle.
+    assert all(s >= 0.98 for s in speedup)
+    assert max(speedup[2:7]) > 1.05

@@ -1,0 +1,66 @@
+"""Figure 6 — per-matrix performance vs working-set size at 8/24/48 cores.
+
+The paper's scatter plots show: at 8 cores no matrix fits the L2 and
+performance is flat in ws; at 24/48 cores the matrices whose per-core
+working set fits the 256 KB L2 jump (up to ~1 GFLOPS/s at 24 cores)
+while the large ones stay in a 400-500 MFLOPS/s band — except the
+short-row matrices 24/25, which miss the boost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import banner, format_table
+from repro.core.figures import FIG6_CORE_COUNTS, fig6_data
+from repro.scc.params import L2_BYTES
+
+from conftest import bench_iterations, suite_experiments
+
+
+def test_fig6_working_set(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: fig6_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(banner(f"Fig. 6: performance vs working set (scale={scale})"))
+        cols = ["id", "name"]
+        for n in FIG6_CORE_COUNTS:
+            cols += [f"wsKB/core@{n}", f"MFLOPS@{n}"]
+        print(
+            format_table(
+                rows,
+                cols,
+                caption="per-matrix SpMV performance, conf0, distance-reduction "
+                "(paper: L2-resident matrices boost at 24/48 cores)",
+                floatfmt=".1f",
+            )
+        )
+
+    for n in (24, 48):
+        resident = [
+            r[f"MFLOPS@{n}"]
+            for r in rows
+            if r[f"wsKB/core@{n}"] * 1024 <= L2_BYTES and r["id"] not in (24, 25)
+        ]
+        streaming = [
+            r[f"MFLOPS@{n}"] for r in rows if r[f"wsKB/core@{n}"] * 1024 > L2_BYTES
+        ]
+        if resident and streaming:
+            assert np.mean(resident) > 1.4 * np.mean(streaming), (
+                f"L2-resident matrices should outperform streaming ones at {n} cores"
+            )
+
+    # Short-row matrices 24/25 miss the boost even when resident.
+    by_id = {r["id"]: r for r in rows}
+    if 24 in by_id and 25 in by_id:
+        resident_24c = [
+            r["MFLOPS@24"]
+            for r in rows
+            if r["wsKB/core@24"] * 1024 <= L2_BYTES and r["id"] not in (24, 25)
+        ]
+        if resident_24c:
+            for mid in (24, 25):
+                assert by_id[mid]["MFLOPS@24"] < np.mean(resident_24c)

@@ -1,0 +1,66 @@
+"""Figure 7 — SpMV performance with L2 caches disabled.
+
+The SCC can boot with L2 off; the paper reports growing degradation
+with core count (~30 % at 48 cores) and the disappearance of the
+working-set effect of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import banner, format_series
+from repro.core.figures import FIG7_CORE_COUNTS, fig7_data
+from repro.core.metrics import average_gflops
+from repro.scc.params import L2_BYTES
+
+from conftest import bench_iterations, suite_experiments
+
+
+def test_fig7_l2_disabled(benchmark, capsys, scale):
+    with_l2, without_l2 = benchmark.pedantic(
+        lambda: fig7_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+    on = [average_gflops(with_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
+    off = [average_gflops(without_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
+    loss = [100 * (1 - o / w) for o, w in zip(off, on)]
+    with capsys.disabled():
+        print(banner(f"Fig. 7: L2 caches disabled (scale={scale})"))
+        print(
+            format_series(
+                "cores",
+                FIG7_CORE_COUNTS,
+                {"with L2 MFLOPS/s": on, "without L2 MFLOPS/s": off, "loss %": loss},
+                caption="suite-average (paper: ~30% degradation at 48 cores)",
+                floatfmt=".1f",
+            )
+        )
+
+    # L2 always helps, and the penalty grows with core count.
+    assert all(l > 0 for l in loss[1:])
+    assert loss[-1] > loss[1]
+    # Paper reports ~30%; the model overestimates the penalty because its
+    # L2-resident boost is stronger than the real chip's (see
+    # EXPERIMENTS.md), so accept a wider band while requiring the shape.
+    assert 10.0 <= loss[-1] <= 75.0
+
+    # Without L2 the Fig. 6 working-set split vanishes: resident and
+    # streaming matrices perform comparably (ratio near 1).
+    rows_on, rows_off = [], []
+    for (mid, _exp), r_on, r_off in zip(
+        suite_experiments(), with_l2[48], without_l2[48]
+    ):
+        resident = r_on.ws_per_core_bytes <= L2_BYTES and mid not in (24, 25)
+        rows_on.append((resident, r_on.mflops))
+        rows_off.append((resident, r_off.mflops))
+
+    def split_ratio(rows):
+        res = [v for flag, v in rows if flag]
+        stream = [v for flag, v in rows if not flag]
+        if not res or not stream:
+            return 1.0
+        return np.mean(res) / np.mean(stream)
+
+    assert split_ratio(rows_off) < split_ratio(rows_on)

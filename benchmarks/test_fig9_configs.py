@@ -1,0 +1,81 @@
+"""Figure 9 — chip configurations: performance and power efficiency.
+
+conf0 = 533/800/800 MHz (cores/mesh/memory), conf1 = 800/1600/1066,
+conf2 = 800/1600/800.  Paper findings: conf1 speedup up to 1.45 and the
+best MFLOPS/W despite 83.3 W -> 107.4 W; conf2 gains ~1.2 with
+efficiency on par with conf0; the conf1-conf2 gap is the memory clock.
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_series, format_table
+from repro.core.figures import FIG9_CORE_COUNTS as CORE_COUNTS
+from repro.core.figures import fig9_data, fig9_summary
+from repro.scc import CONF0, CONF1, CONF2
+
+from conftest import bench_iterations, suite_experiments
+
+CONFIGS = [CONF0, CONF1, CONF2]
+
+
+def test_fig9_configurations(benchmark, capsys, scale):
+    results = benchmark.pedantic(
+        lambda: fig9_data(suite_experiments(), bench_iterations()),
+        rounds=1,
+        iterations=1,
+    )
+
+    perf, eff = fig9_summary(results)
+    speedup1 = [f / b for f, b in zip(perf["conf1"], perf["conf0"])]
+    speedup2 = [f / b for f, b in zip(perf["conf2"], perf["conf0"])]
+    watts = {cfg.name: cfg.full_chip_power() for cfg in CONFIGS}
+
+    with capsys.disabled():
+        print(banner(f"Fig. 9(a): performance per configuration (scale={scale})"))
+        print(
+            format_series(
+                "cores",
+                CORE_COUNTS,
+                {
+                    "conf0 MFLOPS/s": perf["conf0"],
+                    "conf1 MFLOPS/s": perf["conf1"],
+                    "conf2 MFLOPS/s": perf["conf2"],
+                    "speedup conf1": speedup1,
+                    "speedup conf2": speedup2,
+                },
+                caption="suite-average (paper: conf1 up to 1.45x, conf2 ~1.2x)",
+                floatfmt=".2f",
+            )
+        )
+        print(banner("Fig. 9(b): full-system power efficiency"))
+        print(
+            format_table(
+                [
+                    {
+                        "config": name,
+                        "watts": watts[name],
+                        "MFLOPS/W": eff[name],
+                    }
+                    for name in ("conf0", "conf1", "conf2")
+                ],
+                ["config", "watts", "MFLOPS/W"],
+                caption="48 cores (paper: 83.3 W conf0, 107.4 W conf1; conf1 "
+                "most efficient, conf2 ~ conf0)",
+                floatfmt=".2f",
+            )
+        )
+
+    # Performance ordering and magnitudes.
+    assert all(s > 1.0 for s in speedup1)
+    assert all(s >= 0.999 for s in speedup2)
+    assert all(s1 >= s2 - 1e-9 for s1, s2 in zip(speedup1, speedup2))
+    assert 1.2 <= max(speedup1) <= 1.6   # paper: up to 1.45
+    # Power anchors.
+    assert abs(watts["conf0"] - 83.3) < 0.5
+    assert abs(watts["conf1"] - 107.4) < 0.5
+    # conf1 is the most power-efficient configuration.
+    assert eff["conf1"] >= eff["conf0"]
+    assert eff["conf1"] >= eff["conf2"]
+    # conf2's efficiency is in conf0's neighbourhood (paper: 'practically
+    # the same').
+    assert abs(eff["conf2"] - eff["conf0"]) / eff["conf0"] < 0.25

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the library's hot paths (pytest-benchmark).
+
+Not a paper figure: these track the real-machine throughput of the
+kernels and analyses everything else is built on, so regressions in the
+vectorized code paths are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import characterize_partition
+from repro.scc import miss_ratio_curve
+from repro.sparse import build_matrix, partition_rows_balanced, spmv, spmv_no_x_miss
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return build_matrix(12, scale=0.3)  # crystk03 stand-in, ~500k nnz
+
+
+@pytest.fixture(scope="module")
+def x(matrix):
+    return np.random.default_rng(0).uniform(size=matrix.n_cols)
+
+
+def test_bench_spmv_vectorized(benchmark, matrix, x):
+    y = benchmark(spmv, matrix, x)
+    np.testing.assert_allclose(y, matrix.to_scipy() @ x, rtol=1e-9)
+
+
+def test_bench_spmv_scipy_reference(benchmark, matrix, x):
+    """SciPy's C implementation: the speed-of-light reference point."""
+    sp = matrix.to_scipy()
+    benchmark(lambda: sp @ x)
+
+
+def test_bench_spmv_no_x_miss(benchmark, matrix, x):
+    benchmark(spmv_no_x_miss, matrix, x)
+
+
+def test_bench_partitioning(benchmark, matrix):
+    p = benchmark(partition_rows_balanced, matrix, 48)
+    assert p.n_parts == 48
+
+
+def test_bench_locality_analysis(benchmark, matrix):
+    """Reuse + footprint + MRC over the full x-gather stream."""
+    lines = (matrix.index // 4).astype(np.int64)
+    mrc = benchmark(miss_ratio_curve, lines)
+    assert mrc.profile.n_accesses == matrix.nnz
+
+
+def test_bench_characterize_partition(benchmark, matrix):
+    part = partition_rows_balanced(matrix, 48)
+    traces = benchmark.pedantic(
+        characterize_partition, args=(matrix, part), rounds=2, iterations=1
+    )
+    assert len(traces) == 48

@@ -1,0 +1,47 @@
+"""Table I — the matrix benchmark suite.
+
+Regenerates the testbed table: id, name, rows, nonzeros, nnz/n and
+working set, at the configured scale.  The benchmark times suite
+construction (generator + CSR assembly throughput).
+"""
+
+from __future__ import annotations
+
+from repro.core import banner, format_table
+from repro.core.figures import table1_data
+from repro.sparse import build_matrix
+
+from conftest import bench_ids, suite_experiments
+
+
+def test_table1_matrix_suite(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: table1_data(suite_experiments()),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(banner(f"Table I: matrix benchmark suite (scale={scale})"))
+        print(
+            format_table(
+                rows,
+                ["id", "name", "n", "nnz", "nnz_per_row", "ws_mbytes", "family"],
+                caption="32 square sparse matrices (synthetic stand-ins for the UFL set)",
+            )
+        )
+    assert len(rows) == (32 if bench_ids() is None else len(bench_ids()))
+    per_core24 = [r["ws_mbytes"] * 1024 / 24 for r in rows]
+    # The suite must straddle the 256 KB L2 boundary for Fig. 6 to exist.
+    assert any(ws < 256 for ws in per_core24)
+    assert any(ws > 256 for ws in per_core24)
+
+
+def test_matrix_generation_throughput(benchmark, scale):
+    """Construction speed of a mid-size suite matrix (crystk03)."""
+
+    def build_fresh():
+        build_matrix.cache_clear()  # time real construction, not memoization
+        return build_matrix(12, scale=min(scale, 0.2))
+
+    result = benchmark(build_fresh)
+    assert result.nnz > 0

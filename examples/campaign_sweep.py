@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Resumable experiment campaigns: sweep, interrupt, resume, analyze.
+
+Research sweeps die halfway through; the Campaign API persists each
+completed grid point to a JSONL file so a rerun picks up where the
+last one stopped.  This example sweeps three matrices across core
+counts and both mappings, 'interrupts' itself after the first half,
+resumes, and then summarizes the records — all against the SCC model.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import Campaign
+
+IDS = [7, 25, 30]                 # sme3Dc, ncvxbqp1, Na5
+CORE_COUNTS = [4, 16, 48]
+MAPPINGS = ["standard", "distance_reduction"]
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_campaign_"))
+    grid = Campaign.grid(IDS, CORE_COUNTS, mappings=MAPPINGS)
+    print(f"grid: {len(grid)} points -> {workdir}/sweep.jsonl\n")
+
+    # First session: run only half the grid, then 'crash'.
+    first = Campaign("sweep", workdir, scale=0.3, iterations=8)
+    ran, skipped = first.run(grid[: len(grid) // 2])
+    print(f"session 1: ran {ran}, skipped {skipped} (then interrupted)")
+
+    # Second session: same grid; completed points are skipped.
+    second = Campaign("sweep", workdir, scale=0.3, iterations=8)
+    ran, skipped = second.run(grid)
+    print(f"session 2: ran {ran}, skipped {skipped} (resume worked)\n")
+
+    records = second.load()
+    assert len(records) == len(grid)
+
+    print("mean MFLOPS/s by core count (all matrices, both mappings):")
+    for cores, mflops in second.summarize(group_by="n_cores").items():
+        print(f"  {cores:2d} cores: {mflops:8.1f}")
+
+    print("\nmean MFLOPS/s by mapping:")
+    for mapping, mflops in second.summarize(group_by="mapping").items():
+        print(f"  {mapping:18s}: {mflops:8.1f}")
+
+    by_matrix = second.summarize(group_by="matrix")
+    print("\nmean MFLOPS/s by matrix:")
+    for name, mflops in by_matrix.items():
+        print(f"  {name:10s}: {mflops:8.1f}")
+
+    print(f"\nrecords persisted at {second.path} — rerun this script and "
+          "every point will be skipped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Conjugate gradient on the simulated SCC — SpMV in its natural habitat.
+
+Solves a 2-D Poisson-like system (5-point stencil, made SPD) with the
+distributed CG of :mod:`repro.apps.cg` across UE counts, reporting the
+simulated time per iteration and the communication share.  The answer
+is verified against a sequential NumPy solve.
+
+Run:  python examples/cg_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import make_spd, parallel_cg
+from repro.sparse import stencil_2d
+
+GRID = 48  # 48x48 grid -> 2304 unknowns
+
+
+def main() -> None:
+    a = make_spd(stencil_2d(GRID, GRID, seed=11))
+    rng = np.random.default_rng(4)
+    x_true = rng.uniform(size=a.n_rows)
+    b = a.to_scipy() @ x_true
+    print(f"system: {GRID}x{GRID} stencil, n={a.n_rows}, nnz={a.nnz}\n")
+
+    print(f"{'UEs':>4s} {'iters':>6s} {'residual':>11s} {'sim time':>10s} "
+          f"{'ms/iter':>8s} {'speedup':>8s}")
+    t1 = None
+    for n_ues in (1, 2, 4, 8, 16, 32):
+        res = parallel_cg(a, b, n_ues=n_ues, tol=1e-10)
+        assert res.converged
+        err = np.abs(res.x - x_true).max()
+        assert err < 1e-6, f"solution mismatch: {err}"
+        t1 = t1 or res.makespan
+        print(f"{n_ues:4d} {res.iterations:6d} {res.residual_norm:11.2e} "
+              f"{res.makespan * 1e3:8.2f}ms "
+              f"{res.makespan * 1e3 / res.iterations:8.3f} "
+              f"{t1 / res.makespan:8.2f}")
+
+    print("\nCG is allreduce-heavy: past ~8 UEs the collectives eat the "
+          "speedup on a problem this small — exactly the communication/"
+          "computation balance message-passing programmers fight on the SCC.")
+
+
+if __name__ == "__main__":
+    main()

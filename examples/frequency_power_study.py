@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Frequency and power study (Sec. IV-D) plus a custom configuration.
+
+Runs a working-set-diverse trio of matrices under the three paper
+configurations and under a user-defined asymmetric configuration
+(half the tiles fast, half slow) to show the per-tile frequency domains
+the SCC exposes.
+
+Run:  python examples/frequency_power_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SpMVExperiment
+from repro.core.metrics import average_gflops
+from repro.scc import CONF0, CONF1, CONF2, SCCConfig
+from repro.sparse import build_matrix, entry_by_id
+
+MATRICES = [7, 25, 30]  # memory-bound, short-row, L2-resident
+
+
+def main() -> None:
+    experiments = []
+    for mid in MATRICES:
+        e = entry_by_id(mid)
+        experiments.append(SpMVExperiment(build_matrix(mid, scale=0.5), name=e.name))
+
+    # A custom config: quadrants 0/1 tiles at 800 MHz, the rest at 320 MHz.
+    half_fast = SCCConfig(
+        "half-fast",
+        tile_mhz=tuple(800.0 if t % 6 < 3 else 320.0 for t in range(24)),
+        mesh_mhz=1600,
+        mem_mhz=800,
+    )
+
+    print(f"{'config':12s} {'cores/mesh/mem MHz':>22s} {'avg MFLOPS/s':>14s} "
+          f"{'watts':>8s} {'MFLOPS/W':>10s}")
+    for cfg in (CONF0, CONF1, CONF2, half_fast):
+        results = [exp.run(n_cores=48, config=cfg) for exp in experiments]
+        mflops = average_gflops(results) * 1000
+        watts = cfg.full_chip_power()
+        freqs = (
+            f"{cfg.tile_mhz[0]:.0f}/{cfg.mesh_mhz:.0f}/{cfg.mem_mhz:.0f}"
+            if cfg.is_uniform
+            else f"mixed/{cfg.mesh_mhz:.0f}/{cfg.mem_mhz:.0f}"
+        )
+        print(f"{cfg.name:12s} {freqs:>22s} {mflops:14.1f} {watts:8.1f} "
+              f"{mflops / watts:10.2f}")
+
+    print("\nper-matrix speedup of conf1 over conf0 at 48 cores:")
+    for exp in experiments:
+        r0 = exp.run(n_cores=48, config=CONF0)
+        r1 = exp.run(n_cores=48, config=CONF1)
+        regime = "L2-resident" if r0.ws_per_core_bytes <= 256 * 1024 else "streaming"
+        print(f"  {exp.name:10s} ({regime:11s}): {r0.makespan / r1.makespan:.2f}x")
+    print("\n(compute-bound matrices track the 1.5x core clock; memory-bound "
+          "ones track the 1.33x memory clock — the paper's 'up to 1.45'.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Power-aware SpMV with the RCCE power-management API.
+
+The paper's Sec. IV-D studies boot-time frequency configurations; the
+SCC's real power API also works at *run time*.  This example runs a
+deliberately imbalanced SpMV (uniform row split on a matrix with dense
+rows) and compares two policies:
+
+- ``race``: every island stays at 533 MHz; early finishers idle at the
+  barrier at full speed and voltage;
+- ``downshift``: a UE that finishes its block clocks its island down to
+  100 MHz while it waits (a cheap transition: lowering voltage does not
+  block on the SCC).
+
+The makespan is identical — the critical path UE never downshifts —
+while the chip burns less power during the wait.  With the SCC's large
+static floor (~61 W) the saving is a few percent of energy: an honest
+illustration of why race-to-idle wins on this chip unless islands can
+be power-gated.
+
+Run:  python examples/power_aware_spmv.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import distance_reduction_mapping
+from repro.rcce import RCCERuntime
+from repro.scc import CONF0
+from repro.sparse import build_matrix, partition_rows_uniform, spmv_row_range
+
+N_UES = 8
+CYCLES_PER_NNZ = 25.0
+
+
+def spmv_job(comm, a, x, partition, downshift, power_log):
+    lo, hi = partition.part(comm.ue)
+    nnz_mine = int(a.ptr[hi] - a.ptr[lo])
+    _block = spmv_row_range(a, x, lo, hi)  # the real numerics
+    yield from comm.compute_cycles(CYCLES_PER_NNZ * nnz_mine)
+    finish = comm.wtime()
+    if downshift:
+        yield from comm.set_power(100)
+        power_log.append((comm.wtime(), comm._rt.power.chip_power()))
+    yield from comm.barrier()
+    return (finish, comm.wtime())
+
+
+def run_policy(a, x, partition, downshift: bool):
+    rt = RCCERuntime(distance_reduction_mapping(N_UES), config=CONF0)
+    power_log = [(0.0, rt.power.chip_power())]
+    results = rt.run(spmv_job, a, x, partition, downshift, power_log)
+    finishes = [r.value[0] for r in results]
+    makespan = max(r.value[1] for r in results)  # barrier exit
+    # Integrate the piecewise-constant chip power over [0, makespan].
+    steps = sorted(power_log) + [(makespan, 0.0)]
+    energy = sum(
+        w * max(min(t1, makespan) - t0, 0.0)
+        for (t0, w), (t1, _) in zip(steps, steps[1:])
+    )
+    return makespan, energy, finishes
+
+
+def main() -> None:
+    a = build_matrix(21, scale=0.4)  # 'fp': dense rows -> imbalance
+    x = np.random.default_rng(3).uniform(size=a.n_cols)
+    partition = partition_rows_uniform(a, N_UES)  # deliberately naive
+    nnz = partition.part_nnz(a)
+    print(f"matrix fp: {a.n_rows} rows, {a.nnz} nnz; uniform row split")
+    print(f"per-UE nnz: min {nnz.min()}, max {nnz.max()} "
+          f"(imbalance {nnz.max() / nnz.mean():.2f})\n")
+
+    t_race, e_race, finishes = run_policy(a, x, partition, downshift=False)
+    t_down, e_down, _ = run_policy(a, x, partition, downshift=True)
+
+    slack = t_race - min(finishes)
+    print(f"makespan, race      : {t_race * 1e3:.3f} ms")
+    print(f"makespan, downshift : {t_down * 1e3:.3f} ms")
+    print(f"earliest UE finish  : {min(finishes) * 1e3:.3f} ms "
+          f"({slack / t_race * 100:.0f}% of the run is barrier wait)")
+    print(f"energy, race        : {e_race * 1e3:.3f} mJ")
+    print(f"energy, downshift   : {e_down * 1e3:.3f} mJ "
+          f"({100 * (1 - e_down / e_race):.1f}% saved)")
+    assert abs(t_down - t_race) / t_race < 0.02, "downshift must not stretch the critical path"
+    assert e_down < e_race, "downshifting idle islands must save energy"
+    print("\n(the static floor dominates SCC power, so run-time DVFS on idle "
+          "islands trims only a few percent — the paper's boot-time choice "
+          "of conf1 is the bigger lever)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Recovering gather locality with reverse Cuthill-McKee.
+
+Sec. IV-C of the paper blames the SCC's SpMV shortfall on the irregular
+x gather.  This example shows the classic fix for matrices that *have*
+latent structure: take a banded FEM matrix, scramble its numbering (as
+unstructured mesh generators do), watch the gather misses explode on
+the SCC model, then reorder with RCM and watch them come back.
+
+Run:  python examples/reordering_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SpMVExperiment
+from repro.sparse import (
+    bandwidth,
+    build_matrix,
+    gather_locality_gain,
+    mean_column_distance,
+    permute_symmetric,
+    reverse_cuthill_mckee,
+)
+
+
+def report(tag: str, a, n_cores: int = 8) -> float:
+    exp = SpMVExperiment(a, name=tag)
+    r = exp.run(n_cores=n_cores)
+    print(f"  {tag:22s} bandwidth {bandwidth(a):6d}  "
+          f"mean |i-j| {mean_column_distance(a):8.1f}  "
+          f"SpMV {r.mflops:7.1f} MFLOPS/s")
+    return r.makespan
+
+
+def main() -> None:
+    a = build_matrix(20, scale=0.5)  # sme3Da: banded FEM stand-in
+    print(f"matrix sme3Da: {a.n_rows} rows, {a.nnz} nonzeros, 8 cores, conf0\n")
+
+    rng = np.random.default_rng(99)
+    scrambled = permute_symmetric(a, rng.permutation(a.n_rows))
+    perm = reverse_cuthill_mckee(scrambled)
+    restored = permute_symmetric(scrambled, perm)
+
+    t_orig = report("original (banded)", a)
+    t_scram = report("scrambled numbering", scrambled)
+    t_rcm = report("after RCM", restored)
+
+    # Evaluate at an L1-share capacity (256 lines = 8 KB): the band fits
+    # an L1 window, the scrambled gather does not.
+    before, after = gather_locality_gain(scrambled, restored, cache_lines=256)
+    print(f"\npredicted x-gather misses per pass: {before} -> {after} "
+          f"({100 * (1 - after / max(before, 1)):.0f}% fewer)")
+    print(f"scrambling cost  : {t_scram / t_orig:.2f}x slowdown")
+    print(f"RCM recovery     : {t_scram / t_rcm:.2f}x speedup over scrambled")
+    print(f"residual vs orig : {t_rcm / t_orig:.2f}x "
+          "(RCM cannot beat the native FEM numbering, only approach it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file
+exists so that environments without the `wheel` package (no PEP-660
+editable support) can still `pip install -e . --no-use-pep517`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Applications built on the substrate.
+
+- :mod:`~repro.apps.cg` — distributed conjugate gradient, the canonical
+  SpMV consumer, run as an RCCE program on the simulated chip.
+- :mod:`~repro.apps.pagerank` — damped power iteration on scale-free
+  graphs: the power-law gather workload.
+"""
+
+from .cg import CGResult, make_spd, parallel_cg
+from .pagerank import PageRankResult, graph_matrix, parallel_pagerank
+
+__all__ = [
+    "CGResult",
+    "make_spd",
+    "parallel_cg",
+    "PageRankResult",
+    "graph_matrix",
+    "parallel_pagerank",
+]

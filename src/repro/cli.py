@@ -1,0 +1,310 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro table1 --scale 0.2
+    python -m repro fig5 --scale 0.2 --ids 7,14,24
+    python -m repro fig9 --iterations 8
+    python -m repro all --scale 0.1
+
+Output is the same tabular rendering the benchmark harness prints; the
+benchmark harness additionally asserts the paper's findings, so use
+``pytest benchmarks/ --benchmark-only`` for a checked reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.figures import (
+    FIG3_HOPS,
+    FIG5_CORE_COUNTS,
+    FIG6_CORE_COUNTS,
+    FIG7_CORE_COUNTS,
+    FIG9_CORE_COUNTS,
+    fig3_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    fig9_data,
+    fig9_summary,
+    fig10_data,
+    suite_experiments,
+    table1_data,
+)
+from .core.metrics import average_gflops
+from .core.report import banner, format_series, format_table
+from .scc.chip import CONF0, CONF1, CONF2
+
+__all__ = ["main", "build_parser"]
+
+ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for ``python -m repro``."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the SCC SpMV paper on the model.",
+    )
+    p.add_argument(
+        "artifact",
+        choices=ARTIFACTS + ("all", "validate"),
+        help="which paper artifact to regenerate ('validate' runs model self-checks)",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="matrix-size scale; 1.0 = published UFL sizes (default 0.25)",
+    )
+    p.add_argument(
+        "--ids",
+        type=str,
+        default="",
+        help="comma-separated Table I matrix ids to restrict the suite",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=16,
+        help="SpMV repetitions per timed run (default 16)",
+    )
+    p.add_argument(
+        "--output",
+        type=str,
+        default="",
+        help="write the rendered artifact(s) to this file instead of stdout",
+    )
+    return p
+
+
+def _parse_ids(raw: str) -> Optional[List[int]]:
+    raw = raw.strip()
+    if not raw:
+        return None
+    try:
+        return [int(tok) for tok in raw.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"--ids must be comma-separated integers: {exc}") from exc
+
+
+def _render(artifact: str, exps, iterations: int, out) -> None:
+    if artifact == "table1":
+        rows = table1_data(exps)
+        print(banner("Table I: matrix benchmark suite"), file=out)
+        print(
+            format_table(
+                rows,
+                ["id", "name", "n", "nnz", "nnz_per_row", "ws_mbytes", "family"],
+            ),
+            file=out,
+        )
+    elif artifact == "fig3":
+        data = fig3_data(exps, iterations)
+        series = [data[h] for h in FIG3_HOPS]
+        rel = [100 * (1 - v / series[0]) for v in series]
+        print(banner("Fig. 3: single-core performance vs hops to MC"), file=out)
+        print(
+            format_series(
+                "hops", FIG3_HOPS, {"avg MFLOPS/s": series, "degradation %": rel}
+            ),
+            file=out,
+        )
+    elif artifact == "fig5":
+        std, dr = fig5_data(exps, iterations)
+        print(banner("Fig. 5: standard vs distance-reduction mapping"), file=out)
+        print(
+            format_series(
+                "cores",
+                FIG5_CORE_COUNTS,
+                {
+                    "standard MFLOPS/s": std,
+                    "dist-reduction MFLOPS/s": dr,
+                    "speedup": [d / s for d, s in zip(dr, std)],
+                },
+            ),
+            file=out,
+        )
+    elif artifact == "fig6":
+        rows = fig6_data(exps, iterations)
+        cols = ["id", "name"]
+        for n in FIG6_CORE_COUNTS:
+            cols += [f"wsKB/core@{n}", f"MFLOPS@{n}"]
+        print(banner("Fig. 6: performance vs working set"), file=out)
+        print(format_table(rows, cols, floatfmt=".1f"), file=out)
+    elif artifact == "fig7":
+        with_l2, without_l2 = fig7_data(exps, iterations)
+        on = [average_gflops(with_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
+        off = [average_gflops(without_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
+        print(banner("Fig. 7: L2 caches disabled"), file=out)
+        print(
+            format_series(
+                "cores",
+                FIG7_CORE_COUNTS,
+                {
+                    "with L2 MFLOPS/s": on,
+                    "without L2 MFLOPS/s": off,
+                    "loss %": [100 * (1 - o / w) for o, w in zip(off, on)],
+                },
+                floatfmt=".1f",
+            ),
+            file=out,
+        )
+    elif artifact == "fig8":
+        rows = fig8_data(exps, iterations)
+        cols = ["id", "name"] + [f"speedup@{n}" for n in FIG6_CORE_COUNTS]
+        print(banner("Fig. 8: no-x-miss kernel speedup"), file=out)
+        print(format_table(rows, cols), file=out)
+    elif artifact == "fig9":
+        results = fig9_data(exps, iterations)
+        perf, eff = fig9_summary(results)
+        print(banner("Fig. 9(a): performance per configuration"), file=out)
+        print(
+            format_series(
+                "cores",
+                FIG9_CORE_COUNTS,
+                {f"{name} MFLOPS/s": series for name, series in perf.items()},
+                floatfmt=".1f",
+            ),
+            file=out,
+        )
+        print(banner("Fig. 9(b): full-system power efficiency"), file=out)
+        print(
+            format_table(
+                [
+                    {
+                        "config": cfg.name,
+                        "watts": cfg.full_chip_power(),
+                        "MFLOPS/W": eff[cfg.name],
+                    }
+                    for cfg in (CONF0, CONF1, CONF2)
+                ],
+                ["config", "watts", "MFLOPS/W"],
+            ),
+            file=out,
+        )
+    elif artifact == "fig10":
+        rows = sorted(fig10_data(exps, iterations), key=lambda r: r["gflops"])
+        print(banner("Fig. 10: architectural comparison"), file=out)
+        print(
+            format_table(
+                rows, ["system", "gflops", "watts", "mflops_per_watt", "source"]
+            ),
+            file=out,
+        )
+    else:  # pragma: no cover - parser restricts choices
+        raise SystemExit(f"unknown artifact {artifact!r}")
+
+
+def _render_validation(out) -> int:
+    """Model self-checks: trace-exact replay, MC queue, kernel numerics.
+
+    Returns the number of failed checks (0 = healthy).
+    """
+    import numpy as np
+
+    from .core.timing import _controller_line_time
+    from .core.trace import access_summary, characterize_partition
+    from .scc.mcqueue import CoreWorkload, simulate_controller
+    from .scc.tracegen import replay_trace
+    from .sparse import banded, partition_rows_balanced, random_uniform, spmv
+
+    failures = 0
+    rows = []
+
+    # 1. Analytical stream model vs trace-exact cache replay.
+    for label, a in (
+        ("banded", banded(2500, 10.0, 14, seed=1)),
+        ("random", random_uniform(2500, 10.0, seed=2)),
+    ):
+        [trace] = characterize_partition(a, partition_rows_balanced(a, 1))
+        model = access_summary(trace, iterations=1).l2_misses
+        exact = replay_trace(a, iterations=1).mem_misses
+        err = 100 * abs(model - exact) / max(exact, 1)
+        ok = err < 30.0
+        failures += not ok
+        rows.append(
+            {"check": f"trace-exact misses ({label})", "result": f"{err:.1f}% err",
+             "status": "ok" if ok else "FAIL"}
+        )
+
+    # 2. Closed-form MC equilibrium vs event-driven FIFO queue.
+    wl = CoreWorkload(compute_time=0.005, n_lines=20_000, latency=132.5e-9)
+    capacity = 0.95e9 / 32
+    event = max(simulate_controller([wl] * 12, capacity))
+    t_star = _controller_line_time([wl.compute_time] * 12, [float(wl.n_lines)] * 12,
+                                   [wl.latency] * 12, capacity)
+    closed = wl.compute_time + wl.n_lines * max(t_star, wl.latency)
+    err = 100 * abs(closed - event) / event
+    ok = err < 10.0
+    failures += not ok
+    rows.append(
+        {"check": "MC equilibrium vs queue", "result": f"{err:.1f}% err",
+         "status": "ok" if ok else "FAIL"}
+    )
+
+    # 3. Kernel numerics vs SciPy.
+    a = banded(1500, 8.0, 10, seed=3)
+    x = np.random.default_rng(0).uniform(size=a.n_cols)
+    ok = bool(np.allclose(spmv(a, x), a.to_scipy() @ x, rtol=1e-9))
+    failures += not ok
+    rows.append(
+        {"check": "SpMV vs SciPy", "result": "allclose(1e-9)",
+         "status": "ok" if ok else "FAIL"}
+    )
+
+    # 4. Power anchors.
+    for cfg, target in ((CONF0, 83.3), (CONF1, 107.4)):
+        got = cfg.full_chip_power()
+        ok = abs(got - target) < 0.5
+        failures += not ok
+        rows.append(
+            {"check": f"power anchor {cfg.name}", "result": f"{got:.1f} W",
+             "status": "ok" if ok else "FAIL"}
+        )
+
+    print(banner("Model self-validation"), file=out)
+    print(format_table(rows, ["check", "result", "status"]), file=out)
+    print(f"\n{failures} failure(s)" if failures else "\nall checks passed", file=out)
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    opened = None
+    if out is None:
+        if args.output:
+            opened = open(args.output, "w", encoding="utf-8")
+            out = opened
+        else:
+            out = sys.stdout
+    if not 0 < args.scale <= 1.0:
+        raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
+    if args.iterations < 1:
+        raise SystemExit(f"--iterations must be >= 1, got {args.iterations}")
+    if args.artifact == "validate":
+        try:
+            return _render_validation(out)
+        finally:
+            if opened is not None:
+                opened.close()
+    exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))
+    if not exps:
+        raise SystemExit("no matrices selected; check --ids")
+    artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    try:
+        for artifact in artifacts:
+            _render(artifact, exps, args.iterations, out)
+    finally:
+        if opened is not None:
+            opened.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Experiment campaigns: grid sweeps with persistent, resumable results.
+
+A reproduction is only useful if its numbers can be regenerated and
+audited later.  :class:`Campaign` runs a cartesian grid of experiment
+points — (matrix id, core count, config, mapping, kernel) — appending
+one JSON record per completed point to ``<name>.jsonl``.  Reopening the
+campaign skips points that are already on disk, so an interrupted sweep
+resumes where it stopped, and the records feed any external analysis
+without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from itertools import product
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..scc.chip import PRESETS
+from ..sparse.suite import build_matrix, entry_by_id
+from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
+
+__all__ = ["result_record", "CampaignPoint", "Campaign"]
+
+
+def result_record(r: ExperimentResult) -> dict:
+    """Flatten an ExperimentResult into a JSON-serializable record."""
+    return {
+        "matrix": r.matrix_name,
+        "n": r.n,
+        "nnz": r.nnz,
+        "n_cores": r.n_cores,
+        "config": r.config_name,
+        "mapping": r.mapping,
+        "kernel": r.kernel,
+        "iterations": r.iterations,
+        "makespan_s": r.makespan,
+        "mflops": r.mflops,
+        "power_watts": r.power_watts,
+        "mflops_per_watt": r.mflops_per_watt,
+        "ws_per_core_bytes": r.ws_per_core_bytes,
+    }
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One grid point (hashable: used as the resume key)."""
+
+    mid: int
+    n_cores: int
+    config: str
+    mapping: str
+    kernel: str
+
+    def key(self) -> str:
+        """Stable string identity used for resume bookkeeping."""
+        return f"{self.mid}:{self.n_cores}:{self.config}:{self.mapping}:{self.kernel}"
+
+
+class Campaign:
+    """A persistent sweep over the experiment grid."""
+
+    def __init__(
+        self,
+        name: str,
+        output_dir: Path | str,
+        scale: float = 1.0,
+        iterations: int = DEFAULT_ITERATIONS,
+    ) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"campaign name must be a simple identifier, got {name!r}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.name = name
+        self.output_dir = Path(output_dir)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.output_dir / f"{name}.jsonl"
+        self.scale = scale
+        self.iterations = iterations
+        self._experiments: Dict[int, SpMVExperiment] = {}
+
+    # -- persistence ----------------------------------------------------
+
+    def completed_keys(self) -> set:
+        """Resume keys of every record already on disk."""
+        done = set()
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    done.add(rec["_key"])
+        return done
+
+    def load(self) -> List[dict]:
+        """All completed records (without the internal resume key)."""
+        records = []
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        rec = json.loads(line)
+                        rec.pop("_key", None)
+                        records.append(rec)
+        return records
+
+    # -- execution ----------------------------------------------------------
+
+    def _experiment(self, mid: int) -> SpMVExperiment:
+        if mid not in self._experiments:
+            entry = entry_by_id(mid)
+            self._experiments[mid] = SpMVExperiment(
+                build_matrix(mid, scale=self.scale), name=entry.name
+            )
+        return self._experiments[mid]
+
+    @staticmethod
+    def grid(
+        ids: Sequence[int],
+        core_counts: Sequence[int],
+        configs: Sequence[str] = ("conf0",),
+        mappings: Sequence[str] = ("distance_reduction",),
+        kernels: Sequence[str] = ("csr",),
+    ) -> List[CampaignPoint]:
+        """The cartesian product as explicit points."""
+        return [
+            CampaignPoint(mid, n, cfg, mapping, kernel)
+            for mid, n, cfg, mapping, kernel in product(
+                ids, core_counts, configs, mappings, kernels
+            )
+        ]
+
+    def run(self, points: Iterable[CampaignPoint]) -> Tuple[int, int]:
+        """Execute all points not yet on disk; returns (ran, skipped)."""
+        done = self.completed_keys()
+        ran = skipped = 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for pt in points:
+                if pt.key() in done:
+                    skipped += 1
+                    continue
+                if pt.config not in PRESETS:
+                    raise ValueError(
+                        f"unknown config {pt.config!r}; choose from {sorted(PRESETS)}"
+                    )
+                exp = self._experiment(pt.mid)
+                result = exp.run(
+                    n_cores=pt.n_cores,
+                    config=PRESETS[pt.config],
+                    mapping=pt.mapping,
+                    kernel=pt.kernel,
+                    iterations=self.iterations,
+                )
+                rec = result_record(result)
+                rec["_key"] = pt.key()
+                rec["scale"] = self.scale
+                fh.write(json.dumps(rec) + "\n")
+                fh.flush()
+                ran += 1
+                done.add(pt.key())
+        return ran, skipped
+
+    # -- analysis --------------------------------------------------------------
+
+    def summarize(self, group_by: str = "n_cores") -> Dict:
+        """Mean MFLOPS/s of completed records grouped by one field."""
+        groups: Dict = {}
+        for rec in self.load():
+            groups.setdefault(rec[group_by], []).append(rec["mflops"])
+        return {k: sum(v) / len(v) for k, v in sorted(groups.items())}

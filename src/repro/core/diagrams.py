@@ -1,0 +1,94 @@
+"""ASCII renderings of the paper's structural figures (1, 2 and 4).
+
+Figures 1 (chip overview), 2 (CSR example + kernel) and 4 (mapping
+diagrams) carry no measurements; their reproduction is the *structure*
+itself, generated from the live model objects so the diagrams cannot
+drift from the implementation:
+
+- :func:`chip_diagram` — the 6x4 tile grid with core ids and MC
+  positions (Fig. 1a);
+- :func:`csr_example` — the canonical 5x5 matrix of Fig. 2 with its
+  ptr/index/da arrays, produced by the real CSR code;
+- :func:`mapping_diagram` — tiles active under a mapping (Fig. 4a/4b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..scc.topology import GRID_X, GRID_Y, SCCTopology
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["chip_diagram", "csr_example", "mapping_diagram", "FIG2_DENSE"]
+
+#: the 5x5 example matrix of the paper's Fig. 2.
+FIG2_DENSE = np.array(
+    [
+        [1.0, 0.0, 2.0, 0.0, 0.0],
+        [0.0, 3.0, 0.0, 0.0, 0.0],
+        [4.0, 0.0, 5.0, 6.0, 0.0],
+        [0.0, 0.0, 0.0, 7.0, 0.0],
+        [0.0, 8.0, 0.0, 0.0, 9.0],
+    ]
+)
+
+
+def chip_diagram(topology: Optional[SCCTopology] = None) -> str:
+    """Fig. 1(a): the tile grid, row y=3 on top, with MC markers."""
+    topo = topology or SCCTopology()
+    lines: List[str] = []
+    for y in reversed(range(GRID_Y)):
+        cells = []
+        for x in range(GRID_X):
+            t = topo.tile_at(x, y)
+            cells.append(f"[{t.cores[0]:2d},{t.cores[1]:2d}]")
+        row = " ".join(cells)
+        left = "MC>" if (0, y) in topo.mc_coords else "   "
+        right = "<MC" if (GRID_X - 1, y) in topo.mc_coords else ""
+        lines.append(f"{left} {row} {right}".rstrip())
+    lines.append("")
+    lines.append("each [a,b] tile: two P54C cores, 16KB L1s, 2x256KB L2, 16KB MPB, router")
+    return "\n".join(lines)
+
+
+def csr_example(dense: Optional[np.ndarray] = None) -> str:
+    """Fig. 2: a small matrix and its CSR arrays, from the real encoder."""
+    d = FIG2_DENSE if dense is None else np.asarray(dense, dtype=np.float64)
+    a = CSRMatrix.from_dense(d)
+    lines = ["A ="]
+    for row in d:
+        lines.append("  [ " + "  ".join(f"{v:g}" if v else "." for v in row) + " ]")
+    lines.append("")
+    lines.append(f"ptr   = {a.ptr.tolist()}")
+    lines.append(f"index = {a.index.tolist()}")
+    lines.append(f"da    = {[float(v) for v in a.da]}")
+    lines.append("")
+    lines.append("for i in rows:  y[i] = sum(da[j] * x[index[j]] for j in ptr[i]..ptr[i+1])")
+    return "\n".join(lines)
+
+
+def mapping_diagram(core_map: Sequence[int], topology: Optional[SCCTopology] = None) -> str:
+    """Fig. 4: which tiles host UEs under a mapping ('##' = active)."""
+    topo = topology or SCCTopology()
+    by_core = {core: ue for ue, core in enumerate(core_map)}
+    lines: List[str] = []
+    for y in reversed(range(GRID_Y)):
+        cells = []
+        for x in range(GRID_X):
+            t = topo.tile_at(x, y)
+            ues = [by_core[c] for c in t.cores if c in by_core]
+            if not ues:
+                cells.append("[ .  . ]")
+            else:
+                slots = [
+                    f"{by_core[c]:2d}" if c in by_core else " ." for c in t.cores
+                ]
+                cells.append(f"[{slots[0]} {slots[1]} ]")
+        left = "MC>" if (0, y) in topo.mc_coords else "   "
+        right = "<MC" if (GRID_X - 1, y) in topo.mc_coords else ""
+        lines.append(f"{left} {' '.join(cells)} {right}".rstrip())
+    lines.append("")
+    lines.append("numbers are UE ranks placed on each tile's two cores")
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""The SpMV experiment runner: one matrix on the modeled SCC.
+
+:class:`SpMVExperiment` wires every substrate together.  For a run it
+
+1. partitions the matrix row-wise with balanced nonzeros (the paper's
+   scheme) for the requested UE count;
+2. characterizes each UE's access stream (:mod:`repro.core.trace`),
+   memoizing per UE count — the characterization is mapping- and
+   frequency-independent;
+3. converts traces to access summaries for the requested kernel
+   variant / iteration count / L2 switch;
+4. solves per-core times under MC contention
+   (:mod:`repro.core.timing`);
+5. replays the job on the RCCE runtime — each UE computes for its
+   solved duration between barriers — so the reported makespan includes
+   synchronization cost, and optionally executes the real kernel to
+   verify ``y`` numerically.
+
+Performance is reported exactly as in the paper (Sec. IV):
+``FLOPS/s = 2 * nnz * iterations / time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..rcce.runtime import RCCERuntime
+from ..scc.chip import CONF0, SCCConfig
+from ..scc.memory import MemorySystem
+from ..scc.params import DEFAULT_TIMING, L2_BYTES, P54CTimingParams
+from ..scc.topology import SCCTopology
+from ..sparse.csr import CSRMatrix
+from ..sparse.partition import (
+    RowPartition,
+    partition_rows_balanced,
+    partition_rows_uniform,
+)
+from ..sparse.spmv import spmv_no_x_miss, spmv_row_range
+from ..sparse.stats import working_set_per_core
+from .mapping import get_mapping
+from .timing import CoreTiming, solve_core_times
+from .trace import DEFAULT_X_CAPACITY_FRACTION, UETrace, access_summary, characterize_partition
+
+__all__ = ["ExperimentResult", "SpMVExperiment", "DEFAULT_ITERATIONS"]
+
+#: SpMV repetitions per timed run, matching the usual benchmarking loop.
+DEFAULT_ITERATIONS = 16
+
+KERNELS = ("csr", "no_x_miss")
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one (matrix, cores, config, mapping, kernel) run."""
+
+    matrix_name: str
+    n: int
+    nnz: int
+    n_cores: int
+    config_name: str
+    mapping: str
+    kernel: str
+    iterations: int
+    makespan: float                      #: seconds, slowest UE incl. barriers
+    per_core: List[CoreTiming] = field(repr=False)
+    power_watts: float = 0.0             #: full-chip power of the config
+    ws_per_core_bytes: float = 0.0
+    y: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations: 2 * nnz * iterations."""
+        return 2 * self.nnz * self.iterations
+
+    @property
+    def gflops(self) -> float:
+        """Throughput in GFLOPS/s over the makespan."""
+        return self.flops / self.makespan / 1e9
+
+    @property
+    def mflops(self) -> float:
+        """Throughput in MFLOPS/s over the makespan."""
+        return self.flops / self.makespan / 1e6
+
+    @property
+    def mflops_per_watt(self) -> float:
+        """Full-system MFLOPS/s per watt, the paper's efficiency metric."""
+        return self.mflops / self.power_watts if self.power_watts > 0 else 0.0
+
+
+def _ue_body(comm, durations, blocks, a, x, kernel, verify):
+    """The program every UE executes on the runtime."""
+    yield from comm.barrier()
+    yield from comm.compute(durations[comm.ue])
+    result_block = None
+    if verify:
+        r0, r1 = blocks[comm.ue]
+        if kernel == "no_x_miss":
+            result_block = spmv_no_x_miss(a, x, r0, r1)
+        else:
+            result_block = spmv_row_range(a, x, r0, r1)
+    yield from comm.barrier()
+    if verify:
+        gathered = yield from comm.gather(result_block, root=0)
+        if comm.ue == 0:
+            return np.concatenate(gathered)
+        return None
+    return None
+
+
+class SpMVExperiment:
+    """Run the paper's SpMV study for one matrix on the SCC model."""
+
+    #: available row-partitioning schemes; the paper uses ``balanced``.
+    PARTITIONERS = {
+        "balanced": partition_rows_balanced,
+        "uniform": partition_rows_uniform,
+    }
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        name: str = "matrix",
+        topology: Optional[SCCTopology] = None,
+        timing: P54CTimingParams = DEFAULT_TIMING,
+        x_capacity_fraction: float = DEFAULT_X_CAPACITY_FRACTION,
+        partitioner: str = "balanced",
+    ) -> None:
+        if partitioner not in self.PARTITIONERS:
+            raise ValueError(
+                f"partitioner must be one of {sorted(self.PARTITIONERS)}, "
+                f"got {partitioner!r}"
+            )
+        self.a = a
+        self.name = name
+        self.topology = topology or SCCTopology()
+        self.timing = timing
+        self.x_capacity_fraction = x_capacity_fraction
+        self.partitioner = partitioner
+        self._trace_cache: Dict[int, List[UETrace]] = {}
+        self._partition_cache: Dict[int, RowPartition] = {}
+
+    # -- cached analyses ---------------------------------------------------
+
+    def partition(self, n_ues: int) -> RowPartition:
+        """The (cached) row partition for this UE count."""
+        if n_ues not in self._partition_cache:
+            split = self.PARTITIONERS[self.partitioner]
+            self._partition_cache[n_ues] = split(self.a, n_ues)
+        return self._partition_cache[n_ues]
+
+    def traces(self, n_ues: int) -> List[UETrace]:
+        """Per-UE stream characterization (frequency/mapping independent)."""
+        if n_ues not in self._trace_cache:
+            self._trace_cache[n_ues] = characterize_partition(
+                self.a,
+                self.partition(n_ues),
+                x_capacity_fraction=self.x_capacity_fraction,
+            )
+        return self._trace_cache[n_ues]
+
+    # -- the runner ---------------------------------------------------------
+
+    def run(
+        self,
+        n_cores: int = 48,
+        config: SCCConfig = CONF0,
+        mapping: Union[str, Sequence[int]] = "distance_reduction",
+        kernel: str = "csr",
+        iterations: int = DEFAULT_ITERATIONS,
+        verify: bool = False,
+        x: Optional[np.ndarray] = None,
+    ) -> ExperimentResult:
+        """Execute one configuration and return its result.
+
+        ``mapping`` is a policy name from :mod:`repro.core.mapping` or an
+        explicit core list (e.g. from ``single_core_at_distance``).
+        ``verify=True`` additionally runs the real kernel on the RCCE
+        runtime and attaches the gathered ``y`` to the result.
+        """
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if isinstance(mapping, str):
+            core_map = get_mapping(mapping)(n_cores, self.topology)
+            mapping_name = mapping
+        else:
+            core_map = list(mapping)
+            mapping_name = "explicit"
+            if len(core_map) != n_cores:
+                raise ValueError(
+                    f"explicit mapping names {len(core_map)} cores but n_cores={n_cores}"
+                )
+
+        traces = self.traces(n_cores)
+        summaries = [
+            access_summary(
+                t,
+                iterations=iterations,
+                l2_enabled=config.l2_enabled,
+                no_x_miss=(kernel == "no_x_miss"),
+                l2_bytes=L2_BYTES,
+            )
+            for t in traces
+        ]
+        mem = MemorySystem(self.topology, mem_mhz=config.mem_mhz)
+        timings = solve_core_times(summaries, core_map, config, mem, self.timing)
+
+        durations = [t.time for t in timings]
+        blocks = self.partition(n_cores).ranges()
+        x_vec = x if x is not None else np.ones(self.a.n_cols)
+        runtime = RCCERuntime(core_map, config=config, topology=self.topology)
+        results = runtime.run(_ue_body, durations, blocks, self.a, x_vec, kernel, verify)
+        makespan = runtime.makespan(results)
+        y = results[0].value if verify else None
+
+        return ExperimentResult(
+            matrix_name=self.name,
+            n=self.a.n_rows,
+            nnz=self.a.nnz,
+            n_cores=n_cores,
+            config_name=config.name,
+            mapping=mapping_name,
+            kernel=kernel,
+            iterations=iterations,
+            makespan=makespan,
+            per_core=timings,
+            power_watts=config.full_chip_power(),
+            ws_per_core_bytes=working_set_per_core(self.a, n_cores),
+            y=y,
+        )
+
+    def sweep_cores(
+        self,
+        core_counts: Sequence[int],
+        **kwargs,
+    ) -> List[ExperimentResult]:
+        """Run the same configuration across several core counts."""
+        return [self.run(n_cores=n, **kwargs) for n in core_counts]

@@ -1,0 +1,218 @@
+"""Library-level generation of every table/figure of the paper.
+
+Each ``figN_data`` function reproduces one artifact of the evaluation
+section from a list of (name, :class:`SpMVExperiment`) pairs, returning
+plain data (dicts/lists) that the benchmark harness asserts on and the
+CLI renders.  Keeping these in the library — rather than in the
+benchmark files — makes the reproduction scriptable:
+
+    from repro.core.figures import suite_experiments, fig5_data
+    exps = suite_experiments(scale=0.2)
+    std, dr = fig5_data(exps)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scc.chip import CONF0, CONF1, CONF2, SCCConfig
+from ..sparse.stats import working_set_mbytes
+from ..sparse.suite import SUITE, build_matrix
+from .comparison import comparison_table
+from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
+from .mapping import single_core_at_distance
+from .metrics import average_gflops, average_mflops_per_watt
+
+__all__ = [
+    "suite_experiments",
+    "table1_data",
+    "fig3_data",
+    "fig5_data",
+    "fig6_data",
+    "fig7_data",
+    "fig8_data",
+    "fig9_data",
+    "fig10_data",
+    "FIG5_CORE_COUNTS",
+    "FIG6_CORE_COUNTS",
+    "FIG7_CORE_COUNTS",
+    "FIG9_CORE_COUNTS",
+]
+
+FIG3_HOPS = [0, 1, 2, 3]
+FIG5_CORE_COUNTS = [1, 2, 4, 8, 16, 24, 32, 48]
+FIG6_CORE_COUNTS = [8, 24, 48]
+FIG7_CORE_COUNTS = [1, 8, 16, 24, 32, 48]
+FIG9_CORE_COUNTS = [8, 16, 24, 32, 48]
+
+Experiments = Sequence[Tuple[int, SpMVExperiment]]
+
+
+def suite_experiments(
+    scale: float = 1.0,
+    ids: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, SpMVExperiment]]:
+    """(matrix id, experiment) pairs over the Table I suite."""
+    out = []
+    for e in SUITE:
+        if ids is not None and e.mid not in ids:
+            continue
+        out.append((e.mid, SpMVExperiment(build_matrix(e.mid, scale=scale), name=e.name)))
+    return out
+
+
+def table1_data(experiments: Experiments) -> List[dict]:
+    """Table I rows for the given experiments."""
+    rows = []
+    by_id = {e.mid: e for e in SUITE}
+    for mid, exp in experiments:
+        a = exp.a
+        rows.append(
+            {
+                "id": mid,
+                "name": exp.name,
+                "n": a.n_rows,
+                "nnz": a.nnz,
+                "nnz_per_row": a.nnz_per_row,
+                "ws_mbytes": working_set_mbytes(a.n_rows, a.nnz),
+                "family": by_id[mid].family,
+            }
+        )
+    return rows
+
+
+def fig3_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> Dict[int, float]:
+    """Suite-average MFLOPS/s of one core at each hop distance."""
+    perf: Dict[int, List[ExperimentResult]] = {h: [] for h in FIG3_HOPS}
+    for _mid, exp in experiments:
+        for h in FIG3_HOPS:
+            perf[h].append(
+                exp.run(n_cores=1, mapping=single_core_at_distance(h), iterations=iterations)
+            )
+    return {h: average_gflops(rs) * 1000 for h, rs in perf.items()}
+
+
+def fig5_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+    core_counts: Sequence[int] = tuple(FIG5_CORE_COUNTS),
+) -> Tuple[List[float], List[float]]:
+    """(standard, distance-reduction) suite-average MFLOPS/s per count."""
+    std = {n: [] for n in core_counts}
+    dr = {n: [] for n in core_counts}
+    for _mid, exp in experiments:
+        for n in core_counts:
+            std[n].append(exp.run(n_cores=n, mapping="standard", iterations=iterations))
+            dr[n].append(
+                exp.run(n_cores=n, mapping="distance_reduction", iterations=iterations)
+            )
+    return (
+        [average_gflops(std[n]) * 1000 for n in core_counts],
+        [average_gflops(dr[n]) * 1000 for n in core_counts],
+    )
+
+
+def fig6_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+    core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
+) -> List[dict]:
+    """Per-matrix performance and per-core working set at each count."""
+    rows = []
+    for mid, exp in experiments:
+        row: dict = {"id": mid, "name": exp.name}
+        for n in core_counts:
+            r = exp.run(n_cores=n, iterations=iterations)
+            row[f"MFLOPS@{n}"] = r.mflops
+            row[f"wsKB/core@{n}"] = r.ws_per_core_bytes / 1024
+        rows.append(row)
+    return rows
+
+
+def fig7_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+    core_counts: Sequence[int] = tuple(FIG7_CORE_COUNTS),
+) -> Tuple[Dict[int, List[ExperimentResult]], Dict[int, List[ExperimentResult]]]:
+    """Per-count result lists with L2 enabled and disabled."""
+    no_l2 = CONF0.with_l2(False)
+    with_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
+    without_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
+    for _mid, exp in experiments:
+        for n in core_counts:
+            with_l2[n].append(exp.run(n_cores=n, iterations=iterations))
+            without_l2[n].append(exp.run(n_cores=n, config=no_l2, iterations=iterations))
+    return with_l2, without_l2
+
+
+def fig8_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+    core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
+) -> List[dict]:
+    """Per-matrix no-x-miss speedups at each core count."""
+    rows = []
+    for mid, exp in experiments:
+        row: dict = {"id": mid, "name": exp.name}
+        for n in core_counts:
+            base = exp.run(n_cores=n, iterations=iterations)
+            nox = exp.run(n_cores=n, kernel="no_x_miss", iterations=iterations)
+            row[f"speedup@{n}"] = base.makespan / nox.makespan
+            row[f"MFLOPS@{n}"] = base.mflops
+        rows.append(row)
+    return rows
+
+
+def fig9_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+    core_counts: Sequence[int] = tuple(FIG9_CORE_COUNTS),
+    configs: Sequence[SCCConfig] = (CONF0, CONF1, CONF2),
+) -> Dict[str, Dict[int, List[ExperimentResult]]]:
+    """Per-config, per-count result lists."""
+    results: Dict[str, Dict[int, List[ExperimentResult]]] = {
+        cfg.name: {n: [] for n in core_counts} for cfg in configs
+    }
+    for _mid, exp in experiments:
+        for cfg in configs:
+            for n in core_counts:
+                results[cfg.name][n].append(
+                    exp.run(n_cores=n, config=cfg, iterations=iterations)
+                )
+    return results
+
+
+def fig9_summary(
+    results: Dict[str, Dict[int, List[ExperimentResult]]],
+    core_counts: Sequence[int] = tuple(FIG9_CORE_COUNTS),
+) -> Tuple[Dict[str, List[float]], Dict[str, float]]:
+    """(per-config MFLOPS/s series, per-config 48-core MFLOPS/W)."""
+    perf = {
+        name: [average_gflops(by_n[n]) * 1000 for n in core_counts]
+        for name, by_n in results.items()
+    }
+    eff = {
+        name: average_mflops_per_watt(by_n[max(core_counts)])
+        for name, by_n in results.items()
+    }
+    return perf, eff
+
+
+def fig10_data(
+    experiments: Experiments,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> List[dict]:
+    """The Fig. 10 comparison table with measured SCC entries."""
+    scc0, scc1 = [], []
+    for _mid, exp in experiments:
+        scc0.append(exp.run(n_cores=48, config=CONF0, iterations=iterations))
+        scc1.append(exp.run(n_cores=48, config=CONF1, iterations=iterations))
+    return comparison_table(
+        {
+            "SCC conf0": (average_gflops(scc0), CONF0.full_chip_power()),
+            "SCC conf1": (average_gflops(scc1), CONF1.full_chip_power()),
+        }
+    )

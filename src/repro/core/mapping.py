@@ -1,0 +1,73 @@
+"""Mapping units of execution to physical cores (paper Sec. IV-A).
+
+Two policies from the paper:
+
+- **standard** — RCCE's default: UE rank k runs on core k (Fig. 4a).
+  Oblivious to memory distance; with 4 UEs it picks cores 0,1,2,3.
+- **distance_reduction** — the paper's proposal (Fig. 4b): fill the
+  job from the cores *closest to their memory controller*.  With 4 UEs
+  it picks cores 0,1,10,11 (the hop-0 tiles of the two lower
+  quadrants).
+
+Both return explicit core lists consumable by
+:class:`~repro.rcce.runtime.RCCERuntime`.  ``single_core_at_distance``
+supports the Fig. 3 single-core hop sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..scc.topology import N_CORES, SCCTopology
+
+__all__ = [
+    "standard_mapping",
+    "distance_reduction_mapping",
+    "single_core_at_distance",
+    "MAPPINGS",
+    "get_mapping",
+]
+
+
+def _check_n(n_ues: int) -> None:
+    if not 1 <= n_ues <= N_CORES:
+        raise ValueError(f"n_ues must be in [1, {N_CORES}], got {n_ues}")
+
+
+def standard_mapping(n_ues: int, topology: Optional[SCCTopology] = None) -> List[int]:
+    """RCCE default: rank == core id."""
+    _check_n(n_ues)
+    return list(range(n_ues))
+
+
+def distance_reduction_mapping(n_ues: int, topology: Optional[SCCTopology] = None) -> List[int]:
+    """Paper's proposal: cores sorted by (hops to their MC, core id)."""
+    _check_n(n_ues)
+    topo = topology or SCCTopology()
+    return list(topo.cores_by_distance()[:n_ues])
+
+
+def single_core_at_distance(hops: int, topology: Optional[SCCTopology] = None) -> List[int]:
+    """A one-core map whose core sits ``hops`` from its MC (Fig. 3)."""
+    topo = topology or SCCTopology()
+    cores = topo.cores_at_distance(hops)
+    if not cores:
+        raise ValueError(
+            f"no core is {hops} hops from its memory controller "
+            f"(valid distances: {sorted(topo.distance_histogram())})"
+        )
+    return [cores[0]]
+
+
+MAPPINGS: Dict[str, Callable[..., List[int]]] = {
+    "standard": standard_mapping,
+    "distance_reduction": distance_reduction_mapping,
+}
+
+
+def get_mapping(name: str) -> Callable[..., List[int]]:
+    """Look up a mapping policy by name; raises KeyError if unknown."""
+    try:
+        return MAPPINGS[name]
+    except KeyError:
+        raise KeyError(f"unknown mapping {name!r}; choose from {sorted(MAPPINGS)}") from None

@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and series.
+
+The benchmarks print each reproduced table/figure through these helpers
+so the output reads like the paper's artifacts: fixed-width columns, a
+caption line, and (for figures) a label/value series per curve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def banner(title: str) -> str:
+    """A '=='-framed section title."""
+    line = "=" * max(len(title), 8)
+    return f"\n{line}\n{title}\n{line}"
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str],
+    caption: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        return f"{caption}\n(empty)"
+
+    def cell(v) -> str:
+        """Format one value for a table cell."""
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    data = [[cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in data)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if caption:
+        lines.append(caption)
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in data:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Iterable,
+    curves: Mapping[str, Sequence[float]],
+    caption: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render one or more named curves over a shared x axis."""
+    xs = list(xs)
+    for name, ys in curves.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"curve {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name, ys in curves.items():
+            row[name] = float(ys[i])
+        rows.append(row)
+    return format_table(rows, [x_label, *curves.keys()], caption, floatfmt)

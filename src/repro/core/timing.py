@@ -1,0 +1,142 @@
+"""Per-core time composition with memory-controller contention.
+
+Core time depends on the effective per-line memory time, which depends
+on every core's demand on its controller, which depends on core time.
+Rather than iterating that circular dependency (which oscillates around
+the saturation point), :func:`solve_core_times` solves it exactly, one
+controller at a time:
+
+With ``A_c`` the core-clock seconds of core ``c`` (compute + L2 hits),
+``M_c`` its memory line count, and ``T`` the controller's effective
+per-line service time, the demand a controller sees is::
+
+    D(T) = sum_c M_c / (A_c + M_c * max(T, latency_c))   [lines/sec]
+
+``D`` is strictly decreasing in ``T``.  If ``D(latency)`` is below the
+controller's capacity ``R = bandwidth / line_bytes``, the controller is
+unsaturated and every core just pays its Eq. 1 latency.  Otherwise the
+equilibrium is the unique ``T*`` with ``D(T*) = R``, found by
+bisection; each core then sees ``max(T*, latency_c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..scc.chip import SCCConfig
+from ..scc.core_model import AccessSummary, core_time
+from ..scc.memory import MemorySystem
+from ..scc.params import DEFAULT_TIMING, P54CTimingParams
+
+__all__ = ["CoreTiming", "solve_core_times"]
+
+
+@dataclass(frozen=True)
+class CoreTiming:
+    """Solved execution time of one UE on one core."""
+
+    ue: int
+    core: int
+    time: float
+    line_time: float      # effective seconds per memory line fetch
+    mem_lines: float      # memory line fetches over the whole run
+
+    @property
+    def mem_stall_fraction(self) -> float:
+        """Share of this core's time spent in memory stalls."""
+        return min(self.mem_lines * self.line_time / self.time, 1.0) if self.time > 0 else 0.0
+
+
+def _controller_line_time(
+    base_times: List[float],
+    mem_lines: List[float],
+    latencies: List[float],
+    capacity_lines_per_sec: float,
+    tol: float = 1e-4,
+    max_iter: int = 100,
+) -> float:
+    """Equilibrium per-line service time of one saturated-or-not MC.
+
+    Returns the common ``T*`` (cores individually still floor at their
+    own latency).  ``base_times`` are the A_c terms.
+    """
+
+    def demand(t: float) -> float:
+        """Aggregate line demand (lines/sec) at service time ``t``."""
+        total = 0.0
+        for a, m, lat in zip(base_times, mem_lines, latencies):
+            if m <= 0:
+                continue
+            total += m / (a + m * max(t, lat))
+        return total
+
+    lo = min(latencies)
+    if demand(lo) <= capacity_lines_per_sec:
+        return lo
+    # Find an upper bracket: demand halves as T doubles past saturation.
+    hi = max(lo, 1e-9)
+    while demand(hi) > capacity_lines_per_sec:
+        hi *= 2.0
+        if hi > 1.0:  # 1 s/line would be ~10^9x the real latency
+            return hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if demand(mid) > capacity_lines_per_sec:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * hi:
+            break
+    return hi
+
+
+def solve_core_times(
+    summaries: Sequence[AccessSummary],
+    core_map: Sequence[int],
+    config: SCCConfig,
+    mem: MemorySystem,
+    timing: P54CTimingParams = DEFAULT_TIMING,
+) -> List[CoreTiming]:
+    """Exact per-core times under MC bandwidth sharing."""
+    if len(summaries) != len(core_map):
+        raise ValueError(
+            f"{len(summaries)} summaries for {len(core_map)} cores — must match"
+        )
+    if mem.mem_mhz != config.mem_mhz:
+        raise ValueError(
+            f"memory system clocked at {mem.mem_mhz} MHz but config says {config.mem_mhz}"
+        )
+    cores = list(core_map)
+    n = len(cores)
+    freqs = [config.core_mhz_of_core(c) for c in cores]
+    latencies = [
+        mem.latency_for_core(c, f, config.mesh_mhz) for c, f in zip(cores, freqs)
+    ]
+    # A_c: everything but memory stalls (evaluate with zero line time).
+    base_times = [
+        core_time(s, f, 0.0, timing) for s, f in zip(summaries, freqs)
+    ]
+    mem_lines = [float(s.l2_misses) for s in summaries]
+
+    # Group by controller and solve each equilibrium independently.
+    line_time = [0.0] * n
+    groups: Dict[int, List[int]] = {}
+    for i, c in enumerate(cores):
+        groups.setdefault(mem.topology.mc_index_of_core(c), []).append(i)
+    for mc_idx, members in groups.items():
+        capacity = mem.controllers[mc_idx].bandwidth / mem.line_bytes
+        t_star = _controller_line_time(
+            [base_times[i] for i in members],
+            [mem_lines[i] for i in members],
+            [latencies[i] for i in members],
+            capacity,
+        )
+        for i in members:
+            line_time[i] = max(t_star, latencies[i])
+
+    times = [a + m * lt for a, m, lt in zip(base_times, mem_lines, line_time)]
+    return [
+        CoreTiming(ue=i, core=c, time=t, line_time=lt, mem_lines=m)
+        for i, (c, t, lt, m) in enumerate(zip(cores, times, line_time, mem_lines))
+    ]

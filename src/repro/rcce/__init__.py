@@ -1,0 +1,45 @@
+"""RCCE-style message-passing runtime over the simulated SCC.
+
+- :class:`~repro.rcce.runtime.RCCERuntime` — boot a job of n UEs on a
+  list of physical cores under a chip configuration.
+- :class:`~repro.rcce.api.RCCEComm` — per-UE communicator (send/recv,
+  barrier, bcast, reduce, allreduce, gather, wtime, compute).
+- :mod:`~repro.rcce.mpb` — the 8 KB-per-core message-passing buffer
+  model and matched mailboxes.
+"""
+
+from .api import RCCEComm, payload_bytes
+from .collectives import allreduce, barrier, bcast, gather, reduce
+from .mpb import MPB_BYTES_PER_CORE, Envelope, Mailbox, chunked_transfer_time
+from .onesided import FLAG_CLEAR, FLAG_SET, MPBWindow, OneSided
+from .power import (
+    FREQ_CHANGE_SECONDS,
+    N_VOLTAGE_DOMAINS,
+    VOLTAGE_RAMP_SECONDS,
+    PowerManager,
+)
+from .runtime import RCCERuntime, UEResult
+
+__all__ = [
+    "RCCEComm",
+    "payload_bytes",
+    "allreduce",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "MPB_BYTES_PER_CORE",
+    "Envelope",
+    "Mailbox",
+    "chunked_transfer_time",
+    "FLAG_CLEAR",
+    "FLAG_SET",
+    "MPBWindow",
+    "OneSided",
+    "FREQ_CHANGE_SECONDS",
+    "N_VOLTAGE_DOMAINS",
+    "VOLTAGE_RAMP_SECONDS",
+    "PowerManager",
+    "RCCERuntime",
+    "UEResult",
+]

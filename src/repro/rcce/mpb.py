@@ -1,0 +1,100 @@
+"""Message-passing buffer (MPB) model and matched mailboxes.
+
+Every SCC tile holds a 16 KB message-passing buffer (8 KB per core) —
+the only on-die memory cores can share (paper Sec. II).  RCCE moves
+messages through it in MPB-sized chunks.  We model:
+
+* **capacity** — transfers are serialized in ``MPB_BYTES_PER_CORE``
+  chunks (a 1 MB message costs 128 chunk round-trips);
+* **timing** — each chunk pays the mesh route time for its size
+  (:meth:`repro.scc.mesh.MeshNetwork.message_time`);
+* **matching** — :class:`Mailbox` implements (source, tag) matched
+  delivery with rendezvous acknowledgement, which is how the RCCE
+  blocking send/recv pair behaves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Optional, Tuple
+
+from ..sim import SimEvent, Simulator
+
+__all__ = ["MPB_BYTES_PER_CORE", "chunked_transfer_time", "Envelope", "Mailbox"]
+
+#: 8 KB of MPB per core (16 KB per tile shared by its two cores).
+MPB_BYTES_PER_CORE = 8 * 1024
+
+
+def chunked_transfer_time(mesh, src_core: int, dst_core: int, nbytes: int) -> float:
+    """Seconds to move ``nbytes`` through the MPB in 8 KB chunks.
+
+    Chunks are strictly sequential: the single per-core buffer must be
+    drained by the receiver before the next chunk is written, which is
+    the dominant cost of large RCCE messages on the real chip.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return mesh.core_message_time(src_core, dst_core, 0)
+    full, rem = divmod(nbytes, MPB_BYTES_PER_CORE)
+    t = full * mesh.core_message_time(src_core, dst_core, MPB_BYTES_PER_CORE)
+    if rem:
+        t += mesh.core_message_time(src_core, dst_core, rem)
+    return t
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    tag: int
+    payload: Any
+    ack: SimEvent = field(repr=False)
+
+
+class Mailbox:
+    """Per-UE matched receive queue with rendezvous semantics.
+
+    ``deliver`` enqueues an envelope (or hands it straight to a waiting
+    matching receiver).  ``receive`` returns an event that triggers with
+    the envelope once a match exists; the receiver must call
+    ``envelope.ack.succeed()`` to release the blocked sender.
+    """
+
+    def __init__(self, sim: Simulator, owner: int) -> None:
+        self.sim = sim
+        self.owner = owner
+        self._pending: Deque[Envelope] = deque()
+        self._waiting: Deque[Tuple[Optional[int], Optional[int], SimEvent]] = deque()
+
+    @staticmethod
+    def _matches(env: Envelope, source: Optional[int], tag: Optional[int]) -> bool:
+        return (source is None or env.source == source) and (tag is None or env.tag == tag)
+
+    def deliver(self, env: Envelope) -> None:
+        """Enqueue an envelope or hand it to a waiting matching receiver."""
+        for i, (src, tag, ev) in enumerate(self._waiting):
+            if self._matches(env, src, tag):
+                del self._waiting[i]
+                ev.succeed(env)
+                return
+        self._pending.append(env)
+
+    def receive(self, source: Optional[int] = None, tag: Optional[int] = None) -> SimEvent:
+        """Event that triggers with the next (source, tag)-matching envelope."""
+        ev = self.sim.event(f"mailbox[{self.owner}].recv")
+        for i, env in enumerate(self._pending):
+            if self._matches(env, source, tag):
+                del self._pending[i]
+                ev.succeed(env)
+                return ev
+        self._waiting.append((source, tag, ev))
+        return ev
+
+    @property
+    def pending_count(self) -> int:
+        """Number of undelivered envelopes queued in this mailbox."""
+        return len(self._pending)

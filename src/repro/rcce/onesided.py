@@ -1,0 +1,143 @@
+"""One-sided MPB operations: RCCE's actual low-level layer.
+
+The send/recv of :mod:`repro.rcce.api` is itself built, on the real
+chip, from one-sided primitives: ``RCCE_put`` writes into a remote
+core's message-passing buffer, ``RCCE_get`` reads from it, and *flags*
+(single bytes in the MPB polled by the consumer) provide
+synchronization.  This module models that layer faithfully enough to
+write the textbook RCCE exercises against it:
+
+- :class:`MPBWindow` — each core's 8 KB buffer with explicit
+  offset-addressed storage and capacity enforcement;
+- :class:`OneSided` — put/get with mesh-timed transfers, flag
+  set/poll with a configurable polling interval (polling is how the
+  real library spins, and it costs simulated time).
+
+The higher-level comm API remains the recommended surface; the tests
+rebuild send/recv from these primitives to show they compose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from .api import payload_bytes
+from .mpb import MPB_BYTES_PER_CORE
+
+__all__ = ["MPBWindow", "OneSided", "FLAG_CLEAR", "FLAG_SET"]
+
+FLAG_CLEAR = 0
+FLAG_SET = 1
+
+#: how often a blocked flag poll re-reads the remote MPB (seconds).
+#: The real library spins on its local MPB copy; polling a remote flag
+#: costs a mesh round trip, so RCCE keeps flags on the consumer side.
+DEFAULT_POLL_INTERVAL = 0.5e-6
+
+
+class MPBWindow:
+    """One core's 8 KB message-passing buffer.
+
+    Offset-addressed storage for payloads and flags.  Capacity is
+    enforced on payload size, mirroring the hard 8 KB limit that forces
+    RCCE to chunk large messages.
+    """
+
+    def __init__(self, owner: int, size: int = MPB_BYTES_PER_CORE) -> None:
+        if size <= 0:
+            raise ValueError(f"MPB size must be positive, got {size}")
+        self.owner = owner
+        self.size = size
+        self._data: Dict[int, Any] = {}
+        self._flags: Dict[int, int] = {}
+
+    def write(self, offset: int, payload: Any) -> None:
+        """Store a payload at ``offset``; enforces the 8 KB capacity."""
+        nbytes = payload_bytes(payload)
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset} outside MPB [0, {self.size})")
+        if offset + nbytes > self.size:
+            raise ValueError(
+                f"payload of {nbytes} B at offset {offset} overflows the "
+                f"{self.size} B MPB — chunk it"
+            )
+        self._data[offset] = payload
+
+    def read(self, offset: int) -> Any:
+        """Return the payload stored at ``offset`` (KeyError if empty)."""
+        if offset not in self._data:
+            raise KeyError(f"MPB[{self.owner}] has no payload at offset {offset}")
+        return self._data[offset]
+
+    def set_flag(self, flag_id: int, value: int) -> None:
+        """Set a synchronization flag byte."""
+        self._flags[flag_id] = value
+
+    def flag(self, flag_id: int) -> int:
+        """Current value of a flag (FLAG_CLEAR if never written)."""
+        return self._flags.get(flag_id, FLAG_CLEAR)
+
+
+class OneSided:
+    """Put/get/flag operations over the mesh model.
+
+    All methods are generators (``yield from`` them inside a UE); each
+    charges the mesh time of the transfer it models.
+    """
+
+    def __init__(self, runtime) -> None:
+        self._rt = runtime
+        self.windows = [MPBWindow(core) for core in runtime.core_map]
+
+    def _transfer_time(self, src_ue: int, dst_ue: int, nbytes: int) -> float:
+        return self._rt.mesh.core_message_time(
+            self._rt.core_map[src_ue], self._rt.core_map[dst_ue], nbytes
+        )
+
+    def put(self, src_ue: int, dst_ue: int, offset: int, payload: Any) -> Generator:
+        """Write ``payload`` into ``dst_ue``'s MPB at ``offset``."""
+        t = self._transfer_time(src_ue, dst_ue, payload_bytes(payload))
+        yield self._rt.sim.timeout(t)
+        self.windows[dst_ue].write(offset, payload)
+
+    def get(self, src_ue: int, dst_ue: int, offset: int) -> Generator:
+        """Read from ``dst_ue``'s MPB at ``offset``; returns the payload."""
+        payload = self.windows[dst_ue].read(offset)
+        t = self._transfer_time(dst_ue, src_ue, payload_bytes(payload))
+        yield self._rt.sim.timeout(t)
+        return payload
+
+    def set_flag(self, src_ue: int, dst_ue: int, flag_id: int, value: int = FLAG_SET) -> Generator:
+        """Write a one-byte flag in ``dst_ue``'s MPB (releases pollers)."""
+        t = self._transfer_time(src_ue, dst_ue, 1)
+        yield self._rt.sim.timeout(t)
+        self.windows[dst_ue].set_flag(flag_id, value)
+
+    def wait_flag(
+        self,
+        ue: int,
+        flag_id: int,
+        value: int = FLAG_SET,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Spin on a local flag until it reads ``value``.
+
+        Polling quantizes the wake-up to ``poll_interval`` — the
+        latency cost of flag-based synchronization the RCCE paper
+        documents.  ``timeout`` (simulated seconds) raises on expiry so
+        protocol bugs surface as errors, not hangs.
+        """
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        window = self.windows[ue]
+        waited = 0.0
+        while window.flag(flag_id) != value:
+            yield self._rt.sim.timeout(poll_interval)
+            waited += poll_interval
+            if timeout is not None and waited > timeout:
+                raise TimeoutError(
+                    f"UE {ue} timed out after {waited:.2e}s polling flag "
+                    f"{flag_id} for value {value}"
+                )
+        return window.flag(flag_id)

@@ -1,0 +1,110 @@
+"""The RCCE runtime: UEs as simulated processes on SCC cores.
+
+:class:`RCCERuntime` owns one :class:`~repro.sim.Simulator`, a mesh
+model clocked at the chip configuration's frequency, and one mailbox
+per UE.  ``run(fn)`` spawns ``fn(comm)`` as a generator process per UE
+(mirroring how every core executes the same RCCE binary), drives the
+simulation to completion and returns each UE's return value plus its
+finish time.
+
+The *core map* — which physical core each UE rank lands on — is the
+knob of the paper's mapping study; mapping policies live in
+:mod:`repro.core.mapping` and are passed in here as an explicit list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..scc.chip import CONF0, SCCConfig
+from ..scc.mesh import MeshNetwork
+from ..scc.topology import N_CORES, SCCTopology
+from ..sim import Process, SimEvent, Simulator
+from .api import RCCEComm
+from .mpb import Mailbox
+from .power import PowerManager
+
+__all__ = ["UEResult", "RCCERuntime"]
+
+UEFunction = Callable[..., Generator[SimEvent, Any, Any]]
+
+
+class UEResult:
+    """Return value and timing of one UE."""
+
+    __slots__ = ("ue", "core", "value", "finish_time")
+
+    def __init__(self, ue: int, core: int, value: Any, finish_time: float) -> None:
+        self.ue = ue
+        self.core = core
+        self.value = value
+        self.finish_time = finish_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UEResult ue={self.ue} core={self.core} t={self.finish_time:.6f}>"
+
+
+class RCCERuntime:
+    """A booted RCCE job: n_ues ranks mapped onto SCC cores."""
+
+    def __init__(
+        self,
+        core_map: Sequence[int],
+        config: SCCConfig = CONF0,
+        topology: Optional[SCCTopology] = None,
+    ) -> None:
+        core_list = list(core_map)
+        if not core_list:
+            raise ValueError("core_map must name at least one core")
+        if len(set(core_list)) != len(core_list):
+            raise ValueError(f"core_map has duplicate cores: {core_list}")
+        for c in core_list:
+            if not 0 <= c < N_CORES:
+                raise ValueError(f"core {c} out of range [0, {N_CORES})")
+        self.core_map: List[int] = core_list
+        self.n_ues = len(core_list)
+        self.config = config
+        self.topology = topology or SCCTopology()
+        self.sim = Simulator()
+        self.mesh = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz)
+        self.power = PowerManager(config, self.topology)
+        self.mailboxes = [Mailbox(self.sim, ue) for ue in range(self.n_ues)]
+        self.comms = [RCCEComm(self, ue) for ue in range(self.n_ues)]
+
+    def run(self, fn: UEFunction, *args: Any, until: Optional[float] = None) -> List[UEResult]:
+        """Execute ``fn(comm, *args)`` on every UE; returns per-UE results.
+
+        Raises if any UE is still blocked when the event queue drains
+        (communication deadlock) — silent partial completion would mask
+        protocol bugs.
+        """
+        finish_times = [0.0] * self.n_ues
+
+        procs: List[Process] = []
+        for ue in range(self.n_ues):
+            comm = self.comms[ue]
+            gen = fn(comm, *args)
+            proc = Process(self.sim, gen, name=f"ue{ue}")
+
+            def _stamp(_value: Any, ue: int = ue) -> None:
+                finish_times[ue] = self.sim.now
+
+            proc.done.add_callback(_stamp)
+            procs.append(proc)
+
+        self.sim.run(until=until)
+
+        stuck = [p.name for p in procs if not p.finished]
+        if stuck:
+            raise RuntimeError(
+                f"deadlock: UEs {stuck} never finished (event queue drained at "
+                f"t={self.sim.now:.9f})"
+            )
+        return [
+            UEResult(ue, self.core_map[ue], procs[ue].done.value, finish_times[ue])
+            for ue in range(self.n_ues)
+        ]
+
+    def makespan(self, results: List[UEResult]) -> float:
+        """Parallel completion time: the slowest UE's finish time."""
+        return max(r.finish_time for r in results)

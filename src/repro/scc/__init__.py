@@ -1,0 +1,101 @@
+"""Architecture model of the Intel Single-chip Cloud Computer (SCC).
+
+Subpackages model the pieces of the chip the paper's study exercises:
+
+- :mod:`~repro.scc.topology` — 6x4 tile mesh, core numbering, memory
+  controllers, hop distances.
+- :mod:`~repro.scc.mesh` — XY routing, link loads, message timing.
+- :mod:`~repro.scc.cache` — exact 4-way pseudo-LRU write-back caches.
+- :mod:`~repro.scc.locality` — vectorized reuse/footprint/miss models.
+- :mod:`~repro.scc.memory` — Eq. 1 latency and controller bandwidth.
+- :mod:`~repro.scc.core_model` — P54C in-order timing composition.
+- :mod:`~repro.scc.power` / :mod:`~repro.scc.chip` — frequency menus,
+  configuration presets (conf0/1/2) and the calibrated power model.
+"""
+
+from .chip import CONF0, CONF1, CONF2, PRESETS, SCCConfig
+from .cache import Cache, CacheHierarchy, CacheStats
+from .core_model import AccessSummary, core_flops, core_time
+from .locality import (
+    FootprintCurve,
+    MissRatioCurve,
+    ReuseProfile,
+    footprint_curve,
+    lines_of_addresses,
+    miss_ratio_curve,
+    reuse_profile,
+    reuse_times,
+)
+from .mcqueue import CoreWorkload, simulate_controller
+from .memory import MemoryController, MemorySystem, memory_read_latency
+from .mesh import MeshNetwork, xy_route
+from .noc import EventDrivenMesh, simulate_transfers
+from .params import (
+    CACHE_ASSOC,
+    CACHE_LINE_BYTES,
+    CORE_FREQS_MHZ,
+    DEFAULT_TIMING,
+    L1D_BYTES,
+    L2_BYTES,
+    MEM_FREQS_MHZ,
+    MESH_FREQS_MHZ,
+    P54CTimingParams,
+)
+from .power import chip_power, core_voltage, mesh_voltage
+from .tracegen import DEFAULT_LAYOUT, TraceCounts, TraceLayout, replay_trace, spmv_address_trace
+from .topology import CORES_PER_TILE, GRID_X, GRID_Y, N_CORES, N_TILES, SCCTopology, Tile
+
+__all__ = [
+    "CONF0",
+    "CONF1",
+    "CONF2",
+    "PRESETS",
+    "SCCConfig",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "AccessSummary",
+    "core_flops",
+    "core_time",
+    "FootprintCurve",
+    "MissRatioCurve",
+    "ReuseProfile",
+    "footprint_curve",
+    "lines_of_addresses",
+    "miss_ratio_curve",
+    "reuse_profile",
+    "reuse_times",
+    "CoreWorkload",
+    "simulate_controller",
+    "MemoryController",
+    "MemorySystem",
+    "memory_read_latency",
+    "MeshNetwork",
+    "xy_route",
+    "EventDrivenMesh",
+    "simulate_transfers",
+    "CACHE_ASSOC",
+    "CACHE_LINE_BYTES",
+    "CORE_FREQS_MHZ",
+    "DEFAULT_TIMING",
+    "L1D_BYTES",
+    "L2_BYTES",
+    "MEM_FREQS_MHZ",
+    "MESH_FREQS_MHZ",
+    "P54CTimingParams",
+    "chip_power",
+    "core_voltage",
+    "mesh_voltage",
+    "CORES_PER_TILE",
+    "GRID_X",
+    "GRID_Y",
+    "N_CORES",
+    "N_TILES",
+    "SCCTopology",
+    "Tile",
+    "DEFAULT_LAYOUT",
+    "TraceCounts",
+    "TraceLayout",
+    "replay_trace",
+    "spmv_address_trace",
+]

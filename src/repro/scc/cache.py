@@ -1,0 +1,246 @@
+"""Exact set-associative cache simulator (tree pseudo-LRU, write-back).
+
+Models the P54C per-core caches of the SCC: 4-way set-associative with a
+pseudo-LRU replacement tree, write-back with write-allocate, 32-byte
+lines, and *no* inter-core coherence (each core's hierarchy is private,
+exactly as on the chip).
+
+This simulator is the ground truth the vectorized locality model
+(:mod:`repro.scc.locality`) is validated against.  It processes one
+address per call (or a NumPy batch via :meth:`Cache.access_trace`), so
+use it for traces up to a few million accesses; the benchmarks use the
+O(N)-vectorized model instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .params import CACHE_ASSOC, CACHE_LINE_BYTES, L1D_BYTES, L2_BYTES
+
+__all__ = ["CacheStats", "Cache", "CacheHierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """misses / accesses (0.0 on an untouched cache)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+class _PLRUTree:
+    """Tree pseudo-LRU state for one set of a power-of-two-way cache.
+
+    For a 4-way set the tree has 3 bits: bit 0 selects the half, bits
+    1-2 select within each half.  ``touch`` points the tree away from
+    the accessed way; ``victim`` follows the tree to the pseudo-LRU way.
+    """
+
+    __slots__ = ("ways", "levels", "bits")
+
+    def __init__(self, ways: int) -> None:
+        if ways & (ways - 1):
+            raise ValueError(f"pseudo-LRU requires power-of-two ways, got {ways}")
+        self.ways = ways
+        self.levels = ways.bit_length() - 1
+        self.bits = 0  # packed tree bits, node 1-indexed as in a heap
+
+    def touch(self, way: int) -> None:
+        """Point the PLRU tree away from the accessed way."""
+        node = 1
+        for level in range(self.levels):
+            bit = (way >> (self.levels - 1 - level)) & 1
+            # Point the node *away* from the touched child.
+            if bit:
+                self.bits &= ~(1 << node)
+            else:
+                self.bits |= 1 << node
+            node = 2 * node + bit
+
+    def victim(self) -> int:
+        """Way the pseudo-LRU tree currently designates for eviction."""
+        node = 1
+        way = 0
+        for _level in range(self.levels):
+            bit = (self.bits >> node) & 1
+            way = (way << 1) | bit
+            node = 2 * node + bit
+        return way
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(
+        self,
+        size_bytes: int = L2_BYTES,
+        assoc: int = CACHE_ASSOC,
+        line_bytes: int = CACHE_LINE_BYTES,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self.n_sets = size_bytes // (assoc * line_bytes)
+        # tags[set][way] = line address or -1; dirty flags alongside.
+        self._tags = np.full((self.n_sets, assoc), -1, dtype=np.int64)
+        self._dirty = np.zeros((self.n_sets, assoc), dtype=bool)
+        self._plru = [_PLRUTree(assoc) for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def n_lines(self) -> int:
+        """Total line capacity (sets * ways)."""
+        return self.n_sets * self.assoc
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line id of a byte address."""
+        return addr // self.line_bytes
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one byte address.  Returns True on hit.
+
+        On miss the line is allocated (write-allocate); a dirty eviction
+        increments ``stats.writebacks``.
+        """
+        line = addr // self.line_bytes
+        return self.access_line(line, write)
+
+    def access_line(self, line: int, write: bool = False) -> bool:
+        """Access one line id; returns True on hit (allocates on miss)."""
+        set_idx = line % self.n_sets
+        tags = self._tags[set_idx]
+        tree = self._plru[set_idx]
+        for way in range(self.assoc):
+            if tags[way] == line:
+                self.stats.hits += 1
+                tree.touch(way)
+                if write:
+                    self._dirty[set_idx, way] = True
+                return True
+        # Miss: prefer an invalid way, else the pseudo-LRU victim.
+        self.stats.misses += 1
+        way = -1
+        for w in range(self.assoc):
+            if tags[w] == -1:
+                way = w
+                break
+        if way == -1:
+            way = tree.victim()
+            self.stats.evictions += 1
+            if self._dirty[set_idx, way]:
+                self.stats.writebacks += 1
+        tags[way] = line
+        self._dirty[set_idx, way] = write
+        tree.touch(way)
+        return False
+
+    def access_trace(self, addrs: np.ndarray, writes: Optional[np.ndarray] = None) -> int:
+        """Process a trace of byte addresses; returns the miss count added."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if writes is None:
+            writes_arr = np.zeros(addrs.shape, dtype=bool)
+        else:
+            writes_arr = np.asarray(writes, dtype=bool)
+            if writes_arr.shape != addrs.shape:
+                raise ValueError("writes must match addrs shape")
+        before = self.stats.misses
+        lines = addrs // self.line_bytes
+        for line, w in zip(lines.tolist(), writes_arr.tolist()):
+            self.access_line(line, w)
+        return self.stats.misses - before
+
+    def contains_line(self, line: int) -> bool:
+        """True if the line is currently resident."""
+        set_idx = line % self.n_sets
+        return bool((self._tags[set_idx] == line).any())
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines written back."""
+        dirty = int(self._dirty.sum())
+        self.stats.writebacks += dirty
+        self._tags.fill(-1)
+        self._dirty.fill(False)
+        for tree in self._plru:
+            tree.bits = 0
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cache {self.name} {self.size_bytes // 1024}KB {self.assoc}-way "
+            f"{self.n_sets} sets>"
+        )
+
+
+class CacheHierarchy:
+    """Private two-level hierarchy of one SCC core (L1D + L2).
+
+    ``l2_enabled=False`` models the paper's Fig. 7 experiment where the
+    cores are booted with L2 disabled: L1 misses then go straight to
+    memory.  Inclusive bookkeeping is not enforced (the P54C pair is
+    non-inclusive); each level filters the next.
+    """
+
+    def __init__(
+        self,
+        l1_bytes: int = L1D_BYTES,
+        l2_bytes: int = L2_BYTES,
+        assoc: int = CACHE_ASSOC,
+        line_bytes: int = CACHE_LINE_BYTES,
+        l2_enabled: bool = True,
+    ) -> None:
+        self.l1 = Cache(l1_bytes, assoc, line_bytes, name="L1D")
+        self.l2_enabled = l2_enabled
+        self.l2 = Cache(l2_bytes, assoc, line_bytes, name="L2") if l2_enabled else None
+
+    def access(self, addr: int, write: bool = False) -> str:
+        """Access one byte address; returns 'l1', 'l2' or 'mem'."""
+        if self.l1.access(addr, write):
+            return "l1"
+        if self.l2 is not None and self.l2.access(addr, write):
+            return "l2"
+        return "mem"
+
+    def access_trace(self, addrs: np.ndarray, writes: Optional[np.ndarray] = None) -> dict:
+        """Process a trace; returns {'l1': hits, 'l2': hits, 'mem': misses}."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if writes is None:
+            writes = np.zeros(addrs.shape, dtype=bool)
+        counts = {"l1": 0, "l2": 0, "mem": 0}
+        for a, w in zip(addrs.tolist(), np.asarray(writes, dtype=bool).tolist()):
+            counts[self.access(int(a), bool(w))] += 1
+        return counts
+
+    def flush(self) -> None:
+        """Invalidate both levels (write-back counts accrue in stats)."""
+        self.l1.flush()
+        if self.l2 is not None:
+            self.l2.flush()

@@ -1,0 +1,118 @@
+"""Chip-level configuration: frequency domains and the paper's presets.
+
+:class:`SCCConfig` bundles everything the paper varies at boot time —
+per-tile core clock, mesh clock, memory clock, and whether the L2
+caches were enabled — and validates each against the SCC menus.  The
+three configurations of Sec. IV-D are available as ``CONF0`` (default),
+``CONF1`` and ``CONF2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from .params import (
+    CORE_FREQS_MHZ,
+    DEFAULT_CORE_MHZ,
+    DEFAULT_MEM_MHZ,
+    DEFAULT_MESH_MHZ,
+    MEM_FREQS_MHZ,
+    MESH_FREQS_MHZ,
+)
+from .power import chip_power
+from .topology import N_TILES
+
+__all__ = ["SCCConfig", "CONF0", "CONF1", "CONF2", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class SCCConfig:
+    """One bootable chip configuration.
+
+    ``tile_mhz`` holds 24 per-tile core frequencies (the SCC lets every
+    tile pick its own step).  The uniform-frequency constructor
+    :meth:`uniform` covers the paper's configurations.
+    """
+
+    name: str
+    tile_mhz: Tuple[float, ...]
+    mesh_mhz: float = DEFAULT_MESH_MHZ
+    mem_mhz: float = DEFAULT_MEM_MHZ
+    l2_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.tile_mhz) != N_TILES:
+            raise ValueError(
+                f"tile_mhz must have {N_TILES} entries, got {len(self.tile_mhz)}"
+            )
+        for f in self.tile_mhz:
+            if f not in CORE_FREQS_MHZ:
+                raise ValueError(
+                    f"core frequency {f} MHz not on the SCC menu {CORE_FREQS_MHZ}"
+                )
+        if self.mesh_mhz not in MESH_FREQS_MHZ:
+            raise ValueError(
+                f"mesh frequency {self.mesh_mhz} MHz not on the menu {MESH_FREQS_MHZ}"
+            )
+        if self.mem_mhz not in MEM_FREQS_MHZ:
+            raise ValueError(
+                f"memory frequency {self.mem_mhz} MHz not on the menu {MEM_FREQS_MHZ}"
+            )
+
+    @classmethod
+    def uniform(
+        cls,
+        name: str,
+        core_mhz: float = DEFAULT_CORE_MHZ,
+        mesh_mhz: float = DEFAULT_MESH_MHZ,
+        mem_mhz: float = DEFAULT_MEM_MHZ,
+        l2_enabled: bool = True,
+    ) -> "SCCConfig":
+        """Config with every tile at the same core frequency."""
+        return cls(
+            name=name,
+            tile_mhz=(core_mhz,) * N_TILES,
+            mesh_mhz=mesh_mhz,
+            mem_mhz=mem_mhz,
+            l2_enabled=l2_enabled,
+        )
+
+    def core_mhz_of_tile(self, tile_id: int) -> float:
+        """Core clock (MHz) of one tile."""
+        return self.tile_mhz[tile_id]
+
+    def core_mhz_of_core(self, core: int) -> float:
+        """Core clock (MHz) of the tile owning this core."""
+        return self.tile_mhz[core // 2]
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all 24 tiles share one frequency."""
+        return len(set(self.tile_mhz)) == 1
+
+    @property
+    def core_mhz(self) -> float:
+        """Uniform core frequency; raises if tiles differ."""
+        if not self.is_uniform:
+            raise ValueError(f"config {self.name!r} has per-tile frequencies")
+        return self.tile_mhz[0]
+
+    def full_chip_power(self) -> float:
+        """Watts with all 24 tiles powered (the paper's 'full system')."""
+        return chip_power(self.tile_mhz, self.mesh_mhz, self.mem_mhz)
+
+    def with_l2(self, enabled: bool) -> "SCCConfig":
+        """Copy of this config with the L2 caches toggled."""
+        suffix = "" if enabled else "+noL2"
+        return replace(self, name=self.name + suffix, l2_enabled=enabled)
+
+
+#: conf0 — the paper's default: cores 533, mesh 800, memory 800 MHz.
+CONF0 = SCCConfig.uniform("conf0", 533, 800, 800)
+#: conf1 — everything at maximum: 800 / 1600 / 1066 MHz.
+CONF1 = SCCConfig.uniform("conf1", 800, 1600, 1066)
+#: conf2 — fast cores and mesh, default memory: 800 / 1600 / 800 MHz.
+CONF2 = SCCConfig.uniform("conf2", 800, 1600, 800)
+
+PRESETS = {"conf0": CONF0, "conf1": CONF1, "conf2": CONF2}

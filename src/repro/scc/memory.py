@@ -1,0 +1,144 @@
+"""Off-chip memory model: read latency (paper Eq. 1) and MC bandwidth.
+
+Two effects dominate the paper's results and both live here:
+
+* **Distance-dependent latency** — Eq. 1 of the paper: a core's memory
+  request costs ``40`` core cycles + ``4*2n`` mesh cycles (n = hops to
+  its controller) + ``46`` memory cycles.  The P54C stalls for the whole
+  round trip (in-order, blocking caches).
+* **Controller sharing** — six tiles (12 cores) share one DDR3
+  controller.  When aggregate demand exceeds a controller's sustained
+  bandwidth, each core's effective per-line service time degrades to
+  its fair share.  We model this with the deterministic closed form
+  ``t_line_effective = max(latency, demand_lines/sec / (BW/line_bytes))``
+  evaluated per controller (see :class:`MemorySystem.effective_line_time`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .params import (
+    CACHE_LINE_BYTES,
+    LAT_CORE_CYCLES,
+    LAT_MEM_CYCLES,
+    LAT_MESH_CYCLES_PER_HOP,
+    MC_BANDWIDTH_BYTES_PER_SEC_AT_800,
+)
+from .topology import SCCTopology
+
+__all__ = ["memory_read_latency", "MemoryController", "MemorySystem"]
+
+
+def memory_read_latency(
+    hops: int,
+    core_mhz: float,
+    mesh_mhz: float,
+    mem_mhz: float,
+) -> float:
+    """Round-trip read latency in seconds (paper Eq. 1).
+
+    ``40*C_core + 4*(2*hops)*C_mesh + 46*C_mem`` with ``C_x`` the cycle
+    times of the three clock domains.
+    """
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    for name, f in (("core_mhz", core_mhz), ("mesh_mhz", mesh_mhz), ("mem_mhz", mem_mhz)):
+        if f <= 0:
+            raise ValueError(f"{name} must be positive, got {f}")
+    t_core = LAT_CORE_CYCLES / (core_mhz * 1e6)
+    t_mesh = LAT_MESH_CYCLES_PER_HOP * hops / (mesh_mhz * 1e6)
+    t_mem = LAT_MEM_CYCLES / (mem_mhz * 1e6)
+    return t_core + t_mesh + t_mem
+
+
+@dataclass(frozen=True)
+class MemoryController:
+    """One of the four DDR3 controllers."""
+
+    index: int
+    coord: Tuple[int, int]
+    mem_mhz: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Sustained bytes/second, scaling linearly with the DDR clock."""
+        return MC_BANDWIDTH_BYTES_PER_SEC_AT_800 * (self.mem_mhz / 800.0)
+
+    def line_service_time(self, line_bytes: int = CACHE_LINE_BYTES) -> float:
+        """Seconds the controller needs per cache line at full tilt."""
+        return line_bytes / self.bandwidth
+
+
+class MemorySystem:
+    """The four controllers plus the private-memory quadrant map."""
+
+    def __init__(
+        self,
+        topology: SCCTopology | None = None,
+        mem_mhz: float = 800.0,
+        line_bytes: int = CACHE_LINE_BYTES,
+    ) -> None:
+        if mem_mhz <= 0:
+            raise ValueError(f"mem_mhz must be positive, got {mem_mhz}")
+        self.topology = topology or SCCTopology()
+        self.mem_mhz = mem_mhz
+        self.line_bytes = line_bytes
+        self.controllers = tuple(
+            MemoryController(index=i, coord=coord, mem_mhz=mem_mhz)
+            for i, coord in enumerate(self.topology.mc_coords)
+        )
+
+    def controller_of_core(self, core: int) -> MemoryController:
+        """The MC serving this core's private memory."""
+        return self.controllers[self.topology.mc_index_of_core(core)]
+
+    def latency_for_core(self, core: int, core_mhz: float, mesh_mhz: float) -> float:
+        """Eq. 1 round-trip latency for this core's hop count."""
+        hops = self.topology.hops_to_mc(core)
+        return memory_read_latency(hops, core_mhz, mesh_mhz, self.mem_mhz)
+
+    def group_cores_by_controller(self, cores: Iterable[int]) -> Dict[int, list]:
+        """Map MC index -> the given cores it serves."""
+        groups: Dict[int, list] = {mc.index: [] for mc in self.controllers}
+        for c in cores:
+            groups[self.topology.mc_index_of_core(c)].append(c)
+        return groups
+
+    def effective_line_time(
+        self,
+        core: int,
+        core_mhz: float,
+        mesh_mhz: float,
+        demand_lines_per_sec: Mapping[int, float],
+    ) -> float:
+        """Effective seconds per missed cache line seen by ``core``.
+
+        ``demand_lines_per_sec`` maps every *active* core to the line
+        rate it would sustain if unconstrained.  If the total demand on
+        this core's controller exceeds its bandwidth, the core's service
+        time inflates by the over-subscription factor — i.e. the
+        controller hands each requester its proportional share.  The
+        uncontended floor is the Eq. 1 round-trip latency.
+        """
+        latency = self.latency_for_core(core, core_mhz, mesh_mhz)
+        mc = self.controller_of_core(core)
+        mc_line_rate = mc.bandwidth / self.line_bytes  # lines/sec capacity
+        total_demand = sum(
+            rate
+            for other, rate in demand_lines_per_sec.items()
+            if self.topology.mc_index_of_core(other) == mc.index
+        )
+        if total_demand <= 0:
+            return latency
+        oversubscription = total_demand / mc_line_rate
+        if oversubscription <= 1.0:
+            return latency
+        # Saturated: each line effectively takes its fair-share service
+        # time; latency still bounds from below.
+        my_rate = demand_lines_per_sec.get(core, 0.0)
+        if my_rate <= 0:
+            return latency
+        share = mc_line_rate * (my_rate / total_demand)
+        return max(latency, 1.0 / share)

@@ -1,0 +1,129 @@
+"""2D mesh network model with deterministic XY routing.
+
+The SCC mesh routes packets first along x, then along y (paper Sec. II).
+This module provides route enumeration, per-link load accounting (used
+to reason about congestion in the mapping study) and message timing for
+the RCCE layer: a message of ``size`` bytes over ``h`` hops costs
+
+``t = h * hop_cycles / f_mesh + size / link_bandwidth(f_mesh)``
+
+with the 4-cycle router crossing from the SCC EAS.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .topology import GRID_X, GRID_Y, SCCTopology
+
+__all__ = ["xy_route", "Link", "MeshNetwork"]
+
+Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
+
+#: router pipeline depth per crossing (SCC EAS: 4 mesh cycles).
+ROUTER_CYCLES = 4
+#: mesh link width: 16 bytes per mesh cycle (128-bit links).
+LINK_BYTES_PER_CYCLE = 16
+
+
+def xy_route(src: Coord, dst: Coord) -> List[Coord]:
+    """Return the XY route from ``src`` to ``dst``, inclusive of both.
+
+    X is routed to completion before Y, matching the chip's static
+    dimension-ordered scheme.
+    """
+    for coord in (src, dst):
+        x, y = coord
+        if not (0 <= x < GRID_X and 0 <= y < GRID_Y):
+            raise ValueError(f"coordinate {coord} outside {GRID_X}x{GRID_Y} mesh")
+    path = [src]
+    x, y = src
+    step_x = 1 if dst[0] > x else -1
+    while x != dst[0]:
+        x += step_x
+        path.append((x, y))
+    step_y = 1 if dst[1] > y else -1
+    while y != dst[1]:
+        y += step_y
+        path.append((x, y))
+    return path
+
+
+class MeshNetwork:
+    """Link-load accounting and message timing over the SCC mesh."""
+
+    def __init__(self, topology: SCCTopology | None = None, mesh_mhz: float = 800.0) -> None:
+        if mesh_mhz <= 0:
+            raise ValueError(f"mesh_mhz must be positive, got {mesh_mhz}")
+        self.topology = topology or SCCTopology()
+        self.mesh_mhz = mesh_mhz
+        self._link_loads: Counter[Link] = Counter()
+
+    @property
+    def cycle_time(self) -> float:
+        """Seconds per mesh cycle."""
+        return 1.0 / (self.mesh_mhz * 1e6)
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Bytes/second over one mesh link."""
+        return LINK_BYTES_PER_CYCLE * self.mesh_mhz * 1e6
+
+    # -- routing / loads ---------------------------------------------------
+
+    @staticmethod
+    def links_of(path: List[Coord]) -> List[Link]:
+        """Directed (a, b) link pairs along a route."""
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def record_transfer(self, src: Coord, dst: Coord, size_bytes: int = 1) -> List[Link]:
+        """Account ``size_bytes`` on every link of the XY route."""
+        links = self.links_of(xy_route(src, dst))
+        for link in links:
+            self._link_loads[link] += size_bytes
+        return links
+
+    def link_loads(self) -> Dict[Link, int]:
+        """Accumulated bytes per directed link."""
+        return dict(self._link_loads)
+
+    def max_link_load(self) -> int:
+        """Heaviest accumulated link load (0 when idle)."""
+        return max(self._link_loads.values(), default=0)
+
+    def reset_loads(self) -> None:
+        """Clear all link-load accounting."""
+        self._link_loads.clear()
+
+    # -- timing --------------------------------------------------------------
+
+    def message_time(self, src: Coord, dst: Coord, size_bytes: int) -> float:
+        """Latency of a ``size_bytes`` message from src to dst (seconds).
+
+        Store-and-forward pipeline: per-hop router latency plus
+        serialization of the payload on the narrowest (only) link class.
+        Local transfers (src == dst) still pay one router crossing: the
+        MPB sits behind the tile's router.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        hops = max(1, self.topology.hops_between(src, dst))
+        header = hops * ROUTER_CYCLES * self.cycle_time
+        serialize = size_bytes / self.link_bandwidth
+        return header + serialize
+
+    def core_message_time(self, src_core: int, dst_core: int, size_bytes: int) -> float:
+        """message_time between two cores' tiles."""
+        ts = self.topology.tile_of_core(src_core)
+        td = self.topology.tile_of_core(dst_core)
+        return self.message_time((ts.x, ts.y), (td.x, td.y), size_bytes)
+
+    def routes_through(self, coord: Coord, pairs: Iterable[Tuple[Coord, Coord]]) -> int:
+        """How many of the given (src, dst) routes traverse ``coord``."""
+        count = 0
+        for src, dst in pairs:
+            if coord in xy_route(src, dst):
+                count += 1
+        return count

@@ -1,0 +1,99 @@
+"""SCC chip power model.
+
+Full-chip power is modeled as a static floor plus dynamic ``C·V²·f``
+terms per clock domain::
+
+    P = P_static
+        + a_core * sum_tiles V_core(f_tile)^2 * f_tile
+        + a_mesh * V_mesh(f_mesh)^2 * f_mesh
+        + a_mem  * f_mem
+
+The voltage-frequency pairs come from the SCC EAS operating points.
+The four coefficients are calibrated once against the only two absolute
+wattages the paper publishes — 83.3 W running SpMV on 48 cores at
+conf0 (533/800/800 MHz) and 107.4 W at conf1 (800/1600/1066 MHz) — with
+the static floor pinned near the ~60 W idle draw reported for the SCC
+by Gschwandtner et al.  All Fig. 9(b)/10(b) efficiency numbers are then
+model outputs, not further fits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "core_voltage",
+    "mesh_voltage",
+    "chip_power",
+    "P_STATIC_WATTS",
+]
+
+# Voltage operating points (volts) per core frequency step (MHz).
+_CORE_VF: Mapping[int, float] = {
+    100: 0.70,
+    200: 0.70,
+    267: 0.75,
+    320: 0.80,
+    400: 0.85,
+    533: 0.90,
+    800: 1.10,
+}
+
+_MESH_VF: Mapping[int, float] = {800: 0.90, 1600: 1.10}
+
+# Calibrated coefficients (see module docstring).
+P_STATIC_WATTS = 61.19
+_A_CORE = 0.0015   # W / (MHz * V^2) per tile
+_A_MESH = 0.00243  # W / (MHz * V^2)
+_A_MEM = 0.00625   # W / MHz (all four controllers together)
+
+
+def core_voltage(core_mhz: float) -> float:
+    """Supply voltage needed for a tile at ``core_mhz``.
+
+    Exact menu frequencies map to their EAS operating point; other
+    values take the voltage of the next menu step up (the chip cannot
+    undervolt below the step that sustains the frequency).
+    """
+    if core_mhz <= 0:
+        raise ValueError(f"core_mhz must be positive, got {core_mhz}")
+    for f in sorted(_CORE_VF):
+        if core_mhz <= f:
+            return _CORE_VF[f]
+    raise ValueError(f"core_mhz {core_mhz} exceeds the 800 MHz maximum")
+
+
+def mesh_voltage(mesh_mhz: float) -> float:
+    """Supply voltage needed for the mesh at this clock."""
+    if mesh_mhz <= 0:
+        raise ValueError(f"mesh_mhz must be positive, got {mesh_mhz}")
+    for f in sorted(_MESH_VF):
+        if mesh_mhz <= f:
+            return _MESH_VF[f]
+    raise ValueError(f"mesh_mhz {mesh_mhz} exceeds the 1.6 GHz maximum")
+
+
+def chip_power(
+    tile_mhz: Sequence[float],
+    mesh_mhz: float,
+    mem_mhz: float,
+) -> float:
+    """Full-chip power in watts for the given per-tile core frequencies.
+
+    ``tile_mhz`` must contain one entry per powered tile (24 for the
+    full chip).  Tiles running at 0 MHz are treated as power-gated and
+    contribute nothing dynamic.
+    """
+    if mem_mhz <= 0:
+        raise ValueError(f"mem_mhz must be positive, got {mem_mhz}")
+    p = P_STATIC_WATTS
+    for f in tile_mhz:
+        if f < 0:
+            raise ValueError(f"tile frequency must be >= 0, got {f}")
+        if f > 0:
+            v = core_voltage(f)
+            p += _A_CORE * v * v * f
+    v_mesh = mesh_voltage(mesh_mhz)
+    p += _A_MESH * v_mesh * v_mesh * mesh_mhz
+    p += _A_MEM * mem_mhz
+    return p

@@ -1,0 +1,168 @@
+"""Exact address-trace generation for the CSR SpMV kernel.
+
+:func:`spmv_address_trace` emits the byte-address stream the Fig. 2
+kernel issues for a row block, in program order::
+
+    for i in rows:
+        load ptr[i], ptr[i+1]
+        for j in ptr[i]..ptr[i+1]:
+            load index[j]; load da[j]; load x[index[j]]
+        store y[i]
+
+These traces feed the exact cache hierarchy
+(:class:`~repro.scc.cache.CacheHierarchy`) to produce *trace-exact*
+hit/miss counts — the ground truth that the fast analytical
+characterization of :mod:`repro.core.trace` is validated against (see
+``tests/test_scc_tracegen.py`` and ablation bench A2).  Trace replay is
+O(N) Python per access, so it is reserved for validation-scale
+matrices.
+
+The arrays are laid out at disjoint, page-aligned virtual bases; with a
+modulo-indexed cache only the relative offsets matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .cache import CacheHierarchy
+
+__all__ = [
+    "TraceLayout",
+    "DEFAULT_LAYOUT",
+    "spmv_address_trace",
+    "replay_trace",
+    "TraceCounts",
+]
+
+
+@dataclass(frozen=True)
+class TraceLayout:
+    """Virtual base addresses of the five kernel arrays."""
+
+    # Bases are staggered by odd multiples of ~8 KB so the five arrays
+    # start in different cache sets, as real page-aligned allocations
+    # do.  Identical low bits (all zero mod the 64 KB set stride) would
+    # pile every array onto set 0 and fabricate conflict misses.
+    ptr_base: int = 0x1000_0000
+    index_base: int = 0x2000_2040
+    da_base: int = 0x3000_4080
+    x_base: int = 0x4000_60C0
+    y_base: int = 0x5000_8100
+
+    def __post_init__(self) -> None:
+        bases = sorted(
+            (self.ptr_base, self.index_base, self.da_base, self.x_base, self.y_base)
+        )
+        for lo, hi in zip(bases, bases[1:]):
+            if hi - lo < 0x0100_0000:  # 16 MB guard: arrays must not overlap
+                raise ValueError("array bases must be at least 16 MB apart")
+
+
+DEFAULT_LAYOUT = TraceLayout()
+
+
+def spmv_address_trace(
+    a: CSRMatrix,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+    no_x_miss: bool = False,
+    layout: TraceLayout = DEFAULT_LAYOUT,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Byte-address trace of one SpMV pass over rows [row_start, row_stop).
+
+    Returns ``(addrs, writes)`` in program order.  ``no_x_miss=True``
+    generates the Sec. IV-C variant where every gather reads ``x[0]``.
+    The construction is fully vectorized.
+    """
+    stop = a.n_rows if row_stop is None else row_stop
+    if not (0 <= row_start <= stop <= a.n_rows):
+        raise ValueError(f"bad row range [{row_start}, {stop})")
+    rows = stop - row_start
+    lo, hi = int(a.ptr[row_start]), int(a.ptr[stop])
+    nnz = hi - lo
+    lengths = np.diff(a.ptr[row_start : stop + 1]).astype(np.int64)
+
+    n_accesses = 3 * rows + 3 * nnz
+    addrs = np.empty(n_accesses, dtype=np.int64)
+    writes = np.zeros(n_accesses, dtype=bool)
+    if n_accesses == 0:
+        return addrs, writes
+
+    # Position bookkeeping: row i's accesses start at base_i and occupy
+    # [2 ptr loads][3 per nonzero][1 y store].
+    row_base = np.zeros(rows, dtype=np.int64)
+    if rows > 1:
+        np.cumsum(3 * lengths[:-1] + 3, out=row_base[1:])
+
+    row_ids = np.arange(row_start, stop, dtype=np.int64)
+    # ptr[i] and ptr[i+1] loads.
+    addrs[row_base] = layout.ptr_base + 4 * row_ids
+    addrs[row_base + 1] = layout.ptr_base + 4 * (row_ids + 1)
+    # y[i] store at the end of each row.
+    y_pos = row_base + 2 + 3 * lengths
+    addrs[y_pos] = layout.y_base + 8 * row_ids
+    writes[y_pos] = True
+
+    if nnz:
+        # Element positions: for nonzero k (global, 0-based within the
+        # block) in row i at local offset l: base_i + 2 + 3l (+0/1/2).
+        elem_rows = np.repeat(np.arange(rows, dtype=np.int64), lengths)
+        local = np.arange(nnz, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths
+        )
+        elem_base = row_base[elem_rows] + 2 + 3 * local
+        j = np.arange(lo, hi, dtype=np.int64)
+        addrs[elem_base] = layout.index_base + 4 * j
+        addrs[elem_base + 1] = layout.da_base + 8 * j
+        if no_x_miss:
+            addrs[elem_base + 2] = layout.x_base
+        else:
+            addrs[elem_base + 2] = layout.x_base + 8 * a.index[lo:hi].astype(np.int64)
+    return addrs, writes
+
+
+@dataclass(frozen=True)
+class TraceCounts:
+    """Hit/miss totals from replaying a trace through the hierarchy."""
+
+    l1_hits: int
+    l2_hits: int
+    mem_misses: int
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses replayed (hits + misses)."""
+        return self.l1_hits + self.l2_hits + self.mem_misses
+
+
+def replay_trace(
+    a: CSRMatrix,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+    iterations: int = 1,
+    no_x_miss: bool = False,
+    l2_enabled: bool = True,
+    layout: TraceLayout = DEFAULT_LAYOUT,
+    hierarchy: Optional[CacheHierarchy] = None,
+) -> TraceCounts:
+    """Run ``iterations`` SpMV passes through an exact cache hierarchy.
+
+    A fresh SCC-geometry hierarchy is used unless one is supplied
+    (supplying one lets callers observe warm-cache behaviour across
+    calls).  Returns cumulative counts over all iterations.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    h = hierarchy if hierarchy is not None else CacheHierarchy(l2_enabled=l2_enabled)
+    addrs, writes = spmv_address_trace(a, row_start, row_stop, no_x_miss, layout)
+    totals = {"l1": 0, "l2": 0, "mem": 0}
+    for _ in range(iterations):
+        counts = h.access_trace(addrs, writes)
+        for k in totals:
+            totals[k] += counts[k]
+    return TraceCounts(totals["l1"], totals["l2"], totals["mem"])

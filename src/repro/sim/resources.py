@@ -1,0 +1,122 @@
+"""Contention primitives: FIFO resources and stores.
+
+``Resource`` models a server with finite capacity (the SCC memory
+controllers are ``Resource(capacity=1)`` with a deterministic service
+time per cache line).  ``Store`` is an unbounded FIFO mailbox used for
+message queues between units of execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Tuple
+
+from .engine import SimEvent, SimulationError, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO server pool with integer capacity.
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    the holder must call ``release()`` exactly once.  Waiters are served
+    strictly in request order (deterministic).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Tuple[SimEvent, float]] = deque()
+        # Diagnostics for utilization studies.
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._busy_time = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Integral of slots-in-use over time (server-seconds)."""
+        self._account()
+        return self._busy_time
+
+    def request(self) -> SimEvent:
+        """Event that triggers when a slot is granted (FIFO)."""
+        self.total_requests += 1
+        ev = self.sim.event(f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            ev.succeed(self.sim.now)
+        else:
+            self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def release(self) -> None:
+        """Return a slot; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            ev, requested_at = self._waiters.popleft()
+            self.total_wait_time += self.sim.now - requested_at
+            # Slot transfers directly to the next waiter.
+            ev.succeed(self.sim.now)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that triggers with
+    the oldest item as soon as one is available.  Pending gets are
+    served in arrival order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Event that triggers with the oldest item once available."""
+        ev = self.sim.event(f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> Tuple[Any, ...]:
+        """Snapshot of queued items (testing/diagnostics)."""
+        return tuple(self._items)

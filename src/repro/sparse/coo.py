@@ -1,0 +1,92 @@
+"""Coordinate-format (COO) sparse matrix builder.
+
+COO is the assembly format: duplicate entries are allowed at build time
+and summed on conversion.  All evaluation-path code works on
+:class:`~repro.sparse.csr.CSRMatrix`; COO exists so generators and I/O
+can emit triplets without worrying about ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """Immutable triplet matrix: ``(row[k], col[k]) -> val[k]``."""
+
+    n_rows: int
+    n_cols: int
+    row: np.ndarray
+    col: np.ndarray
+    val: np.ndarray
+
+    def __post_init__(self) -> None:
+        row = np.asarray(self.row, dtype=np.int64)
+        col = np.asarray(self.col, dtype=np.int64)
+        val = np.asarray(self.val, dtype=np.float64)
+        if not (row.shape == col.shape == val.shape) or row.ndim != 1:
+            raise ValueError("row, col, val must be 1-D arrays of equal length")
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if row.size:
+            if row.min() < 0 or row.max() >= self.n_rows:
+                raise ValueError("row index out of range")
+            if col.min() < 0 or col.max() >= self.n_cols:
+                raise ValueError("column index out of range")
+        object.__setattr__(self, "row", row)
+        object.__setattr__(self, "col", col)
+        object.__setattr__(self, "val", val)
+
+    @property
+    def nnz(self) -> int:
+        """Stored triplets (duplicates not yet merged)."""
+        return self.row.size
+
+    @property
+    def shape(self) -> tuple:
+        """(rows, cols)."""
+        return (self.n_rows, self.n_cols)
+
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR, summing duplicate coordinates."""
+        from .csr import CSRMatrix
+
+        if self.nnz == 0:
+            return CSRMatrix(
+                np.zeros(self.n_rows + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.float64),
+                n_cols=self.n_cols,
+            )
+        # Sort by (row, col) then merge runs of equal coordinates.
+        key = self.row * self.n_cols + self.col
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        val_s = self.val[order]
+        uniq_mask = np.empty(key_s.size, dtype=bool)
+        uniq_mask[0] = True
+        uniq_mask[1:] = key_s[1:] != key_s[:-1]
+        group_ids = np.cumsum(uniq_mask) - 1
+        merged_vals = np.bincount(group_ids, weights=val_s)
+        uniq_keys = key_s[uniq_mask]
+        rows = (uniq_keys // self.n_cols).astype(np.int64)
+        cols = (uniq_keys % self.n_cols).astype(np.int32)
+        ptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        counts = np.bincount(rows, minlength=self.n_rows)
+        np.cumsum(counts, out=ptr[1:])
+        return CSRMatrix(ptr, cols, merged_vals.astype(np.float64), n_cols=self.n_cols)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ndarray with duplicate triplets summed."""
+        dense = np.zeros((self.n_rows, self.n_cols))
+        np.add.at(dense, (self.row, self.col), self.val)
+        return dense

@@ -1,0 +1,159 @@
+"""Compressed-Sparse-Row matrix, the paper's storage format (Fig. 2).
+
+Storage matches the paper's accounting exactly: ``ptr`` (n+1 entries)
+and ``index`` (nnz entries) are 32-bit integers, ``da`` (nnz entries)
+is double precision — that is what the Table I working-set formula
+``ws = 4*((n+1) + nnz) + 8*(nnz + 2n)`` assumes.  ``ptr`` is kept as
+int64 internally for safe arithmetic but counted as 4 bytes in the
+working-set metric (see :mod:`repro.sparse.stats`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Immutable CSR matrix ``A`` with double-precision values.
+
+    Attribute names follow the paper's Fig. 2: ``ptr`` row pointers,
+    ``index`` column indices, ``da`` nonzero values.
+    """
+
+    __slots__ = ("ptr", "index", "da", "n_rows", "n_cols")
+
+    def __init__(
+        self,
+        ptr: np.ndarray,
+        index: np.ndarray,
+        da: np.ndarray,
+        n_cols: int,
+    ) -> None:
+        ptr = np.asarray(ptr, dtype=np.int64)
+        index = np.asarray(index, dtype=np.int32)
+        da = np.asarray(da, dtype=np.float64)
+        if ptr.ndim != 1 or index.ndim != 1 or da.ndim != 1:
+            raise ValueError("ptr, index, da must be 1-D")
+        if ptr.size == 0:
+            raise ValueError("ptr must have at least one entry")
+        if index.size != da.size:
+            raise ValueError(f"index ({index.size}) and da ({da.size}) length mismatch")
+        if ptr[0] != 0 or ptr[-1] != index.size:
+            raise ValueError("ptr must start at 0 and end at nnz")
+        if np.any(np.diff(ptr) < 0):
+            raise ValueError("ptr must be non-decreasing")
+        if n_cols < 0:
+            raise ValueError("n_cols must be non-negative")
+        if index.size and (index.min() < 0 or index.max() >= n_cols):
+            raise ValueError("column index out of range")
+        self.ptr = ptr
+        self.index = index
+        self.da = da
+        self.n_rows = ptr.size - 1
+        self.n_cols = n_cols
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzeros."""
+        return self.da.size
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols)."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz_per_row(self) -> float:
+        """Average nonzeros per row (Table I column ``nnz/n``)."""
+        return self.nnz / self.n_rows if self.n_rows else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        """Nonzeros per row (length-n array)."""
+        return np.diff(self.ptr)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row {i} out of range [0, {self.n_rows})")
+        lo, hi = self.ptr[i], self.ptr[i + 1]
+        return self.index[lo:hi], self.da[lo:hi]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield (row index, column ids, values) per row."""
+        for i in range(self.n_rows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Encode the nonzeros of a dense 2-D array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense must be 2-D")
+        rows, cols = np.nonzero(dense)
+        counts = np.bincount(rows, minlength=dense.shape[0])
+        ptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        return cls(ptr, cols.astype(np.int32), dense[rows, cols], n_cols=dense.shape[1])
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Adopt a ``scipy.sparse`` matrix (converted to CSR, zeros kept out)."""
+        m = mat.tocsr()
+        m.sum_duplicates()
+        return cls(
+            m.indptr.astype(np.int64),
+            m.indices.astype(np.int32),
+            m.data.astype(np.float64),
+            n_cols=m.shape[1],
+        )
+
+    def to_scipy(self):
+        """The same matrix as a scipy.sparse.csr_matrix."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix((self.da, self.index, self.ptr), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ndarray equivalent (small matrices only)."""
+        dense = np.zeros(self.shape)
+        for i in range(self.n_rows):
+            lo, hi = self.ptr[i], self.ptr[i + 1]
+            np.add.at(dense[i], self.index[lo:hi], self.da[lo:hi])
+        return dense
+
+    # -- slicing (row-block views for partitioning) ---------------------------
+
+    def row_block(self, start: int, stop: int) -> "CSRMatrix":
+        """CSR submatrix of rows ``[start, stop)`` (copies are views where possible)."""
+        if not (0 <= start <= stop <= self.n_rows):
+            raise ValueError(f"bad row block [{start}, {stop}) for {self.n_rows} rows")
+        lo, hi = self.ptr[start], self.ptr[stop]
+        return CSRMatrix(
+            self.ptr[start : stop + 1] - lo,
+            self.index[lo:hi],
+            self.da[lo:hi],
+            n_cols=self.n_cols,
+        )
+
+    # -- equality (for tests) -------------------------------------------------
+
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-12) -> bool:
+        """Structural equality plus value closeness (for tests)."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.ptr, other.ptr)
+            and np.array_equal(self.index, other.index)
+            and np.allclose(self.da, other.da, rtol=rtol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CSRMatrix {self.n_rows}x{self.n_cols} nnz={self.nnz}>"

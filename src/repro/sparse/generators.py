@@ -1,0 +1,235 @@
+"""Synthetic sparse-pattern generators.
+
+The UFL matrices of Table I are not redistributable inside this
+repository, so the testbed (:mod:`repro.sparse.suite`) synthesizes a
+matrix per entry with the same size, density and *pattern family*.  The
+families below span the locality spectrum the paper's studies exercise:
+
+- :func:`banded` — FEM/structural style: nonzeros concentrated near the
+  diagonal (good x-gather locality).  Stands in for ship_003, msc10848…
+- :func:`block_diagonal` — dense diagonal blocks (excellent register/
+  line reuse).  Stands in for crystk03, nd3k…
+- :func:`stencil_2d` — 5-point grid operator (perfectly regular).
+- :func:`random_uniform` — uniformly scattered columns (worst-case
+  gather locality).  Stands in for sparsine, gupta3…
+- :func:`power_law` — Zipf-distributed column popularity (circuit
+  matrices: rajat*, nmos3…); a few hot columns cache well, the tail
+  does not.
+
+All generators are deterministic given a seed, vectorized, and return
+:class:`~repro.sparse.csr.CSRMatrix`.  Duplicate coordinates created by
+sampling are merged, so achieved nnz can land a few percent under the
+request; the suite records achieved values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "banded",
+    "block_diagonal",
+    "fem_blocks",
+    "stencil_2d",
+    "random_uniform",
+    "power_law",
+    "with_dense_rows",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _finalize(n_rows: int, n_cols: int, rows: np.ndarray, cols: np.ndarray, rng: np.random.Generator) -> CSRMatrix:
+    vals = rng.uniform(0.5, 1.5, size=rows.size)
+    return COOMatrix(n_rows, n_cols, rows, cols, vals).to_csr()
+
+
+def banded(n: int, nnz_per_row: float, bandwidth: int, seed: Optional[int] = None) -> CSRMatrix:
+    """Band matrix: each row's columns are drawn near the diagonal.
+
+    ``bandwidth`` is the standard deviation (in columns) of the offset
+    distribution; ~99% of nonzeros land within ±3*bandwidth of the
+    diagonal.  The diagonal itself is always present.
+    """
+    if n <= 0 or nnz_per_row <= 0 or bandwidth < 1:
+        raise ValueError("n, nnz_per_row must be positive; bandwidth >= 1")
+    rng = _rng(seed)
+    k = max(int(round(nnz_per_row)) - 1, 0)  # -1 for the guaranteed diagonal
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    offsets = np.round(rng.normal(0.0, bandwidth, size=rows.size)).astype(np.int64)
+    cols = np.clip(rows + offsets, 0, n - 1)
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    return _finalize(n, n, rows, cols, rng)
+
+
+def block_diagonal(
+    n: int,
+    block_size: int,
+    fill: float,
+    seed: Optional[int] = None,
+) -> CSRMatrix:
+    """Dense-ish blocks along the diagonal with density ``fill``."""
+    if n <= 0 or block_size <= 0:
+        raise ValueError("n and block_size must be positive")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+    rng = _rng(seed)
+    n_blocks = (n + block_size - 1) // block_size
+    cells = block_size * block_size
+    # Sampling with replacement merges duplicates on CSR conversion, so
+    # invert the expected-unique curve: s draws from M cells yield
+    # ~M*(1 - exp(-s/M)) distinct entries; draw s = -M*ln(1 - fill) to
+    # land on the requested density.
+    target_fill = min(fill, 0.95)
+    draws = -cells * np.log1p(-target_fill)
+    per_block = max(int(round(draws)), block_size)
+    starts = np.repeat(np.arange(n_blocks, dtype=np.int64) * block_size, per_block)
+    r_local = rng.integers(0, block_size, size=starts.size)
+    c_local = rng.integers(0, block_size, size=starts.size)
+    rows = np.minimum(starts + r_local, n - 1)
+    cols = np.minimum(starts + c_local, n - 1)
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    return _finalize(n, n, rows, cols, rng)
+
+
+def fem_blocks(
+    n: int,
+    block: int,
+    nnz_per_row: float,
+    bandwidth_blocks: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> CSRMatrix:
+    """FEM-style matrix of *fully dense* ``block x block`` tiles.
+
+    Real structural matrices (ship_003, crystk03, nd3k…) store several
+    degrees of freedom per mesh node, giving dense r x c sub-blocks —
+    the structure register blocking (BCSR) exploits.  The block-level
+    pattern is banded (each block row touches ``nnz_per_row / block``
+    block columns near the diagonal); every selected block is fully
+    dense.
+    """
+    if n <= 0 or block <= 0 or nnz_per_row <= 0:
+        raise ValueError("n, block, nnz_per_row must be positive")
+    rng = _rng(seed)
+    n_brows = max(n // block, 1)
+    blocks_per_row = max(int(round(nnz_per_row / block)), 1)
+    # Default band width: FEM-like sqrt(n) spread, widened for very
+    # dense block rows so the normal draws don't collapse onto each
+    # other (dedupe would silently eat the density).
+    bw = (
+        bandwidth_blocks
+        if bandwidth_blocks is not None
+        else max(int(n_brows**0.5), blocks_per_row, 2)
+    )
+    # Block-level banded pattern (diagonal block always present).
+    brows = np.repeat(np.arange(n_brows, dtype=np.int64), blocks_per_row - 1)
+    offsets = np.round(rng.normal(0.0, bw, size=brows.size)).astype(np.int64)
+    bcols = np.clip(brows + offsets, 0, n_brows - 1)
+    diag = np.arange(n_brows, dtype=np.int64)
+    brows = np.concatenate([brows, diag])
+    bcols = np.concatenate([bcols, diag])
+    # Dedupe block coordinates, then expand each to a dense tile.
+    key = np.unique(brows * n_brows + bcols)
+    brows = key // n_brows
+    bcols = key % n_brows
+    within = np.arange(block * block, dtype=np.int64)
+    rr, cc = within // block, within % block
+    rows = (brows[:, None] * block + rr[None, :]).ravel()
+    cols = (bcols[:, None] * block + cc[None, :]).ravel()
+    keep = (rows < n) & (cols < n)
+    return _finalize(n, n, rows[keep], cols[keep], rng)
+
+
+def stencil_2d(nx: int, ny: int, seed: Optional[int] = None) -> CSRMatrix:
+    """5-point Laplacian-style stencil on an nx-by-ny grid (n = nx*ny rows)."""
+    if nx <= 0 or ny <= 0:
+        raise ValueError("grid dimensions must be positive")
+    rng = _rng(seed)
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64)
+    gx, gy = idx % nx, idx // nx
+    rows_list = [idx]
+    cols_list = [idx]
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        mask = (0 <= gx + dx) & (gx + dx < nx) & (0 <= gy + dy) & (gy + dy < ny)
+        rows_list.append(idx[mask])
+        cols_list.append(idx[mask] + dx + dy * nx)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _finalize(n, n, rows, cols, rng)
+
+
+def random_uniform(n: int, nnz_per_row: float, seed: Optional[int] = None) -> CSRMatrix:
+    """Uniformly scattered columns: the locality worst case."""
+    if n <= 0 or nnz_per_row <= 0:
+        raise ValueError("n and nnz_per_row must be positive")
+    rng = _rng(seed)
+    k = max(int(round(nnz_per_row)), 1)
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    cols = rng.integers(0, n, size=rows.size)
+    return _finalize(n, n, rows, cols, rng)
+
+
+def power_law(
+    n: int,
+    nnz_per_row: float,
+    alpha: float = 1.2,
+    seed: Optional[int] = None,
+) -> CSRMatrix:
+    """Zipf-popular columns: column ``c`` drawn with p ~ (c+1)^-alpha.
+
+    Column ids are shuffled so popularity is not spatially correlated
+    with the diagonal (circuit netlists look like this).
+    """
+    if n <= 0 or nnz_per_row <= 0:
+        raise ValueError("n and nnz_per_row must be positive")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = _rng(seed)
+    k = max(int(round(nnz_per_row)), 1)
+    weights = np.arange(1, n + 1, dtype=np.float64) ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    u = rng.uniform(size=rows.size)
+    ranked = np.searchsorted(cdf, u)
+    perm = rng.permutation(n)
+    cols = perm[np.minimum(ranked, n - 1)]
+    return _finalize(n, n, rows, cols, rng)
+
+
+def with_dense_rows(
+    base: CSRMatrix,
+    n_dense_rows: int,
+    row_fill: float,
+    seed: Optional[int] = None,
+) -> CSRMatrix:
+    """Add a few nearly-dense rows to ``base`` (gupta/psmigr style).
+
+    Dense rows create severe load imbalance under uniform-row
+    partitioning; the balanced-nnz partitioner must handle them.
+    """
+    if n_dense_rows < 0 or not 0.0 < row_fill <= 1.0:
+        raise ValueError("n_dense_rows >= 0 and 0 < row_fill <= 1 required")
+    rng = _rng(seed)
+    n = base.n_rows
+    dense_rows = rng.choice(n, size=min(n_dense_rows, n), replace=False)
+    k = max(int(row_fill * base.n_cols), 1)
+    rows = np.repeat(dense_rows.astype(np.int64), k)
+    cols = rng.integers(0, base.n_cols, size=rows.size)
+    old_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(base.ptr))
+    all_rows = np.concatenate([old_rows, rows])
+    all_cols = np.concatenate([base.index.astype(np.int64), cols])
+    all_vals = np.concatenate([base.da, rng.uniform(0.5, 1.5, size=rows.size)])
+    return COOMatrix(n, base.n_cols, all_rows, all_cols, all_vals).to_csr()

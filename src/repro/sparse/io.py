@@ -1,0 +1,98 @@
+"""Minimal MatrixMarket I/O.
+
+The UFL collection distributes matrices as MatrixMarket coordinate
+files; this module reads/writes the ``matrix coordinate real
+general|symmetric`` subset so users with access to the original Table I
+matrices can run the study on the real data instead of the synthetic
+stand-ins (``read_matrix_market`` → :class:`CSRMatrix`).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_read(src: PathOrFile):
+    if isinstance(src, (str, Path)):
+        return open(src, "r", encoding="ascii"), True
+    return src, False
+
+
+def read_matrix_market(src: PathOrFile) -> CSRMatrix:
+    """Parse a MatrixMarket coordinate file into CSR.
+
+    Supports ``real``/``integer``/``pattern`` fields and ``general`` /
+    ``symmetric`` symmetries (symmetric entries are mirrored, diagonal
+    not duplicated).  Raises ``ValueError`` on other variants.
+    """
+    fh, should_close = _open_read(src)
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"not a MatrixMarket file: header {header!r}")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"malformed MatrixMarket header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError(f"only 'matrix coordinate' supported, got {obj} {fmt}")
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        body = fh.read()
+    finally:
+        if should_close:
+            fh.close()
+
+    if field == "pattern":
+        data = np.loadtxt(_io.StringIO(body), ndmin=2, usecols=(0, 1))
+        rows = data[:, 0].astype(np.int64) - 1
+        cols = data[:, 1].astype(np.int64) - 1
+        vals = np.ones(rows.size)
+    else:
+        data = np.loadtxt(_io.StringIO(body), ndmin=2)
+        rows = data[:, 0].astype(np.int64) - 1
+        cols = data[:, 1].astype(np.int64) - 1
+        vals = data[:, 2].astype(np.float64) if data.shape[1] > 2 else np.ones(rows.size)
+    if rows.size != nnz:
+        raise ValueError(f"header promised {nnz} entries, file has {rows.size}")
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols2 = np.concatenate([cols, data[:, 0].astype(np.int64)[off] - 1])
+        vals = np.concatenate([vals, vals[off]])
+        cols = cols2
+    return COOMatrix(n_rows, n_cols, rows, cols, vals).to_csr()
+
+
+def write_matrix_market(a: CSRMatrix, dst: Union[str, Path, TextIO]) -> None:
+    """Write CSR as 'matrix coordinate real general' (1-based)."""
+    own = isinstance(dst, (str, Path))
+    fh = open(dst, "w", encoding="ascii") if own else dst
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{a.n_rows} {a.n_cols} {a.nnz}\n")
+        rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), np.diff(a.ptr))
+        for r, c, v in zip(rows + 1, a.index + 1, a.da):
+            fh.write(f"{r} {c} {v:.17g}\n")
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,108 @@
+"""SpMV kernels: ``y = A @ x`` over CSR.
+
+Three kernels, mirroring the paper:
+
+- :func:`spmv_reference` — a literal transcription of the paper's
+  Fig. 2 C loop.  O(nnz) Python; used as ground truth in tests.
+- :func:`spmv` — vectorized NumPy production kernel.
+- :func:`spmv_no_x_miss` — the Sec. IV-C diagnostic variant in which
+  every ``x[index[j]]`` reads ``x[0]`` instead, turning the irregular
+  gather into a perfectly local access.  Numerically it computes
+  ``y[i] = x[0] * sum_j da[i,j]``; its purpose is purely to isolate the
+  cost of gather misses when run on the SCC model.
+
+All kernels accept a row range so a unit of execution can process its
+partition block while indexing the global ``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["spmv_reference", "spmv", "spmv_no_x_miss", "spmv_row_range"]
+
+
+def _check_x(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (a.n_cols,):
+        raise ValueError(f"x has shape {x.shape}, expected ({a.n_cols},)")
+    return x
+
+
+def spmv_reference(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Row-loop CSR SpMV exactly as in the paper's Fig. 2.
+
+    Pure Python; intended for validation on small matrices.
+    """
+    x = _check_x(a, x)
+    y = np.zeros(a.n_rows)
+    for i in range(a.n_rows):
+        acc = 0.0
+        for j in range(a.ptr[i], a.ptr[i + 1]):
+            acc += a.da[j] * x[a.index[j]]
+        y[i] = acc
+    return y
+
+
+def spmv_row_range(
+    a: CSRMatrix,
+    x: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vectorized SpMV over rows ``[row_start, row_stop)``.
+
+    Writes into ``out[row_start:row_stop]`` when ``out`` is given (the
+    parallel runtime hands each UE the shared ``y``), otherwise returns
+    a fresh array of length ``row_stop - row_start``.
+
+    Row sums are computed with a prefix-sum difference, which is robust
+    to empty rows (``np.add.reduceat`` is not).
+    """
+    x = _check_x(a, x)
+    if not (0 <= row_start <= row_stop <= a.n_rows):
+        raise ValueError(f"bad row range [{row_start}, {row_stop})")
+    lo, hi = a.ptr[row_start], a.ptr[row_stop]
+    products = a.da[lo:hi] * x[a.index[lo:hi]]
+    csum = np.concatenate(([0.0], np.cumsum(products)))
+    seg = a.ptr[row_start : row_stop + 1] - lo
+    block = csum[seg[1:]] - csum[seg[:-1]]
+    if out is None:
+        return block
+    if out.shape != (a.n_rows,):
+        raise ValueError(f"out has shape {out.shape}, expected ({a.n_rows},)")
+    out[row_start:row_stop] = block
+    return out
+
+
+def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized full-matrix CSR SpMV."""
+    return spmv_row_range(a, x, 0, a.n_rows)
+
+
+def spmv_no_x_miss(
+    a: CSRMatrix,
+    x: np.ndarray,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+) -> np.ndarray:
+    """The paper's 'no x misses' kernel: every gather reads ``x[0]``.
+
+    Returned values equal ``x[0] * row_sum(A)`` — intentionally *not*
+    the true product.  The kernel exists to quantify the performance
+    cost of the irregular access pattern (paper Fig. 8).
+    """
+    x = _check_x(a, x)
+    stop = a.n_rows if row_stop is None else row_stop
+    if not (0 <= row_start <= stop <= a.n_rows):
+        raise ValueError(f"bad row range [{row_start}, {stop})")
+    lo, hi = a.ptr[row_start], a.ptr[stop]
+    products = a.da[lo:hi] * x[0]
+    csum = np.concatenate(([0.0], np.cumsum(products)))
+    seg = a.ptr[row_start : stop + 1] - lo
+    return csum[seg[1:]] - csum[seg[:-1]]

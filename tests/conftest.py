@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic matrices and model objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scc import SCCTopology
+from repro.sparse import CSRMatrix, banded, power_law, random_uniform
+
+
+@pytest.fixture(scope="session")
+def topology() -> SCCTopology:
+    return SCCTopology()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def tiny_csr() -> CSRMatrix:
+    """The paper's Fig. 2 example shape: 5x5 with a mixed pattern."""
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0, 0.0],
+            [4.0, 0.0, 5.0, 6.0, 0.0],
+            [0.0, 0.0, 0.0, 7.0, 0.0],
+            [0.0, 8.0, 0.0, 0.0, 9.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def small_banded() -> CSRMatrix:
+    return banded(400, 8.0, 12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_random() -> CSRMatrix:
+    return random_uniform(400, 8.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw() -> CSRMatrix:
+    return power_law(400, 6.0, alpha=1.0, seed=13)

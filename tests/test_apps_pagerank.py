@@ -1,0 +1,104 @@
+"""Tests for the distributed PageRank application."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import graph_matrix, parallel_pagerank
+from repro.scc import CONF1
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def transition():
+    return graph_matrix(500, 3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def nx_reference():
+    g = nx.barabasi_albert_graph(500, 3, seed=7)
+    pr = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=500)
+    return np.array([pr[i] for i in range(500)])
+
+
+class TestGraphMatrix:
+    def test_column_stochastic(self, transition):
+        col_sums = np.zeros(transition.n_cols)
+        np.add.at(col_sums, transition.index, transition.da)
+        np.testing.assert_allclose(col_sums, 1.0, rtol=1e-12)
+
+    def test_power_law_degree_skew(self, transition):
+        lengths = transition.row_lengths()
+        assert lengths.max() > 8 * lengths.mean()  # hubs exist
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graph_matrix(3, attach_m=3)
+
+    def test_deterministic(self):
+        a = graph_matrix(100, 2, seed=1)
+        b = graph_matrix(100, 2, seed=1)
+        assert a.allclose(b)
+
+
+class TestParallelPageRank:
+    def test_matches_networkx(self, transition, nx_reference):
+        res = parallel_pagerank(transition, tol=1e-12, n_ues=8)
+        assert res.converged
+        np.testing.assert_allclose(res.ranks, nx_reference, atol=1e-8)
+
+    def test_ranks_are_a_distribution(self, transition):
+        res = parallel_pagerank(transition, n_ues=4)
+        assert res.ranks.min() > 0
+        assert res.ranks.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n_ues", [1, 3, 8, 16])
+    def test_ue_count_invariant(self, transition, nx_reference, n_ues):
+        res = parallel_pagerank(transition, tol=1e-12, n_ues=n_ues)
+        np.testing.assert_allclose(res.ranks, nx_reference, atol=1e-8)
+
+    def test_dangling_nodes_handled(self):
+        # A 3-node chain with a dangling sink: 0 -> 1 -> 2.
+        p = CSRMatrix(
+            np.array([0, 0, 1, 2]),
+            np.array([0, 1], dtype=np.int32),
+            np.array([1.0, 1.0]),
+            n_cols=3,
+        )
+        res = parallel_pagerank(p, n_ues=2, tol=1e-12)
+        assert res.converged
+        assert res.ranks.sum() == pytest.approx(1.0)
+        assert res.ranks[2] > res.ranks[0]  # the sink accumulates rank
+
+    def test_hub_outranks_leaf(self, transition):
+        res = parallel_pagerank(transition, n_ues=4, tol=1e-12)
+        degrees = transition.row_lengths()
+        hub = int(np.argmax(degrees))
+        leaf = int(np.argmin(degrees))
+        assert res.ranks[hub] > res.ranks[leaf]
+
+    def test_max_iter_reports_nonconvergence(self, transition):
+        res = parallel_pagerank(transition, tol=1e-15, max_iter=2, n_ues=4)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_faster_config_same_answer_less_time(self, transition):
+        slow = parallel_pagerank(transition, n_ues=8)
+        fast = parallel_pagerank(transition, n_ues=8, config=CONF1)
+        np.testing.assert_allclose(slow.ranks, fast.ranks)
+        assert fast.makespan < slow.makespan
+
+    def test_validation(self, transition):
+        with pytest.raises(ValueError):
+            parallel_pagerank(transition, damping=1.0)
+        with pytest.raises(ValueError):
+            parallel_pagerank(transition, tol=0.0)
+        with pytest.raises(ValueError):
+            parallel_pagerank(transition, n_ues=0)
+        non_square = CSRMatrix(
+            np.array([0, 1]), np.array([1], np.int32), np.array([1.0]), n_cols=3
+        )
+        with pytest.raises(ValueError):
+            parallel_pagerank(non_square)

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+FAST = ["--scale", "0.04", "--ids", "24,30", "--iterations", "2"]
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        p = build_parser()
+        args = p.parse_args(["fig5"])
+        assert args.artifact == "fig5"
+        with pytest.raises(SystemExit):
+            p.parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == 0.25
+        assert args.iterations == 16
+        assert args.ids == ""
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "0"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "2"])
+
+    def test_bad_iterations(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--iterations", "0"])
+
+    def test_bad_ids(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--ids", "a,b"])
+
+    def test_empty_selection(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--ids", "99"])
+
+
+class TestArtifacts:
+    def test_table1(self):
+        code, text = run_cli("table1", *FAST)
+        assert code == 0
+        assert "Table I" in text
+        assert "rajat09" in text and "Na5" in text
+
+    def test_fig3(self):
+        code, text = run_cli("fig3", *FAST)
+        assert code == 0
+        assert "hops" in text and "degradation %" in text
+
+    def test_fig5(self):
+        code, text = run_cli("fig5", *FAST)
+        assert code == 0
+        assert "speedup" in text
+
+    def test_fig6(self):
+        code, text = run_cli("fig6", *FAST)
+        assert code == 0
+        assert "wsKB/core@24" in text
+
+    def test_fig7(self):
+        code, text = run_cli("fig7", *FAST)
+        assert code == 0
+        assert "without L2" in text
+
+    def test_fig8(self):
+        code, text = run_cli("fig8", *FAST)
+        assert code == 0
+        assert "speedup@48" in text
+
+    def test_fig9(self):
+        code, text = run_cli("fig9", *FAST)
+        assert code == 0
+        assert "conf1 MFLOPS/s" in text
+        assert "MFLOPS/W" in text
+
+    def test_fig10(self):
+        code, text = run_cli("fig10", *FAST)
+        assert code == 0
+        assert "Tesla M2050" in text
+        assert "SCC conf0" in text
+
+    def test_all_renders_everything(self):
+        code, text = run_cli("all", *FAST)
+        assert code == 0
+        for marker in ("Table I", "Fig. 3", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10"):
+            assert marker in text
+
+    def test_artifact_list_is_complete(self):
+        assert ARTIFACTS == ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+    def test_validate_subcommand(self):
+        code, text = run_cli("validate")
+        assert code == 0
+        assert "all checks passed" in text
+        assert "FAIL" not in text
+
+    def test_output_flag_writes_file(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        code = main(["table1", *FAST, "--output", str(path)])
+        assert code == 0
+        assert "Table I" in path.read_text()

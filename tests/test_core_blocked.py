@@ -1,0 +1,94 @@
+"""Tests for the BCSR timing model (repro.core.blocked)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpMVExperiment
+from repro.core.blocked import BCSRTimingResult, run_bcsr_timing
+from repro.scc import CONF0, CONF1
+from repro.sparse import fem_blocks, random_uniform
+from repro.sparse.bcsr import BCSRMatrix
+
+
+@pytest.fixture(scope="module")
+def blocky():
+    return fem_blocks(4000, 4, 24.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def scattered():
+    return random_uniform(4000, 24.0, seed=18)
+
+
+class TestBasics:
+    def test_result_fields(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        r = run_bcsr_timing(b, n_cores=8, iterations=4)
+        assert isinstance(r, BCSRTimingResult)
+        assert r.makespan > 0
+        assert r.flops == 2 * b.nnz_stored * 4
+        assert r.fill_ratio >= 1.0
+        assert r.mflops > 0
+
+    def test_validation(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 2, 2)
+        with pytest.raises(ValueError):
+            run_bcsr_timing(b, n_cores=0)
+        with pytest.raises(ValueError):
+            run_bcsr_timing(b, iterations=0)
+        with pytest.raises(ValueError):
+            run_bcsr_timing(b, n_cores=4, mapping=[0, 1])
+
+    def test_explicit_mapping(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 2, 2)
+        r = run_bcsr_timing(b, n_cores=2, mapping=[0, 47])
+        assert r.n_cores == 2
+
+    def test_deterministic(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 2, 2)
+        r1 = run_bcsr_timing(b, n_cores=8)
+        r2 = run_bcsr_timing(b, n_cores=8)
+        assert r1.makespan == r2.makespan
+
+
+class TestModelBehaviour:
+    def test_blocking_helps_dense_blocks(self, blocky):
+        csr = SpMVExperiment(blocky, name="blocky").run(n_cores=8)
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        assert b.fill_ratio() < 1.1  # the generator makes dense 4x4 tiles
+        bcsr = run_bcsr_timing(b, n_cores=8)
+        assert bcsr.mflops > csr.mflops
+
+    def test_blocking_hurts_scattered(self, scattered):
+        csr = SpMVExperiment(scattered, name="scattered").run(n_cores=8)
+        b = BCSRMatrix.from_csr(scattered, 4, 4)
+        assert b.fill_ratio() > 4.0
+        bcsr = run_bcsr_timing(b, n_cores=8)
+        assert bcsr.mflops < csr.mflops
+
+    def test_fill_in_costs_time(self, scattered):
+        small = run_bcsr_timing(BCSRMatrix.from_csr(scattered, 2, 2), n_cores=8)
+        big = run_bcsr_timing(BCSRMatrix.from_csr(scattered, 4, 4), n_cores=8)
+        assert big.fill_ratio > small.fill_ratio
+        assert big.makespan > small.makespan
+
+    def test_more_cores_faster(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        r8 = run_bcsr_timing(b, n_cores=8)
+        r24 = run_bcsr_timing(b, n_cores=24)
+        assert r24.makespan < r8.makespan
+
+    def test_conf1_faster(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        r0 = run_bcsr_timing(b, n_cores=8, config=CONF0)
+        r1 = run_bcsr_timing(b, n_cores=8, config=CONF1)
+        assert r1.makespan < r0.makespan
+
+    def test_1x1_blocking_close_to_csr(self, blocky):
+        """1x1 BCSR is CSR with per-'block'-row overhead on every row;
+        the models should land within ~25% of each other."""
+        csr = SpMVExperiment(blocky, name="blocky").run(n_cores=8)
+        b = BCSRMatrix.from_csr(blocky, 1, 1)
+        bcsr = run_bcsr_timing(b, n_cores=8)
+        assert bcsr.mflops == pytest.approx(csr.mflops, rel=0.25)

@@ -1,0 +1,89 @@
+"""Tests for persistent experiment campaigns."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignPoint, result_record
+from repro.core.experiment import SpMVExperiment
+from repro.sparse import banded
+
+SCALE = 0.04
+
+
+@pytest.fixture()
+def campaign(tmp_path):
+    return Campaign("trial", tmp_path, scale=SCALE, iterations=2)
+
+
+class TestRecord:
+    def test_record_fields(self):
+        a = banded(200, 5.0, 6, seed=1)
+        r = SpMVExperiment(a, name="m").run(n_cores=2, iterations=2)
+        rec = result_record(r)
+        assert rec["matrix"] == "m"
+        assert rec["mflops"] == pytest.approx(r.mflops)
+        json.dumps(rec)  # must be JSON-serializable
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        pts = Campaign.grid([1, 2], [4, 8], configs=("conf0", "conf1"))
+        assert len(pts) == 8
+        keys = {p.key() for p in pts}
+        assert len(keys) == 8  # unique
+
+    def test_point_key_stable(self):
+        p = CampaignPoint(7, 8, "conf0", "standard", "csr")
+        assert p.key() == "7:8:conf0:standard:csr"
+
+
+class TestCampaign:
+    def test_name_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign("", tmp_path)
+        with pytest.raises(ValueError):
+            Campaign("a/b", tmp_path)
+        with pytest.raises(ValueError):
+            Campaign("ok", tmp_path, iterations=0)
+
+    def test_run_and_load(self, campaign):
+        pts = Campaign.grid([30], [1, 4])
+        ran, skipped = campaign.run(pts)
+        assert (ran, skipped) == (2, 0)
+        records = campaign.load()
+        assert len(records) == 2
+        assert {r["n_cores"] for r in records} == {1, 4}
+        assert all(r["mflops"] > 0 for r in records)
+
+    def test_resume_skips_completed(self, campaign):
+        pts = Campaign.grid([30], [1, 4])
+        campaign.run(pts)
+        ran, skipped = campaign.run(pts + Campaign.grid([30], [8]))
+        assert ran == 1 and skipped == 2
+        assert len(campaign.load()) == 3
+
+    def test_resume_across_instances(self, campaign, tmp_path):
+        campaign.run(Campaign.grid([30], [2]))
+        again = Campaign("trial", tmp_path, scale=SCALE, iterations=2)
+        ran, skipped = again.run(Campaign.grid([30], [2]))
+        assert ran == 0 and skipped == 1
+
+    def test_unknown_config_rejected(self, campaign):
+        with pytest.raises(ValueError):
+            campaign.run([CampaignPoint(30, 4, "conf9", "standard", "csr")])
+
+    def test_summarize(self, campaign):
+        campaign.run(Campaign.grid([30, 31], [4]))
+        summary = campaign.summarize(group_by="n_cores")
+        assert set(summary) == {4}
+        assert summary[4] > 0
+
+    def test_records_include_scale_key(self, campaign):
+        campaign.run(Campaign.grid([30], [2]))
+        raw = campaign.path.read_text().strip().splitlines()
+        rec = json.loads(raw[0])
+        assert rec["scale"] == SCALE
+        assert "_key" in rec

@@ -1,0 +1,105 @@
+"""Tests for the library-level figure generation (repro.core.figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.figures import (
+    FIG3_HOPS,
+    FIG5_CORE_COUNTS,
+    FIG6_CORE_COUNTS,
+    FIG7_CORE_COUNTS,
+    FIG9_CORE_COUNTS,
+    fig3_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    fig9_data,
+    fig9_summary,
+    fig10_data,
+    suite_experiments,
+    table1_data,
+)
+
+SCALE = 0.04
+IDS = [24, 30]
+ITERS = 2
+
+
+@pytest.fixture(scope="module")
+def exps():
+    return suite_experiments(scale=SCALE, ids=IDS)
+
+
+class TestSuiteExperiments:
+    def test_filtered_ids(self, exps):
+        assert [mid for mid, _ in exps] == IDS
+
+    def test_full_suite_size(self):
+        assert len(suite_experiments(scale=SCALE)) == 32
+
+    def test_names_match_entries(self, exps):
+        assert exps[0][1].name == "rajat09"
+        assert exps[1][1].name == "Na5"
+
+
+class TestTable1:
+    def test_columns(self, exps):
+        rows = table1_data(exps)
+        assert len(rows) == 2
+        for col in ("id", "name", "n", "nnz", "nnz_per_row", "ws_mbytes", "family"):
+            assert col in rows[0]
+
+    def test_values_match_matrices(self, exps):
+        rows = table1_data(exps)
+        assert rows[1]["nnz"] == exps[1][1].a.nnz
+
+
+class TestFigData:
+    def test_fig3_shape(self, exps):
+        data = fig3_data(exps, ITERS)
+        assert sorted(data) == FIG3_HOPS
+        assert all(v > 0 for v in data.values())
+
+    def test_fig5_shape(self, exps):
+        std, dr = fig5_data(exps, ITERS)
+        assert len(std) == len(dr) == len(FIG5_CORE_COUNTS)
+        assert std[0] == pytest.approx(dr[0])  # 1 core: same mapping
+
+    def test_fig6_shape(self, exps):
+        rows = fig6_data(exps, ITERS)
+        assert len(rows) == 2
+        for n in FIG6_CORE_COUNTS:
+            assert f"MFLOPS@{n}" in rows[0]
+            assert f"wsKB/core@{n}" in rows[0]
+
+    def test_fig7_shape(self, exps):
+        on, off = fig7_data(exps, ITERS)
+        assert sorted(on) == sorted(FIG7_CORE_COUNTS)
+        for n in FIG7_CORE_COUNTS:
+            assert len(on[n]) == len(off[n]) == 2
+            # L2 off is never faster.
+            for a, b in zip(on[n], off[n]):
+                assert b.makespan >= a.makespan
+
+    def test_fig8_shape(self, exps):
+        rows = fig8_data(exps, ITERS)
+        for r in rows:
+            for n in FIG6_CORE_COUNTS:
+                assert r[f"speedup@{n}"] >= 0.999
+
+    def test_fig9_shape_and_summary(self, exps):
+        results = fig9_data(exps, ITERS)
+        assert sorted(results) == ["conf0", "conf1", "conf2"]
+        perf, eff = fig9_summary(results)
+        assert len(perf["conf0"]) == len(FIG9_CORE_COUNTS)
+        assert all(e > 0 for e in eff.values())
+        # conf1 dominates conf0 in raw performance at every count.
+        assert all(a >= b for a, b in zip(perf["conf1"], perf["conf0"]))
+
+    def test_fig10_shape(self, exps):
+        rows = fig10_data(exps, ITERS)
+        systems = {r["system"] for r in rows}
+        assert {"SCC conf0", "SCC conf1", "Tesla M2050"} <= systems
+        assert len(rows) == 7

@@ -1,0 +1,81 @@
+"""Tests for UE-to-core mapping policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MAPPINGS,
+    distance_reduction_mapping,
+    get_mapping,
+    single_core_at_distance,
+    standard_mapping,
+)
+
+
+class TestStandardMapping:
+    def test_identity(self):
+        assert standard_mapping(4) == [0, 1, 2, 3]
+        assert standard_mapping(48) == list(range(48))
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            standard_mapping(0)
+        with pytest.raises(ValueError):
+            standard_mapping(49)
+
+
+class TestDistanceReduction:
+    def test_paper_four_ue_example(self, topology):
+        """Paper Sec. IV-A: 4 UEs land on cores 0, 1, 10, 11."""
+        assert distance_reduction_mapping(4, topology) == [0, 1, 10, 11]
+
+    def test_first_two_match_standard(self, topology):
+        """Paper: no difference in selected cores for 1 and 2 cores."""
+        for n in (1, 2):
+            assert distance_reduction_mapping(n, topology) == standard_mapping(n)
+
+    def test_48_uses_every_core(self, topology):
+        assert sorted(distance_reduction_mapping(48, topology)) == list(range(48))
+
+    def test_prefix_property(self, topology):
+        """Smaller jobs use a prefix of larger jobs' core sets."""
+        m24 = distance_reduction_mapping(24, topology)
+        m8 = distance_reduction_mapping(8, topology)
+        assert m24[:8] == m8
+
+    def test_hops_nondecreasing(self, topology):
+        cores = distance_reduction_mapping(48, topology)
+        hops = [topology.hops_to_mc(c) for c in cores]
+        assert hops == sorted(hops)
+
+    def test_spreads_across_controllers(self, topology):
+        """The first 8 cores split 2-per-quadrant (all hop-0 tiles)."""
+        cores = distance_reduction_mapping(8, topology)
+        quads = [topology.quadrant_of_core(c) for c in cores]
+        assert sorted(quads) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            distance_reduction_mapping(0)
+
+
+class TestSingleCoreAtDistance:
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_returns_core_at_requested_distance(self, topology, hops):
+        [core] = single_core_at_distance(hops, topology)
+        assert topology.hops_to_mc(core) == hops
+
+    def test_impossible_distance_raises(self, topology):
+        with pytest.raises(ValueError):
+            single_core_at_distance(4, topology)
+
+
+class TestRegistry:
+    def test_known_mappings(self):
+        assert set(MAPPINGS) == {"standard", "distance_reduction"}
+        assert get_mapping("standard") is standard_mapping
+
+    def test_unknown_mapping(self):
+        with pytest.raises(KeyError):
+            get_mapping("zigzag")

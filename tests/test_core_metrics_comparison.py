@@ -1,0 +1,166 @@
+"""Tests for metrics aggregation, architecture comparison, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    COMPARISON_SYSTEMS,
+    ArchitectureModel,
+    SpMVExperiment,
+    average_gflops,
+    average_mflops_per_watt,
+    banner,
+    comparison_table,
+    format_series,
+    format_table,
+    geomean_gflops,
+    parallel_efficiency,
+    speedup,
+    speedup_series,
+)
+from repro.scc import CONF0, CONF1
+from repro.sparse import banded
+
+
+@pytest.fixture(scope="module")
+def results():
+    a = banded(1500, 10.0, 15, seed=31)
+    exp = SpMVExperiment(a, name="m")
+    return {
+        "r4_std": exp.run(n_cores=4, mapping="standard"),
+        "r4_dr": exp.run(n_cores=4, mapping="distance_reduction"),
+        "r1": exp.run(n_cores=1),
+        "r8": exp.run(n_cores=8),
+        "conf1": exp.run(n_cores=4, config=CONF1),
+    }
+
+
+class TestMetrics:
+    def test_average_and_geomean(self, results):
+        rs = [results["r4_std"], results["r8"]]
+        avg = average_gflops(rs)
+        geo = geomean_gflops(rs)
+        assert avg >= geo > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_gflops([])
+        with pytest.raises(ValueError):
+            geomean_gflops([])
+
+    def test_speedup_direction(self, results):
+        s = speedup(results["r4_dr"], results["r4_std"])
+        assert s >= 1.0
+
+    def test_speedup_requires_same_workload(self, results):
+        other = SpMVExperiment(banded(500, 6.0, 9, seed=32), name="other").run(n_cores=4)
+        with pytest.raises(ValueError):
+            speedup(results["r4_std"], other)
+
+    def test_speedup_series(self, results):
+        fast = [results["r4_dr"], results["r8"]]
+        slow = [results["r4_std"], results["r8"]]
+        s = speedup_series(fast, slow)
+        assert len(s) == 2 and s[1] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            speedup_series(fast, slow[:1])
+
+    def test_average_mflops_per_watt(self, results):
+        rs = [results["r4_std"], results["r8"]]
+        eff = average_mflops_per_watt(rs)
+        assert eff == pytest.approx(
+            (results["r4_std"].mflops + results["r8"].mflops) / 2 / CONF0.full_chip_power()
+        )
+
+    def test_mixed_power_states_rejected(self, results):
+        with pytest.raises(ValueError):
+            average_mflops_per_watt([results["r4_std"], results["conf1"]])
+
+    def test_parallel_efficiency(self, results):
+        eff = parallel_efficiency({1: results["r1"], 8: results["r8"]})
+        assert 0 < eff[8] <= 1.2
+        assert eff[1] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency({8: results["r8"]})
+
+
+class TestArchitectureModels:
+    def test_five_competitors(self):
+        names = [m.name for m in COMPARISON_SYSTEMS]
+        assert names == [
+            "Itanium2 Montvale",
+            "Xeon X5570",
+            "Opteron 6174",
+            "Tesla C1060",
+            "Tesla M2050",
+        ]
+
+    def test_m2050_anchors(self):
+        """Paper Sec. IV-E: 7.9 GFLOPS/s average, 35 MFLOPS/s per watt."""
+        m2050 = COMPARISON_SYSTEMS[-1]
+        assert m2050.spmv_gflops() == pytest.approx(7.9, rel=0.02)
+        assert m2050.mflops_per_watt() == pytest.approx(35.0, rel=0.03)
+
+    def test_c1060_vs_cpus(self):
+        """Paper: C1060 = 2.4x Xeon and 1.7x Opteron."""
+        xeon = COMPARISON_SYSTEMS[1].spmv_gflops()
+        opteron = COMPARISON_SYSTEMS[2].spmv_gflops()
+        c1060 = COMPARISON_SYSTEMS[3].spmv_gflops()
+        assert c1060 / xeon == pytest.approx(2.4, rel=0.1)
+        assert c1060 / opteron == pytest.approx(1.7, rel=0.1)
+
+    def test_ordering_matches_figure(self):
+        perf = {m.name: m.spmv_gflops() for m in COMPARISON_SYSTEMS}
+        assert (
+            perf["Tesla M2050"] > perf["Tesla C1060"] > perf["Opteron 6174"]
+            > perf["Xeon X5570"] > perf["Itanium2 Montvale"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArchitectureModel("bad", 1, 1.0, 1.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            ArchitectureModel("bad", 0, 1.0, 1.0, 0.5, 100.0)
+        with pytest.raises(ValueError):
+            COMPARISON_SYSTEMS[0].spmv_gflops(bytes_per_flop=0)
+
+    def test_roofline_is_bandwidth_bound_for_spmv(self):
+        for m in COMPARISON_SYSTEMS:
+            assert m.spmv_gflops() < m.peak_gflops
+
+    def test_comparison_table_includes_scc(self):
+        rows = comparison_table({"SCC conf0": (1.04, 83.3)})
+        assert len(rows) == 6
+        scc = [r for r in rows if r["system"] == "SCC conf0"][0]
+        assert scc["mflops_per_watt"] == pytest.approx(1040 / 83.3, rel=1e-6)
+        assert scc["source"] == "scc-model"
+
+    def test_comparison_table_validates_watts(self):
+        with pytest.raises(ValueError):
+            comparison_table({"SCC": (1.0, 0.0)})
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.25}]
+        text = format_table(rows, ["a", "b"], caption="cap")
+        lines = text.splitlines()
+        assert lines[0] == "cap"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], ["a"], caption="c")
+
+    def test_format_series(self):
+        text = format_series("cores", [1, 2], {"perf": [1.0, 2.0]}, caption="fig")
+        assert "cores" in text and "perf" in text
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+    def test_banner(self):
+        b = banner("Title")
+        assert "Title" in b and "=" in b

@@ -1,0 +1,51 @@
+"""Smoke tests: the runnable examples must stay green.
+
+Only the fast examples run here (each asserts its own correctness
+internally); the long ones are exercised manually / by CI at leisure.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "rcce_programming.py",
+    "power_aware_spmv.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "mapping_study.py",
+        "frequency_power_study.py",
+        "rcce_programming.py",
+        "reordering_study.py",
+        "power_aware_spmv.py",
+        "cg_solver.py",
+        "pagerank_graph.py",
+        "campaign_sweep.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present

@@ -1,0 +1,85 @@
+"""Golden regression tests: frozen model outputs.
+
+The model's constants are calibrated and then frozen (DESIGN.md §5);
+these tests pin representative *outputs* so accidental drift in any
+substrate — partitioner, locality model, contention solver, power —
+shows up as a diff, not as silently shifted figures.  Tolerances are
+tight (0.5 %) because everything in the pipeline is deterministic.
+
+If a deliberate model change moves these numbers, update the goldens in
+the same commit and note the change in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpMVExperiment, single_core_at_distance
+from repro.scc import CONF0, CONF1, CONF2, memory_read_latency
+from repro.sparse import build_matrix
+
+SCALE = 0.25
+REL = 5e-3
+
+
+@pytest.fixture(scope="module")
+def sme3dc():
+    return SpMVExperiment(build_matrix(7, scale=SCALE), name="sme3Dc")
+
+
+@pytest.fixture(scope="module")
+def na5():
+    return SpMVExperiment(build_matrix(30, scale=SCALE), name="Na5")
+
+
+class TestGoldenLatencies:
+    def test_eq1_values(self):
+        assert memory_read_latency(0, 533, 800, 800) == pytest.approx(132.55e-9, rel=1e-4)
+        assert memory_read_latency(3, 533, 800, 800) == pytest.approx(162.55e-9, rel=1e-4)
+        assert memory_read_latency(0, 800, 1600, 1066) == pytest.approx(93.15e-9, rel=1e-3)
+
+
+class TestGoldenPower:
+    def test_config_wattages(self):
+        assert CONF0.full_chip_power() == pytest.approx(83.31, rel=REL)
+        assert CONF1.full_chip_power() == pytest.approx(107.40, rel=REL)
+        assert CONF2.full_chip_power() == pytest.approx(105.74, rel=REL)
+
+
+class TestGoldenThroughput:
+    """Pinned MFLOPS/s of representative runs at scale 0.25."""
+
+    def test_single_core_memory_bound(self, sme3dc):
+        r = sme3dc.run(n_cores=1, mapping=single_core_at_distance(0))
+        assert r.mflops == pytest.approx(24.55, rel=0.02)
+
+    def test_hop3_single_core(self, sme3dc):
+        r = sme3dc.run(n_cores=1, mapping=single_core_at_distance(3))
+        assert r.mflops == pytest.approx(21.52, rel=0.02)
+
+    def test_l2_resident_24_cores(self, na5):
+        r = na5.run(n_cores=24)
+        assert r.mflops == pytest.approx(951.0, rel=0.02)
+
+    def test_conf1_over_conf0_ratio(self, na5):
+        r0 = na5.run(n_cores=24, config=CONF0)
+        r1 = na5.run(n_cores=24, config=CONF1)
+        assert r0.makespan / r1.makespan == pytest.approx(1.50, rel=0.01)
+
+    def test_determinism_bit_exact(self, sme3dc):
+        a = sme3dc.run(n_cores=16)
+        b = SpMVExperiment(build_matrix(7, scale=SCALE), name="sme3Dc").run(n_cores=16)
+        assert a.makespan == b.makespan  # not approx: bit-identical
+
+
+class TestGoldenSuiteStats:
+    def test_suite_fingerprint(self):
+        """The deterministic generators must keep producing the same
+        matrices: pin (nnz, first column indices) of three entries."""
+        a = build_matrix(7, scale=SCALE)   # sme3Dc stand-in
+        b = build_matrix(24, scale=SCALE)  # rajat09 stand-in
+        c = build_matrix(30, scale=SCALE)  # Na5 stand-in
+        assert a.nnz == 705607
+        assert b.nnz == 24430
+        assert c.nnz == 66992
+        assert a.index[:5].tolist() == [0, 6, 7, 14, 15]

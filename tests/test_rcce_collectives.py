@@ -1,0 +1,172 @@
+"""Tests for barrier/bcast/reduce/allreduce/gather at many UE counts."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.rcce import RCCERuntime
+
+UE_COUNTS = [1, 2, 3, 4, 5, 7, 8, 13, 16, 48]
+
+
+def run(n, fn, *args):
+    rt = RCCERuntime(list(range(n)))
+    return rt, rt.run(fn, *args)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", UE_COUNTS)
+    def test_all_pass_barrier(self, n):
+        def fn(comm):
+            yield from comm.barrier()
+            return True
+
+        _, res = run(n, fn)
+        assert all(r.value for r in res)
+
+    def test_barrier_synchronizes_times(self):
+        """A UE that computes longer delays everyone at the barrier."""
+        def fn(comm):
+            yield from comm.compute(1.0 if comm.ue == 2 else 0.0)
+            yield from comm.barrier()
+            return comm.wtime()
+
+        _, res = run(4, fn)
+        assert all(r.value >= 1.0 for r in res)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", UE_COUNTS)
+    def test_everyone_gets_root_value(self, n):
+        def fn(comm):
+            value = f"root-data" if comm.ue == 0 else None
+            got = yield from comm.bcast(value, root=0)
+            return got
+
+        _, res = run(n, fn)
+        assert all(r.value == "root-data" for r in res)
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        def fn(comm):
+            value = 123 if comm.ue == root else None
+            got = yield from comm.bcast(value, root=root)
+            return got
+
+        _, res = run(5, fn)
+        assert all(r.value == 123 for r in res)
+
+    def test_bcast_array(self):
+        def fn(comm):
+            value = np.arange(100.0) if comm.ue == 0 else None
+            got = yield from comm.bcast(value, root=0)
+            return got.sum()
+
+        _, res = run(6, fn)
+        assert all(r.value == pytest.approx(4950.0) for r in res)
+
+    def test_bad_root_rejected(self):
+        def fn(comm):
+            yield from comm.bcast(1, root=9)
+
+        rt = RCCERuntime([0, 1])
+        with pytest.raises(Exception):
+            rt.run(fn)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", UE_COUNTS)
+    def test_sum_of_ranks(self, n):
+        def fn(comm):
+            return (yield from comm.reduce(comm.ue, operator.add, root=0))
+
+        _, res = run(n, fn)
+        assert res[0].value == sum(range(n))
+        assert all(r.value is None for r in res[1:])
+
+    @pytest.mark.parametrize("root", [0, 2, 4])
+    def test_reduce_to_other_root(self, root):
+        def fn(comm):
+            return (yield from comm.reduce(comm.ue + 1, operator.mul, root=root))
+
+        _, res = run(5, fn)
+        assert res[root].value == 120
+        for ue, r in enumerate(res):
+            if ue != root:
+                assert r.value is None
+
+    def test_default_op_is_add(self):
+        def fn(comm):
+            return (yield from comm.reduce(2))
+
+        _, res = run(4, fn)
+        assert res[0].value == 8
+
+    def test_numpy_reduce(self):
+        def fn(comm):
+            return (yield from comm.reduce(np.full(8, float(comm.ue)), np.add, root=0))
+
+        _, res = run(4, fn)
+        np.testing.assert_allclose(res[0].value, np.full(8, 6.0))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", UE_COUNTS)
+    def test_everyone_gets_total(self, n):
+        def fn(comm):
+            return (yield from comm.allreduce(comm.ue ** 2))
+
+        _, res = run(n, fn)
+        expected = sum(u * u for u in range(n))
+        assert all(r.value == expected for r in res)
+
+    def test_max_op(self):
+        def fn(comm):
+            return (yield from comm.allreduce(comm.ue, max))
+
+        _, res = run(7, fn)
+        assert all(r.value == 6 for r in res)
+
+
+class TestGather:
+    @pytest.mark.parametrize("n", UE_COUNTS)
+    def test_rank_ordered_list_on_root(self, n):
+        def fn(comm):
+            return (yield from comm.gather(comm.ue * 2, root=0))
+
+        _, res = run(n, fn)
+        assert res[0].value == [2 * u for u in range(n)]
+        assert all(r.value is None for r in res[1:])
+
+    def test_gather_arrays_concatenable(self):
+        def fn(comm):
+            block = np.full(3, float(comm.ue))
+            blocks = yield from comm.gather(block, root=0)
+            if comm.ue == 0:
+                return np.concatenate(blocks)
+            return None
+
+        _, res = run(4, fn)
+        np.testing.assert_allclose(
+            res[0].value, np.repeat([0.0, 1.0, 2.0, 3.0], 3)
+        )
+
+
+class TestCollectiveCost:
+    def test_barrier_cost_grows_with_ue_count(self):
+        def fn(comm):
+            yield from comm.barrier()
+
+        rt2, _ = run(2, fn)
+        rt48, _ = run(48, fn)
+        assert rt48.sim.now > rt2.sim.now
+
+    def test_collectives_cost_nonzero_time(self):
+        def fn(comm):
+            yield from comm.allreduce(1.0)
+
+        rt, _ = run(8, fn)
+        assert rt.sim.now > 0.0

@@ -1,0 +1,116 @@
+"""Tests for the MPB model and matched mailboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rcce import MPB_BYTES_PER_CORE, Envelope, Mailbox, chunked_transfer_time, payload_bytes
+from repro.scc import MeshNetwork
+from repro.sim import Simulator
+
+import numpy as np
+
+
+class TestChunkedTransfer:
+    def setup_method(self):
+        self.mesh = MeshNetwork(mesh_mhz=800)
+
+    def test_zero_bytes_costs_header(self):
+        t = chunked_transfer_time(self.mesh, 0, 47, 0)
+        assert t == self.mesh.core_message_time(0, 47, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chunked_transfer_time(self.mesh, 0, 1, -1)
+
+    def test_small_message_single_chunk(self):
+        t = chunked_transfer_time(self.mesh, 0, 47, 100)
+        assert t == pytest.approx(self.mesh.core_message_time(0, 47, 100))
+
+    def test_exact_multiple_of_mpb(self):
+        n = 3 * MPB_BYTES_PER_CORE
+        t = chunked_transfer_time(self.mesh, 0, 47, n)
+        assert t == pytest.approx(3 * self.mesh.core_message_time(0, 47, MPB_BYTES_PER_CORE))
+
+    def test_remainder_chunk(self):
+        n = MPB_BYTES_PER_CORE + 10
+        t = chunked_transfer_time(self.mesh, 0, 47, n)
+        expected = self.mesh.core_message_time(0, 47, MPB_BYTES_PER_CORE) + self.mesh.core_message_time(0, 47, 10)
+        assert t == pytest.approx(expected)
+
+    def test_chunking_slower_than_hypothetical_single_shot(self):
+        """Per-chunk headers make big transfers strictly slower."""
+        n = 10 * MPB_BYTES_PER_CORE
+        chunked = chunked_transfer_time(self.mesh, 0, 47, n)
+        single = self.mesh.core_message_time(0, 47, n)
+        assert chunked > single
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert payload_bytes(np.zeros(100)) == 800
+        assert payload_bytes(np.zeros(100, dtype=np.int32)) == 400
+
+    def test_scalars(self):
+        assert payload_bytes(3) == 8
+        assert payload_bytes(2.5) == 8
+        assert payload_bytes(np.float64(1.0)) == 8
+
+    def test_bytes(self):
+        assert payload_bytes(b"abcd") == 4
+
+    def test_sequences_sum(self):
+        assert payload_bytes([1, 2.0, np.zeros(10)]) == 8 + 8 + 80
+
+    def test_opaque_object_flat_cost(self):
+        assert payload_bytes({"k": 1}) == 64
+
+
+class TestMailbox:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.box = Mailbox(self.sim, owner=0)
+
+    def env(self, source=1, tag=0, payload="data"):
+        return Envelope(source, tag, payload, self.sim.event("ack"))
+
+    def test_deliver_then_receive(self):
+        e = self.env()
+        self.box.deliver(e)
+        ev = self.box.receive()
+        assert ev.triggered and ev.value is e
+
+    def test_receive_then_deliver(self):
+        ev = self.box.receive()
+        assert not ev.triggered
+        e = self.env()
+        self.box.deliver(e)
+        assert ev.triggered and ev.value is e
+
+    def test_match_by_source(self):
+        ev = self.box.receive(source=2)
+        self.box.deliver(self.env(source=1))
+        assert not ev.triggered
+        self.box.deliver(self.env(source=2))
+        assert ev.triggered
+        assert self.box.pending_count == 1  # source-1 message still queued
+
+    def test_match_by_tag(self):
+        ev = self.box.receive(tag=7)
+        self.box.deliver(self.env(tag=3))
+        assert not ev.triggered
+        self.box.deliver(self.env(tag=7))
+        assert ev.triggered
+
+    def test_wildcard_receives_in_fifo_order(self):
+        a, b = self.env(payload="a"), self.env(payload="b")
+        self.box.deliver(a)
+        self.box.deliver(b)
+        assert self.box.receive().value is a
+        assert self.box.receive().value is b
+
+    def test_multiple_waiters_matched_independently(self):
+        ev1 = self.box.receive(source=1)
+        ev2 = self.box.receive(source=2)
+        self.box.deliver(self.env(source=2))
+        assert ev2.triggered and not ev1.triggered

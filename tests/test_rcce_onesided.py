@@ -1,0 +1,165 @@
+"""Tests for the one-sided MPB layer (put/get/flags)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rcce import MPB_BYTES_PER_CORE, FLAG_CLEAR, FLAG_SET, MPBWindow, OneSided, RCCERuntime
+
+
+class TestMPBWindow:
+    def test_write_read(self):
+        w = MPBWindow(owner=0)
+        w.write(64, np.arange(10.0))
+        np.testing.assert_array_equal(w.read(64), np.arange(10.0))
+
+    def test_capacity_enforced(self):
+        w = MPBWindow(owner=0)
+        with pytest.raises(ValueError):
+            w.write(0, np.zeros(MPB_BYTES_PER_CORE))  # 8x too big
+        with pytest.raises(ValueError):
+            w.write(MPB_BYTES_PER_CORE - 8, np.zeros(10))  # overflows the end
+
+    def test_offset_bounds(self):
+        w = MPBWindow(owner=0)
+        with pytest.raises(ValueError):
+            w.write(-1, 1.0)
+        with pytest.raises(ValueError):
+            w.write(MPB_BYTES_PER_CORE, 1.0)
+
+    def test_missing_read(self):
+        w = MPBWindow(owner=0)
+        with pytest.raises(KeyError):
+            w.read(0)
+
+    def test_flags_default_clear(self):
+        w = MPBWindow(owner=0)
+        assert w.flag(3) == FLAG_CLEAR
+        w.set_flag(3, FLAG_SET)
+        assert w.flag(3) == FLAG_SET
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MPBWindow(owner=0, size=0)
+
+
+class TestOneSided:
+    def test_put_get_roundtrip(self):
+        rt = RCCERuntime([0, 47])
+        osided = OneSided(rt)
+
+        def fn(comm):
+            if comm.ue == 0:
+                yield from osided.put(0, 1, 0, np.arange(16.0))
+                yield from osided.set_flag(0, 1, flag_id=0)
+                return None
+            yield from osided.wait_flag(1, flag_id=0)
+            data = yield from osided.get(1, 1, 0)
+            return data.sum()
+
+        res = rt.run(fn)
+        assert res[1].value == pytest.approx(120.0)
+
+    def test_flag_polling_costs_time(self):
+        rt = RCCERuntime([0, 1])
+        osided = OneSided(rt)
+
+        def fn(comm):
+            if comm.ue == 0:
+                yield from comm.compute(1e-4)  # make the peer wait
+                yield from osided.set_flag(0, 1, flag_id=7)
+            else:
+                yield from osided.wait_flag(1, flag_id=7, poll_interval=1e-6)
+                return comm.wtime()
+
+        res = rt.run(fn)
+        # The poller wakes on a poll boundary at/after the set.
+        assert res[1].value >= 1e-4
+
+    def test_wait_flag_timeout(self):
+        rt = RCCERuntime([0])
+        osided = OneSided(rt)
+
+        def fn(comm):
+            yield from osided.wait_flag(0, flag_id=1, timeout=1e-5)
+
+        with pytest.raises(Exception):  # TimeoutError via ProcessFailure
+            rt.run(fn)
+
+    def test_invalid_poll_interval(self):
+        rt = RCCERuntime([0])
+        osided = OneSided(rt)
+
+        def fn(comm):
+            yield from osided.wait_flag(0, flag_id=0, poll_interval=0.0)
+
+        with pytest.raises(Exception):
+            rt.run(fn)
+
+    def test_put_time_grows_with_distance(self):
+        def transfer(cores):
+            rt = RCCERuntime(cores)
+            osided = OneSided(rt)
+
+            def fn(comm):
+                if comm.ue == 0:
+                    yield from osided.put(0, 1, 0, np.zeros(512))
+                else:
+                    yield from comm.compute(0.0)
+
+            rt.run(fn)
+            return rt.sim.now
+
+        assert transfer([0, 47]) > transfer([0, 1])
+
+    def test_send_recv_rebuilt_from_primitives(self):
+        """The classic exercise: two-sided messaging from one-sided ops."""
+        rt = RCCERuntime([0, 10])
+        osided = OneSided(rt)
+        DATA, READY, ACK = 0, 0, 1
+
+        def fn(comm):
+            if comm.ue == 0:
+                payload = np.linspace(0, 1, 64)
+                yield from osided.put(0, 1, DATA, payload)
+                yield from osided.set_flag(0, 1, READY)
+                yield from osided.wait_flag(0, ACK)  # consumer done
+                return "sent"
+            yield from osided.wait_flag(1, READY)
+            data = yield from osided.get(1, 1, DATA)
+            yield from osided.set_flag(1, 0, ACK)
+            return float(data[-1])
+
+        res = rt.run(fn)
+        assert res[0].value == "sent"
+        assert res[1].value == pytest.approx(1.0)
+
+    def test_double_buffering_pipeline(self):
+        """Producer/consumer with two MPB slots overlapping transfers."""
+        rt = RCCERuntime([0, 1])
+        osided = OneSided(rt)
+        CHUNKS = 6
+
+        def fn(comm):
+            if comm.ue == 0:
+                for k in range(CHUNKS):
+                    slot = k % 2
+                    if k >= 2:  # wait until the consumer drained slot
+                        yield from osided.wait_flag(0, flag_id=10 + slot)
+                        osided.windows[0].set_flag(10 + slot, FLAG_CLEAR)
+                    yield from osided.put(0, 1, slot * 1024, np.full(64, float(k)))
+                    yield from osided.set_flag(0, 1, flag_id=slot)
+                return None
+            total = 0.0
+            for k in range(CHUNKS):
+                slot = k % 2
+                yield from osided.wait_flag(1, flag_id=slot)
+                osided.windows[1].set_flag(slot, FLAG_CLEAR)
+                chunk = yield from osided.get(1, 1, slot * 1024)
+                total += chunk.sum()
+                yield from osided.set_flag(1, 0, flag_id=10 + slot)
+            return total
+
+        res = rt.run(fn)
+        assert res[1].value == pytest.approx(64 * sum(range(CHUNKS)))

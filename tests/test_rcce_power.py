@@ -1,0 +1,153 @@
+"""Tests for the RCCE power-management API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rcce import (
+    FREQ_CHANGE_SECONDS,
+    N_VOLTAGE_DOMAINS,
+    VOLTAGE_RAMP_SECONDS,
+    PowerManager,
+    RCCERuntime,
+)
+from repro.rcce.power import domain_of_tile
+from repro.scc import CONF0, SCCTopology
+from repro.scc.power import core_voltage
+
+
+@pytest.fixture()
+def pm():
+    return PowerManager(CONF0)
+
+
+class TestDomainGeometry:
+    def test_six_islands_of_four_tiles(self, pm):
+        seen = set()
+        for d in range(N_VOLTAGE_DOMAINS):
+            tiles = pm.tiles_of_domain(d)
+            assert len(tiles) == 4
+            seen.update(tiles)
+        assert seen == set(range(24))
+
+    def test_island_layout_is_2x2(self):
+        assert domain_of_tile(0, 0) == domain_of_tile(1, 1)
+        assert domain_of_tile(0, 0) != domain_of_tile(2, 0)
+        assert domain_of_tile(0, 0) != domain_of_tile(0, 2)
+        assert domain_of_tile(5, 3) == 5
+
+    def test_domain_of_core(self, pm):
+        topo = SCCTopology()
+        for core in (0, 13, 47):
+            t = topo.tile_of_core(core)
+            assert pm.domain_of_core(core) == domain_of_tile(t.x, t.y)
+
+    def test_bad_domain_rejected(self, pm):
+        with pytest.raises(ValueError):
+            pm.tiles_of_domain(6)
+        with pytest.raises(ValueError):
+            pm.voltage_of_domain(-1)
+
+
+class TestTransitions:
+    def test_initial_state_from_config(self, pm):
+        assert pm.frequency_of_core(0) == 533
+        assert pm.voltage_of_domain(0) == core_voltage(533)
+        assert pm.chip_power() == pytest.approx(CONF0.full_chip_power())
+
+    def test_off_menu_frequency_rejected(self, pm):
+        with pytest.raises(ValueError):
+            pm.request_transition(0, 600)
+
+    def test_frequency_only_change_is_fast(self, pm):
+        # Same-voltage change: 100 <-> 200 both run at 0.70 V.
+        pm.request_transition(0, 200)
+        stall = pm.request_transition(0, 100)
+        assert stall == pytest.approx(FREQ_CHANGE_SECONDS)
+
+    def test_voltage_down_does_not_block(self, pm):
+        # 533 -> 100 lowers voltage: divider switches first, the ramp
+        # drains in the background (asymmetric stall, as on the chip).
+        stall = pm.request_transition(0, 100)
+        assert stall == pytest.approx(FREQ_CHANGE_SECONDS)
+        assert pm.voltage_of_domain(0) < 0.9
+
+    def test_voltage_change_is_slow(self, pm):
+        stall = pm.request_transition(0, 800)  # 0.9 V -> 1.1 V
+        assert stall == pytest.approx(FREQ_CHANGE_SECONDS + VOLTAGE_RAMP_SECONDS)
+
+    def test_transition_applies_to_whole_island(self, pm):
+        pm.request_transition(0, 800)
+        for t in pm.tiles_of_domain(0):
+            assert pm.tile_mhz[t] == 800
+        # Other islands untouched.
+        assert pm.frequency_of_core(47) == 533
+
+    def test_power_tracks_transitions(self, pm):
+        before = pm.chip_power()
+        pm.request_transition(0, 800)
+        up = pm.chip_power()
+        pm.request_transition(0, 100)
+        down = pm.chip_power()
+        assert down < before < up
+
+    def test_audit_trail(self, pm):
+        pm.request_transition(2, 800)
+        pm.request_transition(2, 533)
+        assert len(pm.transitions) == 2
+        assert pm.transitions[0][0] == 2
+        assert pm.transitions[0][1] == 800
+
+
+class TestRuntimeIntegration:
+    def test_compute_cycles_uses_live_frequency(self):
+        def fn(comm):
+            yield from comm.compute_cycles(533e6)  # 1 second at 533 MHz
+            t1 = comm.wtime()
+            yield from comm.set_power(100)
+            t2 = comm.wtime()
+            yield from comm.compute_cycles(100e6)  # 1 second at 100 MHz
+            return (t1, t2, comm.wtime())
+
+        rt = RCCERuntime([0])
+        [res] = rt.run(fn)
+        t1, t2, t3 = res.value
+        assert t1 == pytest.approx(1.0)
+        assert t2 - t1 > 0  # the transition stalled
+        assert t3 - t2 == pytest.approx(1.0)
+
+    def test_set_power_affects_island_neighbours(self):
+        def fn(comm):
+            if comm.ue == 0:
+                yield from comm.set_power(100)
+            yield from comm.barrier()
+            # Core 1 shares core 0's island: it slowed down too.
+            return comm._rt.power.frequency_of_core(comm.core)
+
+        rt = RCCERuntime([0, 1])
+        res = rt.run(fn)
+        assert [r.value for r in res] == [100, 100]
+
+    def test_negative_cycles_rejected(self):
+        def fn(comm):
+            yield from comm.compute_cycles(-1)
+
+        rt = RCCERuntime([0])
+        with pytest.raises(Exception):
+            rt.run(fn)
+
+    def test_power_gated_core_cannot_compute(self):
+        rt = RCCERuntime([0])
+        rt.power.tile_mhz[0] = 0.0  # explicit gating
+
+        def fn(comm):
+            yield from comm.compute_cycles(100)
+
+        with pytest.raises(Exception):
+            rt.run(fn)
+
+    def test_energy_snapshot(self):
+        pm = PowerManager(CONF0)
+        freqs, watts = pm.energy_rate_snapshot()
+        assert len(freqs) == 24
+        assert watts == pytest.approx(CONF0.full_chip_power())

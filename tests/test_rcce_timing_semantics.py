@@ -1,0 +1,128 @@
+"""Timing semantics of the RCCE communication layer.
+
+These tests pin the *quantitative* behaviour of the comm layer (the
+other RCCE test modules pin functional behaviour): transfer times must
+equal the documented MPB/mesh cost model exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rcce import MPB_BYTES_PER_CORE, RCCERuntime, chunked_transfer_time
+from repro.scc import MeshNetwork
+
+
+def p2p_time(cores, nbytes):
+    """Simulated wall time of one send/recv pair of `nbytes` payload."""
+    rt = RCCERuntime(cores)
+
+    def fn(comm):
+        if comm.ue == 0:
+            yield from comm.send(np.zeros(nbytes // 8), dest=1)
+        else:
+            yield from comm.recv(source=0)
+
+    rt.run(fn)
+    return rt.sim.now, rt
+
+
+class TestSendTiming:
+    def test_send_time_equals_chunk_model(self):
+        nbytes = 3 * MPB_BYTES_PER_CORE + 512
+        t, rt = p2p_time([0, 47], nbytes)
+        expected = chunked_transfer_time(rt.mesh, 0, 47, nbytes)
+        assert t == pytest.approx(expected, rel=1e-9)
+
+    def test_small_payload_single_chunk(self):
+        t, rt = p2p_time([0, 47], 256)
+        mesh = MeshNetwork(mesh_mhz=800)
+        assert t == pytest.approx(mesh.core_message_time(0, 47, 256), rel=1e-9)
+
+    def test_exact_mpb_multiple(self):
+        nbytes = 2 * MPB_BYTES_PER_CORE
+        t, rt = p2p_time([0, 1], nbytes)
+        mesh = MeshNetwork(mesh_mhz=800)
+        assert t == pytest.approx(
+            2 * mesh.core_message_time(0, 1, MPB_BYTES_PER_CORE), rel=1e-9
+        )
+
+    def test_rendezvous_sender_waits_for_receiver(self):
+        """A late receiver stalls the sender (synchronous semantics)."""
+        rt = RCCERuntime([0, 1])
+
+        def fn(comm):
+            if comm.ue == 0:
+                yield from comm.send(1.0, dest=1)
+                return comm.wtime()
+            yield from comm.compute(1e-3)  # receiver shows up late
+            yield from comm.recv(source=0)
+            return comm.wtime()
+
+        res = rt.run(fn)
+        # The sender cannot complete before the receiver arrived.
+        assert res[0].value >= 1e-3
+
+    def test_back_to_back_sends_accumulate(self):
+        rt1 = RCCERuntime([0, 47])
+
+        def one(comm):
+            if comm.ue == 0:
+                yield from comm.send(np.zeros(1024), dest=1)
+            else:
+                yield from comm.recv(source=0)
+
+        rt1.run(one)
+
+        rt2 = RCCERuntime([0, 47])
+
+        def two(comm):
+            if comm.ue == 0:
+                for _ in range(2):
+                    yield from comm.send(np.zeros(1024), dest=1)
+            else:
+                for _ in range(2):
+                    yield from comm.recv(source=0)
+
+        rt2.run(two)
+        assert rt2.sim.now == pytest.approx(2 * rt1.sim.now, rel=1e-6)
+
+
+class TestBarrierTiming:
+    def test_barrier_deterministic(self):
+        def fn(comm):
+            yield from comm.barrier()
+
+        times = []
+        for _ in range(3):
+            rt = RCCERuntime(list(range(16)))
+            rt.run(fn)
+            times.append(rt.sim.now)
+        assert times[0] == times[1] == times[2]
+
+    def test_two_barriers_cost_twice_one(self):
+        def one(comm):
+            yield from comm.barrier()
+
+        def two(comm):
+            yield from comm.barrier()
+            yield from comm.barrier()
+
+        rt1 = RCCERuntime(list(range(8)))
+        rt1.run(one)
+        rt2 = RCCERuntime(list(range(8)))
+        rt2.run(two)
+        assert rt2.sim.now == pytest.approx(2 * rt1.sim.now, rel=1e-6)
+
+    def test_compact_mapping_barrier_cheaper_than_spread(self):
+        """Barrier cost follows mesh distance: same-quadrant UEs beat
+        chip-diagonal UEs."""
+        def fn(comm):
+            yield from comm.barrier()
+
+        compact = RCCERuntime([0, 1, 2, 3])
+        compact.run(fn)
+        spread = RCCERuntime([0, 10, 36, 46])
+        spread.run(fn)
+        assert compact.sim.now < spread.sim.now

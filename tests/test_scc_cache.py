@@ -1,0 +1,194 @@
+"""Tests for the exact set-associative cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scc import Cache, CacheHierarchy
+from repro.scc.cache import _PLRUTree
+
+
+class TestPLRUTree:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            _PLRUTree(3)
+
+    def test_plru_artifact_after_partial_touch(self):
+        # Touch ways 0,1,2: the root points away from 2 (left half) and
+        # the left node away from 1, so tree-PLRU victimizes way 0 even
+        # though way 3 was never touched — the classic PLRU != LRU case.
+        tree = _PLRUTree(4)
+        for way in (0, 1, 2):
+            tree.touch(way)
+        assert tree.victim() == 0
+
+    def test_agrees_with_lru_on_full_round(self):
+        tree = _PLRUTree(4)
+        for way in (0, 1, 2, 3):
+            tree.touch(way)
+        assert tree.victim() == 0
+
+    def test_victim_never_most_recently_touched(self):
+        tree = _PLRUTree(4)
+        rng = np.random.default_rng(5)
+        for way in rng.integers(0, 4, size=100):
+            tree.touch(int(way))
+            assert tree.victim() != way
+
+    def test_victim_rotates_under_round_robin_touches(self):
+        tree = _PLRUTree(4)
+        seen = set()
+        for _ in range(8):
+            v = tree.victim()
+            seen.add(v)
+            tree.touch(v)
+        assert seen == {0, 1, 2, 3}
+
+    def test_two_way(self):
+        tree = _PLRUTree(2)
+        tree.touch(0)
+        assert tree.victim() == 1
+        tree.touch(1)
+        assert tree.victim() == 0
+
+
+class TestCacheGeometry:
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=0)
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, assoc=3, line_bytes=32)  # not divisible
+
+    def test_default_is_scc_l2(self):
+        c = Cache()
+        assert c.size_bytes == 256 * 1024
+        assert c.assoc == 4
+        assert c.line_bytes == 32
+        assert c.n_sets == 2048
+        assert c.n_lines == 8192
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_second_hits(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(31) is True  # same line
+        assert c.access(32) is False  # next line
+
+    def test_stats_track_hits_and_misses(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        for addr in (0, 0, 64, 0, 64):
+            c.access(addr)
+        assert c.stats.misses == 2
+        assert c.stats.hits == 3
+        assert c.stats.accesses == 5
+        assert c.stats.miss_ratio == pytest.approx(0.4)
+
+    def test_capacity_eviction(self):
+        # 4 lines total (1 set of 4 ways): the 5th distinct line evicts.
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)
+        for i in range(5):
+            c.access(i * 32 * c.n_sets)  # all map to set 0
+        assert c.stats.evictions == 1
+
+    def test_lru_like_retention(self):
+        """Recently touched lines survive; the stale one is evicted."""
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)
+        lines = [i * 32 for i in range(4)]
+        for a in lines:
+            c.access(a)
+        # Touch lines 1..3 again, then insert a new line: line 0 is victim.
+        for a in lines[1:]:
+            c.access(a)
+        c.access(4 * 32)
+        assert c.access(lines[1]) is True
+        assert c.access(lines[2]) is True
+        assert c.access(lines[3]) is True
+        assert c.access(lines[0]) is False  # was evicted
+
+    def test_writeback_on_dirty_eviction(self):
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)
+        c.access(0, write=True)
+        for i in range(1, 5):
+            c.access(i * 32)
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)
+        for i in range(5):
+            c.access(i * 32)
+        assert c.stats.evictions == 1
+        assert c.stats.writebacks == 0
+
+    def test_flush_writes_back_dirty_lines(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        c.access(0, write=True)
+        c.access(64, write=True)
+        c.access(128)
+        assert c.flush() == 2
+        assert c.access(0) is False  # everything invalidated
+
+    def test_access_trace_counts_misses(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        addrs = np.array([0, 32, 0, 32, 64])
+        assert c.access_trace(addrs) == 3
+
+    def test_access_trace_write_shape_mismatch(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        with pytest.raises(ValueError):
+            c.access_trace(np.array([0, 32]), writes=np.array([True]))
+
+    def test_streaming_misses_every_line(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        n_lines = 100
+        addrs = np.arange(n_lines) * 32
+        assert c.access_trace(addrs) == n_lines
+
+    def test_contains_line(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        c.access(96)
+        assert c.contains_line(3)
+        assert not c.contains_line(4)
+
+    def test_small_loop_fits(self):
+        """A loop over a footprint smaller than capacity only cold-misses."""
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)  # 32 lines
+        addrs = np.tile(np.arange(16) * 32, 10)
+        misses = c.access_trace(addrs)
+        assert misses == 16
+
+
+class TestCacheHierarchy:
+    def test_levels_reported(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=512, assoc=4, line_bytes=32)
+        assert h.access(0) == "mem"
+        assert h.access(0) == "l1"
+
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=1024, assoc=4, line_bytes=32)
+        # Fill L1 (4 lines) plus one: line 0 falls to L2 but stays there.
+        for i in range(5):
+            h.access(i * 32)
+        assert h.access(0) == "l2"
+
+    def test_disabled_l2_goes_to_memory(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=1024, assoc=4, line_bytes=32, l2_enabled=False)
+        assert h.l2 is None
+        for i in range(5):
+            h.access(i * 32)
+        assert h.access(0) == "mem"
+
+    def test_access_trace_counts(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=1024, assoc=4, line_bytes=32)
+        addrs = np.array([0, 0, 32, 64, 96, 128, 0])
+        counts = h.access_trace(addrs)
+        assert counts["l1"] + counts["l2"] + counts["mem"] == len(addrs)
+        assert counts["mem"] == 5  # five distinct lines, all cold
+
+    def test_flush_resets_both_levels(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=512, assoc=4, line_bytes=32)
+        h.access(0)
+        h.flush()
+        assert h.access(0) == "mem"

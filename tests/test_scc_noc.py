@@ -1,0 +1,129 @@
+"""Tests for the event-driven NoC (per-link contention)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scc.mesh import LINK_BYTES_PER_CYCLE, ROUTER_CYCLES
+from repro.scc.noc import EventDrivenMesh, simulate_transfers
+from repro.sim import Process, Simulator
+
+
+def hop_cost(nbytes, mesh_mhz=800.0):
+    cyc = 1.0 / (mesh_mhz * 1e6)
+    return ROUTER_CYCLES * cyc + nbytes / (LINK_BYTES_PER_CYCLE * mesh_mhz * 1e6)
+
+
+class TestUncontended:
+    def test_matches_store_and_forward_formula(self):
+        [t] = simulate_transfers([(0.0, (0, 0), (3, 0), 640)])
+        assert t == pytest.approx(3 * hop_cost(640), rel=1e-9)
+
+    def test_local_transfer_one_router(self):
+        [t] = simulate_transfers([(0.0, (2, 1), (2, 1), 100)])
+        assert t == pytest.approx(ROUTER_CYCLES / 800e6)
+
+    def test_time_grows_with_bytes_and_distance(self):
+        [short] = simulate_transfers([(0.0, (0, 0), (1, 0), 64)])
+        [long_] = simulate_transfers([(0.0, (0, 0), (1, 0), 6400)])
+        [far] = simulate_transfers([(0.0, (0, 0), (5, 3), 64)])
+        assert long_ > short
+        assert far > short
+
+    def test_faster_mesh_clock(self):
+        [slow] = simulate_transfers([(0.0, (0, 0), (4, 0), 1024)], mesh_mhz=800)
+        [fast] = simulate_transfers([(0.0, (0, 0), (4, 0), 1024)], mesh_mhz=1600)
+        assert fast == pytest.approx(slow / 2, rel=1e-9)
+
+    def test_uncontended_time_helper_agrees(self):
+        sim = Simulator()
+        mesh = EventDrivenMesh(sim)
+        [t] = simulate_transfers([(0.0, (1, 1), (4, 3), 512)])
+        assert t == pytest.approx(mesh.uncontended_time((1, 1), (4, 3), 512), rel=1e-9)
+
+    def test_start_offset_respected(self):
+        [t] = simulate_transfers([(1e-3, (0, 0), (1, 0), 64)])
+        assert t == pytest.approx(1e-3 + hop_cost(64), rel=1e-9)
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        # Both transfers need link (0,0)->(1,0) at t=0.
+        times = simulate_transfers(
+            [
+                (0.0, (0, 0), (1, 0), 1600),
+                (0.0, (0, 0), (1, 0), 1600),
+            ]
+        )
+        first, second = sorted(times)
+        assert first == pytest.approx(hop_cost(1600), rel=1e-9)
+        assert second == pytest.approx(2 * hop_cost(1600), rel=1e-9)
+
+    def test_disjoint_routes_parallel(self):
+        times = simulate_transfers(
+            [
+                (0.0, (0, 0), (1, 0), 1600),
+                (0.0, (0, 3), (1, 3), 1600),
+            ]
+        )
+        for t in times:
+            assert t == pytest.approx(hop_cost(1600), rel=1e-9)
+
+    def test_opposite_directions_do_not_conflict(self):
+        """Links are directed: A->B and B->A are independent."""
+        times = simulate_transfers(
+            [
+                (0.0, (0, 0), (1, 0), 1600),
+                (0.0, (1, 0), (0, 0), 1600),
+            ]
+        )
+        for t in times:
+            assert t == pytest.approx(hop_cost(1600), rel=1e-9)
+
+    def test_many_random_messages_complete(self):
+        """Deadlock-freedom smoke test: a storm of crossing messages."""
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        transfers = []
+        for k in range(60):
+            src = (int(rng.integers(0, 6)), int(rng.integers(0, 4)))
+            dst = (int(rng.integers(0, 6)), int(rng.integers(0, 4)))
+            transfers.append((float(k) * 1e-8, src, dst, int(rng.integers(16, 2048))))
+        times = simulate_transfers(transfers)
+        assert len(times) == 60
+        assert all(t >= 0 for t in times)
+
+    def test_busiest_links_diagnostic(self):
+        sim = Simulator()
+        mesh = EventDrivenMesh(sim)
+
+        def xfer():
+            yield from mesh.transfer((0, 0), (3, 0), 3200)
+
+        Process(sim, xfer())
+        Process(sim, xfer())
+        sim.run()
+        ranked = mesh.busiest_links(top=3)
+        assert ranked[0][1] > 0
+        # The first hop link carries both messages back to back.
+        assert ranked[0][1] == pytest.approx(2 * hop_cost(3200), rel=1e-6)
+
+
+class TestValidation:
+    def test_empty_transfer_list(self):
+        with pytest.raises(ValueError):
+            simulate_transfers([])
+
+    def test_negative_bytes(self):
+        with pytest.raises(Exception):
+            simulate_transfers([(0.0, (0, 0), (1, 0), -1)])
+
+    def test_negative_start(self):
+        with pytest.raises(Exception):
+            simulate_transfers([(-1.0, (0, 0), (1, 0), 64)])
+
+    def test_invalid_clock(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            EventDrivenMesh(sim, mesh_mhz=0)

@@ -1,0 +1,117 @@
+"""Tests for the power model and chip configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scc import (
+    CONF0,
+    CONF1,
+    CONF2,
+    CORE_FREQS_MHZ,
+    PRESETS,
+    SCCConfig,
+    chip_power,
+    core_voltage,
+    mesh_voltage,
+)
+from repro.scc.topology import N_TILES
+
+
+class TestVoltageTable:
+    def test_menu_frequencies_have_voltages(self):
+        for f in CORE_FREQS_MHZ:
+            v = core_voltage(f)
+            assert 0.6 < v < 1.3
+
+    def test_voltage_monotone_in_frequency(self):
+        vs = [core_voltage(f) for f in CORE_FREQS_MHZ]
+        assert vs == sorted(vs)
+
+    def test_intermediate_frequency_rounds_up(self):
+        assert core_voltage(500) == core_voltage(533)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            core_voltage(900)
+        with pytest.raises(ValueError):
+            core_voltage(0)
+        with pytest.raises(ValueError):
+            mesh_voltage(2000)
+
+    def test_mesh_voltages(self):
+        assert mesh_voltage(800) < mesh_voltage(1600)
+
+
+class TestChipPower:
+    def test_calibration_anchor_conf0(self):
+        """Paper Sec. IV-D: 83.3 W running on 48 cores at conf0."""
+        assert CONF0.full_chip_power() == pytest.approx(83.3, abs=0.2)
+
+    def test_calibration_anchor_conf1(self):
+        """Paper Sec. IV-D: 107.4 W at conf1."""
+        assert CONF1.full_chip_power() == pytest.approx(107.4, abs=0.2)
+
+    def test_conf2_between_conf0_and_conf1(self):
+        assert CONF0.full_chip_power() < CONF2.full_chip_power() < CONF1.full_chip_power()
+
+    def test_power_gated_tiles_cost_nothing_dynamic(self):
+        all_on = chip_power([533.0] * N_TILES, 800, 800)
+        half_on = chip_power([533.0] * 12 + [0.0] * 12, 800, 800)
+        assert half_on < all_on
+
+    def test_negative_tile_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            chip_power([-1.0] * N_TILES, 800, 800)
+
+    def test_power_monotone_in_core_frequency(self):
+        p_slow = chip_power([100.0] * N_TILES, 800, 800)
+        p_fast = chip_power([800.0] * N_TILES, 800, 800)
+        assert p_fast > p_slow
+
+
+class TestSCCConfig:
+    def test_presets_registered(self):
+        assert set(PRESETS) == {"conf0", "conf1", "conf2"}
+        assert PRESETS["conf0"] is CONF0
+
+    def test_paper_frequencies(self):
+        assert (CONF0.core_mhz, CONF0.mesh_mhz, CONF0.mem_mhz) == (533, 800, 800)
+        assert (CONF1.core_mhz, CONF1.mesh_mhz, CONF1.mem_mhz) == (800, 1600, 1066)
+        assert (CONF2.core_mhz, CONF2.mesh_mhz, CONF2.mem_mhz) == (800, 1600, 800)
+
+    def test_off_menu_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig.uniform("bad", core_mhz=600)
+        with pytest.raises(ValueError):
+            SCCConfig.uniform("bad", mesh_mhz=1000)
+        with pytest.raises(ValueError):
+            SCCConfig.uniform("bad", mem_mhz=933)
+
+    def test_tile_count_enforced(self):
+        with pytest.raises(ValueError):
+            SCCConfig("bad", tile_mhz=(533.0,) * 10)
+
+    def test_per_tile_frequencies(self):
+        tiles = (533.0,) * 12 + (800.0,) * 12
+        cfg = SCCConfig("mixed", tile_mhz=tiles)
+        assert not cfg.is_uniform
+        assert cfg.core_mhz_of_tile(0) == 533
+        assert cfg.core_mhz_of_tile(23) == 800
+        assert cfg.core_mhz_of_core(0) == 533
+        assert cfg.core_mhz_of_core(47) == 800
+        with pytest.raises(ValueError):
+            _ = cfg.core_mhz
+
+    def test_with_l2_toggle(self):
+        off = CONF0.with_l2(False)
+        assert not off.l2_enabled
+        assert off.name.endswith("+noL2")
+        assert CONF0.l2_enabled  # original untouched
+        on = off.with_l2(True)
+        assert on.l2_enabled
+
+    def test_default_uniform(self):
+        cfg = SCCConfig.uniform("d")
+        assert cfg.core_mhz == 533
+        assert cfg.l2_enabled

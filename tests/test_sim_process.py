@@ -1,0 +1,140 @@
+"""Tests for generator-based processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Process, ProcessFailure, SimulationError, Simulator
+
+
+def test_process_runs_to_completion():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        log.append(("start", sim.now))
+        yield sim.timeout(1.5)
+        log.append(("mid", sim.now))
+        yield sim.timeout(2.5)
+        log.append(("end", sim.now))
+        return "done"
+
+    p = Process(sim, proc(sim), name="p")
+    sim.run()
+    assert p.finished
+    assert p.done.value == "done"
+    assert log == [("start", 0.0), ("mid", 1.5), ("end", 4.0)]
+
+
+def test_return_value_none_by_default():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = Process(sim, proc(sim))
+    sim.run()
+    assert p.done.value is None
+
+
+def test_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, name, dt):
+        for i in range(3):
+            yield sim.timeout(dt)
+            log.append((name, sim.now))
+
+    Process(sim, proc(sim, "a", 1.0))
+    Process(sim, proc(sim, "b", 1.5))
+    sim.run()
+    # At the t=3.0 tie, b's timeout was scheduled earlier (at t=1.5)
+    # than a's (at t=2.0), so b fires first.
+    assert log == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5),
+    ]
+
+
+def test_timeout_value_received_by_send():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="hello")
+        got.append(v)
+
+    Process(sim, proc(sim))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def worker(sim):
+        yield sim.timeout(3.0)
+        order.append("worker")
+        return 99
+
+    def waiter(sim, target):
+        v = yield target.done
+        order.append(("waiter", v, sim.now))
+
+    w = Process(sim, worker(sim), name="worker")
+    Process(sim, waiter(sim, w), name="waiter")
+    sim.run()
+    assert order == ["worker", ("waiter", 99, 3.0)]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    Process(sim, bad(sim), name="bad")
+    with pytest.raises((SimulationError, ProcessFailure)):
+        sim.run()
+
+
+def test_exception_in_process_surfaces_as_failure():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    p = Process(sim, boom(sim), name="boom")
+    with pytest.raises(ProcessFailure) as exc_info:
+        sim.run()
+    assert isinstance(exc_info.value.cause, ValueError)
+    assert exc_info.value.process is p
+
+
+def test_immediate_return_process():
+    sim = Simulator()
+
+    def instant(sim):
+        return "now"
+        yield  # pragma: no cover - makes it a generator
+
+    p = Process(sim, instant(sim))
+    sim.run()
+    assert p.done.value == "now"
+    assert sim.now == 0.0
+
+
+def test_creation_order_decides_ties():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        order.append(name)
+        yield sim.timeout(0.0)
+
+    for name in ("first", "second", "third"):
+        Process(sim, proc(sim, name))
+    sim.run()
+    assert order == ["first", "second", "third"]

@@ -1,0 +1,155 @@
+"""Tests for Resource and Store contention primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Process, Resource, SimulationError, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        ev = res.request()
+        assert ev.triggered
+        assert res.in_use == 1
+
+    def test_queue_when_full(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert first.triggered
+        assert not second.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert second.triggered
+        assert res.in_use == 1
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiters = [res.request() for _ in range(3)]
+        for i in range(3):
+            res.release()
+            assert waiters[i].triggered
+            assert all(not w.triggered for w in waiters[i + 1 :])
+
+    def test_serialized_processes(self):
+        """Two processes sharing a capacity-1 server run back to back."""
+        sim = Simulator()
+        spans = []
+
+        def user(sim, res, work):
+            yield res.request()
+            start = sim.now
+            yield sim.timeout(work)
+            res.release()
+            spans.append((start, sim.now))
+
+        res = Resource(sim, capacity=1)
+        Process(sim, user(sim, res, 2.0))
+        Process(sim, user(sim, res, 3.0))
+        sim.run()
+        assert spans == [(0.0, 2.0), (2.0, 5.0)]
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def user(sim, res):
+            yield res.request()
+            yield sim.timeout(4.0)
+            res.release()
+
+        Process(sim, user(sim, res))
+        sim.run()
+        assert res.busy_time() == pytest.approx(4.0)
+
+    def test_total_wait_time(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def user(sim, res, work):
+            yield res.request()
+            yield sim.timeout(work)
+            res.release()
+
+        Process(sim, user(sim, res, 2.0))
+        Process(sim, user(sim, res, 1.0))
+        sim.run()
+        assert res.total_wait_time == pytest.approx(2.0)
+        assert res.total_requests == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        ev = store.get()
+        assert ev.triggered and ev.value == "a"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        ev = store.get()
+        assert not ev.triggered
+        store.put(123)
+        assert ev.triggered and ev.value == 123
+
+    def test_fifo_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        assert [store.get().value for _ in range(5)] == list(range(5))
+
+    def test_fifo_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        evs = [store.get() for _ in range(3)]
+        for i in range(3):
+            store.put(i)
+        assert [e.value for e in evs] == [0, 1, 2]
+
+    def test_len_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2
+        assert store.peek_all() == ("x", "y")
+
+    def test_producer_consumer_processes(self):
+        sim = Simulator()
+        consumed = []
+
+        def producer(sim, store):
+            for i in range(3):
+                yield sim.timeout(1.0)
+                store.put(i)
+
+        def consumer(sim, store):
+            for _ in range(3):
+                item = yield store.get()
+                consumed.append((item, sim.now))
+
+        store = Store(sim)
+        Process(sim, producer(sim, store))
+        Process(sim, consumer(sim, store))
+        sim.run()
+        assert consumed == [(0, 1.0), (1, 2.0), (2, 3.0)]

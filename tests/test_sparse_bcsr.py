@@ -1,0 +1,107 @@
+"""Tests for the BCSR register-blocking format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, banded, block_diagonal, random_uniform
+from repro.sparse.bcsr import BCSRMatrix, bcsr_traffic_bytes, csr_traffic_bytes
+
+
+@pytest.fixture(scope="module")
+def blocky():
+    return block_diagonal(240, 8, 0.7, seed=41)
+
+
+class TestConstruction:
+    def test_from_csr_roundtrip(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        assert b.to_csr().allclose(blocky)
+
+    @pytest.mark.parametrize("r,c", [(1, 1), (2, 2), (2, 4), (4, 2), (3, 3)])
+    def test_roundtrip_all_shapes(self, r, c):
+        a = random_uniform(100, 5.0, seed=42)
+        b = BCSRMatrix.from_csr(a, r, c)
+        assert b.to_csr().allclose(a)
+
+    def test_roundtrip_when_n_not_block_multiple(self):
+        a = random_uniform(101, 4.0, seed=43)  # 101 % 4 != 0
+        b = BCSRMatrix.from_csr(a, 4, 4)
+        assert b.to_csr().allclose(a)
+
+    def test_1x1_blocks_equal_csr(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 1, 1)
+        assert b.n_blocks == blocky.nnz
+        assert b.fill_ratio() == pytest.approx(1.0)
+
+    def test_invalid_block_shape(self, blocky):
+        with pytest.raises(ValueError):
+            BCSRMatrix.from_csr(blocky, 0, 2)
+
+    def test_validation_of_raw_arrays(self):
+        with pytest.raises(ValueError):
+            BCSRMatrix(
+                np.array([0, 1]),
+                np.array([0], dtype=np.int32),
+                np.zeros((2, 2, 2)),  # wrong block count
+                2, 2, 2, 2,
+            )
+
+    def test_empty_matrix(self):
+        a = CSRMatrix(np.zeros(5, np.int64), np.empty(0, np.int32), np.empty(0), n_cols=4)
+        b = BCSRMatrix.from_csr(a, 2, 2)
+        assert b.n_blocks == 0
+        assert b.spmv(np.ones(4)).tolist() == [0.0] * 4
+
+
+class TestFillRatio:
+    def test_block_matrix_fills_well(self, blocky):
+        aligned = BCSRMatrix.from_csr(blocky, 4, 4)
+        assert aligned.fill_ratio() < 2.5
+
+    def test_scattered_matrix_fills_poorly(self):
+        scattered = random_uniform(240, 6.0, seed=44)
+        b = BCSRMatrix.from_csr(scattered, 4, 4)
+        assert b.fill_ratio() > 5.0
+
+    def test_bigger_blocks_more_fill_on_scattered(self):
+        scattered = random_uniform(240, 6.0, seed=44)
+        small = BCSRMatrix.from_csr(scattered, 2, 2)
+        big = BCSRMatrix.from_csr(scattered, 8, 8)
+        assert big.fill_ratio() > small.fill_ratio()
+
+
+class TestSpMV:
+    @pytest.mark.parametrize("r,c", [(1, 1), (2, 2), (4, 4), (2, 8)])
+    def test_matches_csr_product(self, blocky, r, c):
+        x = np.random.default_rng(5).uniform(size=blocky.n_cols)
+        b = BCSRMatrix.from_csr(blocky, r, c)
+        np.testing.assert_allclose(b.spmv(x), blocky.to_scipy() @ x, rtol=1e-10)
+
+    def test_non_multiple_dimension(self):
+        a = banded(97, 5.0, 6, seed=45)
+        b = BCSRMatrix.from_csr(a, 4, 4)
+        x = np.random.default_rng(6).uniform(size=97)
+        np.testing.assert_allclose(b.spmv(x), a.to_scipy() @ x, rtol=1e-10)
+
+    def test_wrong_x_shape(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 2, 2)
+        with pytest.raises(ValueError):
+            b.spmv(np.ones(blocky.n_cols + 1))
+
+
+class TestTrafficModel:
+    def test_csr_traffic_formula(self):
+        assert csr_traffic_bytes(1000, 100) == 12 * 1000 + 12 * 100 + 4
+        with pytest.raises(ValueError):
+            csr_traffic_bytes(-1, 0)
+
+    def test_blocking_saves_traffic_on_blocky_matrix(self, blocky):
+        b = BCSRMatrix.from_csr(blocky, 4, 4)
+        assert bcsr_traffic_bytes(b) < csr_traffic_bytes(blocky.nnz, blocky.n_rows)
+
+    def test_blocking_wastes_traffic_on_scattered_matrix(self):
+        scattered = random_uniform(240, 6.0, seed=44)
+        b = BCSRMatrix.from_csr(scattered, 4, 4)
+        assert bcsr_traffic_bytes(b) > csr_traffic_bytes(scattered.nnz, scattered.n_rows)

@@ -1,0 +1,157 @@
+"""Tests for the CSR storage format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_fig2_example(self, tiny_csr):
+        """The 5x5 example structure of the paper's Fig. 2."""
+        assert tiny_csr.shape == (5, 5)
+        assert tiny_csr.nnz == 9
+        assert list(tiny_csr.ptr) == [0, 2, 3, 6, 7, 9]
+        assert list(tiny_csr.index) == [0, 2, 1, 0, 2, 3, 3, 1, 4]
+        assert list(tiny_csr.da) == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_dtype_contract(self, tiny_csr):
+        """32-bit indices, 64-bit values — the Table I working-set basis."""
+        assert tiny_csr.index.dtype == np.int32
+        assert tiny_csr.da.dtype == np.float64
+
+    def test_ptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([1, 2]), np.array([0]), np.array([1.0]), n_cols=3)
+
+    def test_ptr_must_end_at_nnz(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 2]), np.array([0]), np.array([1.0]), n_cols=3)
+
+    def test_ptr_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 2, 1, 3]), np.arange(3, dtype=np.int32), np.ones(3), n_cols=5)
+
+    def test_column_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), n_cols=5)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 1]), np.array([-1]), np.array([1.0]), n_cols=5)
+
+    def test_index_da_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 2]), np.array([0, 1]), np.array([1.0]), n_cols=3)
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(np.zeros(4, dtype=np.int64), np.empty(0, np.int32), np.empty(0), n_cols=7)
+        assert m.shape == (3, 7)
+        assert m.nnz == 0
+        assert m.nnz_per_row == 0.0
+
+
+class TestRoundTrips:
+    def test_dense_round_trip(self, rng):
+        dense = rng.uniform(size=(20, 30))
+        dense[dense < 0.7] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_scipy_round_trip(self, small_banded):
+        sp = small_banded.to_scipy()
+        back = CSRMatrix.from_scipy(sp)
+        assert back.allclose(small_banded)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.ones(5))
+
+
+class TestAccessors:
+    def test_row_contents(self, tiny_csr):
+        cols, vals = tiny_csr.row(2)
+        assert list(cols) == [0, 2, 3]
+        assert list(vals) == [4.0, 5.0, 6.0]
+
+    def test_row_out_of_range(self, tiny_csr):
+        with pytest.raises(IndexError):
+            tiny_csr.row(5)
+
+    def test_iter_rows_covers_matrix(self, tiny_csr):
+        total = sum(len(cols) for _, cols, _ in tiny_csr.iter_rows())
+        assert total == tiny_csr.nnz
+
+    def test_row_lengths(self, tiny_csr):
+        assert list(tiny_csr.row_lengths()) == [2, 1, 3, 1, 2]
+
+    def test_nnz_per_row(self, tiny_csr):
+        assert tiny_csr.nnz_per_row == pytest.approx(9 / 5)
+
+
+class TestRowBlock:
+    def test_block_values(self, tiny_csr):
+        b = tiny_csr.row_block(1, 4)
+        assert b.shape == (3, 5)
+        assert b.nnz == 5
+        np.testing.assert_allclose(b.to_dense(), tiny_csr.to_dense()[1:4])
+
+    def test_block_ptr_rebased(self, tiny_csr):
+        b = tiny_csr.row_block(2, 5)
+        assert b.ptr[0] == 0
+        assert b.ptr[-1] == b.nnz
+
+    def test_whole_matrix_block(self, tiny_csr):
+        b = tiny_csr.row_block(0, 5)
+        assert b.allclose(tiny_csr)
+
+    def test_empty_block(self, tiny_csr):
+        b = tiny_csr.row_block(2, 2)
+        assert b.shape == (0, 5)
+        assert b.nnz == 0
+
+    def test_bad_block_raises(self, tiny_csr):
+        with pytest.raises(ValueError):
+            tiny_csr.row_block(3, 2)
+        with pytest.raises(ValueError):
+            tiny_csr.row_block(0, 6)
+
+
+class TestCOO:
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix(3, 3, np.array([0, 0, 1]), np.array([1, 1, 2]), np.array([2.0, 3.0, 4.0]))
+        m = coo.to_csr()
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 5.0
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_empty_coo(self):
+        coo = COOMatrix(4, 4, np.array([], dtype=int), np.array([], dtype=int), np.array([]))
+        m = coo.to_csr()
+        assert m.nnz == 0 and m.shape == (4, 4)
+
+    def test_csr_rows_sorted_by_column(self, rng):
+        n = 50
+        rows = rng.integers(0, n, size=500)
+        cols = rng.integers(0, n, size=500)
+        vals = rng.uniform(size=500)
+        m = COOMatrix(n, n, rows, cols, vals).to_csr()
+        for i in range(n):
+            c, _ = m.row(i)
+            assert (np.diff(c) > 0).all()  # strictly increasing: deduped
+
+    def test_coo_dense_agrees_with_csr_dense(self, rng):
+        rows = rng.integers(0, 10, size=40)
+        cols = rng.integers(0, 10, size=40)
+        vals = rng.uniform(size=40)
+        coo = COOMatrix(10, 10, rows, cols, vals)
+        np.testing.assert_allclose(coo.to_dense(), coo.to_csr().to_dense())

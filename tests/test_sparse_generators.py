@@ -1,0 +1,182 @@
+"""Tests for the synthetic sparsity-pattern generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    banded,
+    block_diagonal,
+    power_law,
+    random_uniform,
+    stencil_2d,
+    with_dense_rows,
+)
+
+
+class TestCommonProperties:
+    GENERATORS = [
+        lambda seed: banded(500, 8.0, 10, seed=seed),
+        lambda seed: block_diagonal(500, 20, 0.3, seed=seed),
+        lambda seed: random_uniform(500, 8.0, seed=seed),
+        lambda seed: power_law(500, 8.0, alpha=1.1, seed=seed),
+        lambda seed: stencil_2d(25, 20, seed=seed),
+    ]
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_deterministic_given_seed(self, gen):
+        a, b = gen(7), gen(7)
+        assert a.allclose(b)
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_different_seeds_differ(self, gen):
+        a, b = gen(7), gen(8)
+        assert not (a.nnz == b.nnz and a.allclose(b))
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_square_and_valid(self, gen):
+        a = gen(3)
+        assert a.n_rows == a.n_cols == 500
+        assert a.nnz > 0
+        assert a.index.min() >= 0 and a.index.max() < a.n_cols
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_values_in_generator_band(self, gen):
+        a = gen(3)
+        # duplicate merging can push values above 1.5, never below 0.5
+        assert a.da.min() >= 0.5
+
+
+class TestBanded:
+    def test_diagonal_always_present(self):
+        a = banded(100, 4.0, 3, seed=1)
+        dense = a.to_dense()
+        assert (np.diag(dense) != 0).all()
+
+    def test_bandwidth_controls_spread(self):
+        narrow = banded(2000, 8.0, 5, seed=1)
+        wide = banded(2000, 8.0, 200, seed=1)
+
+        def mean_dist(m):
+            rows = np.repeat(np.arange(m.n_rows), np.diff(m.ptr))
+            return np.abs(m.index - rows).mean()
+
+        assert mean_dist(wide) > 5 * mean_dist(narrow)
+
+    def test_nnz_near_target(self):
+        a = banded(1000, 10.0, 20, seed=2)
+        assert 0.8 * 10_000 <= a.nnz <= 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banded(0, 5.0, 10)
+        with pytest.raises(ValueError):
+            banded(10, 5.0, 0)
+
+
+class TestBlockDiagonal:
+    def test_entries_within_blocks(self):
+        a = block_diagonal(100, 10, 0.5, seed=1)
+        rows = np.repeat(np.arange(a.n_rows), np.diff(a.ptr))
+        assert (rows // 10 == a.index // 10).all()
+
+    def test_fill_controls_density(self):
+        sparse = block_diagonal(200, 20, 0.1, seed=1)
+        dense = block_diagonal(200, 20, 0.9, seed=1)
+        assert dense.nnz > 2 * sparse.nnz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_diagonal(100, 10, 0.0)
+        with pytest.raises(ValueError):
+            block_diagonal(100, 10, 1.5)
+        with pytest.raises(ValueError):
+            block_diagonal(100, 0, 0.5)
+
+
+class TestStencil:
+    def test_five_point_interior_rows(self):
+        a = stencil_2d(10, 10, seed=1)
+        lengths = a.row_lengths()
+        # Interior points have 5 entries, corners 3, edges 4.
+        assert lengths.max() == 5
+        assert lengths.min() == 3
+        # Row for grid point (5,5) = index 55: full 5-point star.
+        cols, _ = a.row(55)
+        assert set(cols.tolist()) == {45, 54, 55, 56, 65}
+
+    def test_symmetric_structure(self):
+        a = stencil_2d(8, 6, seed=1)
+        d = a.to_dense()
+        assert ((d != 0) == (d != 0).T).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil_2d(0, 5)
+
+
+class TestRandomUniform:
+    def test_rows_have_target_nnz(self):
+        a = random_uniform(1000, 6.0, seed=4)
+        # Dedupe costs a little; row lengths concentrate near 6.
+        assert 5.5 <= a.nnz_per_row <= 6.0
+
+    def test_columns_spread_widely(self):
+        a = random_uniform(2000, 8.0, seed=4)
+        assert len(np.unique(a.index)) > 1500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_uniform(0, 5.0)
+        with pytest.raises(ValueError):
+            random_uniform(10, 0.0)
+
+
+class TestPowerLaw:
+    def test_popularity_skew(self):
+        a = power_law(2000, 8.0, alpha=1.3, seed=5)
+        counts = np.bincount(a.index, minlength=a.n_cols)
+        counts.sort()
+        top = counts[-20:].sum()
+        assert top > 0.15 * a.nnz  # top 1% of columns draw >15% of entries
+
+    def test_alpha_controls_skew(self):
+        flat = power_law(2000, 8.0, alpha=0.3, seed=5)
+        steep = power_law(2000, 8.0, alpha=1.6, seed=5)
+
+        def top_share(m):
+            counts = np.sort(np.bincount(m.index, minlength=m.n_cols))
+            return counts[-20:].sum() / m.nnz
+
+        assert top_share(steep) > top_share(flat)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law(100, 5.0, alpha=0.0)
+        with pytest.raises(ValueError):
+            power_law(0, 5.0)
+
+
+class TestWithDenseRows:
+    def test_adds_dense_rows(self):
+        base = random_uniform(500, 3.0, seed=6)
+        a = with_dense_rows(base, 5, 0.6, seed=7)
+        lengths = a.row_lengths()
+        assert (lengths > 0.4 * a.n_cols).sum() >= 5
+        assert a.nnz > base.nnz
+
+    def test_preserves_base_entries(self):
+        base = random_uniform(200, 3.0, seed=6)
+        a = with_dense_rows(base, 2, 0.5, seed=7)
+        base_d = base.to_dense()
+        new_d = a.to_dense()
+        mask = base_d != 0
+        assert (new_d[mask] != 0).all()
+
+    def test_validation(self):
+        base = random_uniform(100, 3.0, seed=6)
+        with pytest.raises(ValueError):
+            with_dense_rows(base, -1, 0.5)
+        with pytest.raises(ValueError):
+            with_dense_rows(base, 1, 0.0)

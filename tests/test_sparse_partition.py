@@ -1,0 +1,107 @@
+"""Tests for balanced-nnz row partitioning (the paper's scheme)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    RowPartition,
+    partition_rows_balanced,
+    partition_rows_uniform,
+    with_dense_rows,
+    random_uniform,
+)
+
+
+class TestRowPartition:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            RowPartition(10, (0, 5))  # doesn't end at n_rows
+        with pytest.raises(ValueError):
+            RowPartition(10, (1, 10))  # doesn't start at 0
+        with pytest.raises(ValueError):
+            RowPartition(10, (0, 7, 3, 10))  # not monotone
+
+    def test_parts_and_ranges(self):
+        p = RowPartition(10, (0, 3, 7, 10))
+        assert p.n_parts == 3
+        assert p.part(1) == (3, 7)
+        assert p.ranges() == [(0, 3), (3, 7), (7, 10)]
+        with pytest.raises(IndexError):
+            p.part(3)
+
+    def test_part_nnz(self, tiny_csr):
+        p = RowPartition(5, (0, 2, 5))
+        assert list(p.part_nnz(tiny_csr)) == [3, 6]
+
+
+class TestBalancedPartition:
+    def test_covers_all_rows(self, small_banded):
+        p = partition_rows_balanced(small_banded, 7)
+        assert p.bounds[0] == 0 and p.bounds[-1] == small_banded.n_rows
+        assert p.n_parts == 7
+
+    def test_single_part(self, small_banded):
+        p = partition_rows_balanced(small_banded, 1)
+        assert p.ranges() == [(0, small_banded.n_rows)]
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_balance_on_uniform_matrix(self, k):
+        a = random_uniform(1000, 10.0, seed=3)
+        p = partition_rows_balanced(a, k)
+        assert p.imbalance(a) < 1.05
+
+    def test_beats_uniform_split_on_skewed_matrix(self):
+        """Dense rows wreck equal-row splits; balanced-nnz absorbs them."""
+        base = random_uniform(2000, 3.0, seed=5)
+        a = with_dense_rows(base, 10, 0.5, seed=6)
+        balanced = partition_rows_balanced(a, 8).imbalance(a)
+        uniform = partition_rows_uniform(a, 8).imbalance(a)
+        assert balanced < uniform
+
+    def test_nnz_sums_preserved(self, small_random):
+        p = partition_rows_balanced(small_random, 6)
+        assert p.part_nnz(small_random).sum() == small_random.nnz
+
+    def test_too_many_parts_rejected(self, tiny_csr):
+        with pytest.raises(ValueError):
+            partition_rows_balanced(tiny_csr, 6)
+
+    def test_invalid_count_rejected(self, tiny_csr):
+        with pytest.raises(ValueError):
+            partition_rows_balanced(tiny_csr, 0)
+
+    def test_deterministic(self, small_banded):
+        p1 = partition_rows_balanced(small_banded, 5)
+        p2 = partition_rows_balanced(small_banded, 5)
+        assert p1.bounds == p2.bounds
+
+    def test_matrix_with_empty_rows(self):
+        dense = np.zeros((20, 20))
+        dense[::4, 1] = 1.0  # only every 4th row has an entry
+        a = CSRMatrix.from_dense(dense)
+        p = partition_rows_balanced(a, 3)
+        assert p.part_nnz(a).sum() == a.nnz
+
+
+class TestUniformPartition:
+    def test_equal_row_counts(self):
+        a = random_uniform(100, 5.0, seed=1)
+        p = partition_rows_uniform(a, 4)
+        sizes = [hi - lo for lo, hi in p.ranges()]
+        assert sizes == [25, 25, 25, 25]
+
+    def test_rounding_spread(self):
+        a = random_uniform(10, 2.0, seed=1)
+        p = partition_rows_uniform(a, 3)
+        sizes = [hi - lo for lo, hi in p.ranges()]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_count(self, tiny_csr):
+        with pytest.raises(ValueError):
+            partition_rows_uniform(tiny_csr, 0)
+        with pytest.raises(ValueError):
+            partition_rows_uniform(tiny_csr, 99)

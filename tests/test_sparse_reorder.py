@@ -1,0 +1,146 @@
+"""Tests for Cuthill-McKee reordering and locality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, banded, random_uniform, stencil_2d
+from repro.sparse.reorder import (
+    bandwidth,
+    cuthill_mckee,
+    gather_locality_gain,
+    mean_column_distance,
+    permute_symmetric,
+    reverse_cuthill_mckee,
+)
+
+
+def shuffled_band(n=400, seed=3):
+    """A band matrix hidden under a random symmetric permutation."""
+    a = banded(n, 6.0, 4, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    perm = rng.permutation(n)
+    return a, permute_symmetric(a, perm)
+
+
+class TestMetrics:
+    def test_bandwidth_of_diagonal(self):
+        assert bandwidth(CSRMatrix.from_dense(np.eye(5))) == 0
+
+    def test_bandwidth_of_tridiagonal(self):
+        d = np.eye(6) + np.eye(6, k=1) + np.eye(6, k=-1)
+        assert bandwidth(CSRMatrix.from_dense(d)) == 1
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(np.zeros(4, np.int64), np.empty(0, np.int32), np.empty(0), n_cols=3)
+        assert bandwidth(m) == 0
+        assert mean_column_distance(m) == 0.0
+
+    def test_mean_distance_band_vs_random(self):
+        assert mean_column_distance(banded(500, 6.0, 5, seed=1)) < mean_column_distance(
+            random_uniform(500, 6.0, seed=1)
+        )
+
+
+class TestPermutation:
+    def test_identity_permutation(self, small_banded):
+        n = small_banded.n_rows
+        assert permute_symmetric(small_banded, np.arange(n)).allclose(small_banded)
+
+    def test_permutation_preserves_spectrum_values(self, small_banded):
+        """P A P^T has the same multiset of values and nnz."""
+        rng = np.random.default_rng(2)
+        p = rng.permutation(small_banded.n_rows)
+        b = permute_symmetric(small_banded, p)
+        assert b.nnz == small_banded.nnz
+        np.testing.assert_allclose(np.sort(b.da), np.sort(small_banded.da))
+
+    def test_permutation_is_similarity_transform(self):
+        a = banded(50, 4.0, 3, seed=9)
+        rng = np.random.default_rng(10)
+        p = rng.permutation(50)
+        b = permute_symmetric(a, p)
+        da, db = a.to_dense(), b.to_dense()
+        # db[inv[i], inv[j]] == da[i, j]
+        inv = np.empty(50, dtype=np.int64)
+        inv[p] = np.arange(50)
+        np.testing.assert_allclose(db[np.ix_(inv, inv)], da)
+
+    def test_invalid_permutation_rejected(self, small_banded):
+        with pytest.raises(ValueError):
+            permute_symmetric(small_banded, np.zeros(small_banded.n_rows, dtype=int))
+
+    def test_non_square_rejected(self):
+        m = CSRMatrix(np.array([0, 1]), np.array([2], np.int32), np.array([1.0]), n_cols=5)
+        with pytest.raises(ValueError):
+            permute_symmetric(m, np.array([0]))
+
+
+class TestCuthillMcKee:
+    def test_returns_permutation(self, small_banded):
+        p = cuthill_mckee(small_banded)
+        assert sorted(p.tolist()) == list(range(small_banded.n_rows))
+
+    def test_rcm_is_reverse(self, small_banded):
+        cm = cuthill_mckee(small_banded)
+        rcm = reverse_cuthill_mckee(small_banded)
+        np.testing.assert_array_equal(rcm, cm[::-1])
+
+    def test_recovers_band_structure(self):
+        """RCM on a permuted band matrix restores a narrow band."""
+        original, scrambled = shuffled_band()
+        assert bandwidth(scrambled) > 5 * bandwidth(original)
+        perm = reverse_cuthill_mckee(scrambled)
+        restored = permute_symmetric(scrambled, perm)
+        assert bandwidth(restored) < bandwidth(scrambled) / 3
+
+    def test_reduces_bandwidth_on_stencil(self):
+        a = stencil_2d(20, 20, seed=7)
+        rng = np.random.default_rng(8)
+        scrambled = permute_symmetric(a, rng.permutation(a.n_rows))
+        restored = permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled))
+        assert bandwidth(restored) < bandwidth(scrambled) / 2
+
+    def test_explicit_start_vertex(self, small_banded):
+        p = cuthill_mckee(small_banded, start=5)
+        assert p[0] == 5
+        assert sorted(p.tolist()) == list(range(small_banded.n_rows))
+
+    def test_bad_start_rejected(self, small_banded):
+        with pytest.raises(ValueError):
+            cuthill_mckee(small_banded, start=10**6)
+
+    def test_disconnected_components_all_visited(self):
+        d = np.zeros((8, 8))
+        d[0, 1] = d[1, 0] = 1.0  # component {0,1}
+        d[5, 6] = d[6, 5] = 1.0  # component {5,6}
+        for i in range(8):
+            d[i, i] = 1.0
+        p = cuthill_mckee(CSRMatrix.from_dense(d))
+        assert sorted(p.tolist()) == list(range(8))
+
+    def test_deterministic(self, small_banded):
+        np.testing.assert_array_equal(
+            cuthill_mckee(small_banded), cuthill_mckee(small_banded)
+        )
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(np.zeros(1, np.int64), np.empty(0, np.int32), np.empty(0), n_cols=0)
+        assert cuthill_mckee(m).size == 0
+
+
+class TestLocalityGain:
+    def test_rcm_improves_gather_misses(self):
+        _, scrambled = shuffled_band(n=3000)
+        restored = permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled))
+        before, after = gather_locality_gain(scrambled, restored, cache_lines=64)
+        assert after < before
+
+    def test_same_matrix_no_gain(self, small_banded):
+        b, a = gather_locality_gain(small_banded, small_banded)
+        assert b == a
+
+    def test_nnz_mismatch_rejected(self, small_banded, small_random):
+        with pytest.raises(ValueError):
+            gather_locality_gain(small_banded, small_random)

@@ -1,0 +1,144 @@
+"""Tests for the SpMV kernels (reference, vectorized, no-x-miss)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    spmv,
+    spmv_no_x_miss,
+    spmv_reference,
+    spmv_row_range,
+)
+
+
+class TestReferenceKernel:
+    def test_fig2_example(self, tiny_csr):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        y = spmv_reference(tiny_csr, x)
+        np.testing.assert_allclose(y, tiny_csr.to_dense() @ x)
+
+    def test_identity(self):
+        m = CSRMatrix.from_dense(np.eye(6))
+        x = np.arange(6.0)
+        np.testing.assert_allclose(spmv_reference(m, x), x)
+
+    def test_empty_rows_give_zero(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 5.0
+        m = CSRMatrix.from_dense(dense)
+        y = spmv_reference(m, np.ones(4))
+        np.testing.assert_allclose(y, [0.0, 5.0, 0.0, 0.0])
+
+    def test_wrong_x_shape(self, tiny_csr):
+        with pytest.raises(ValueError):
+            spmv_reference(tiny_csr, np.ones(4))
+
+
+class TestVectorizedKernel:
+    def test_matches_reference(self, small_banded, rng):
+        x = rng.uniform(size=small_banded.n_cols)
+        np.testing.assert_allclose(
+            spmv(small_banded, x), spmv_reference(small_banded, x), rtol=1e-12
+        )
+
+    def test_matches_scipy(self, small_random, rng):
+        x = rng.uniform(-1, 1, size=small_random.n_cols)
+        np.testing.assert_allclose(
+            spmv(small_random, x), small_random.to_scipy() @ x, rtol=1e-10
+        )
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(np.zeros(5, np.int64), np.empty(0, np.int32), np.empty(0), n_cols=3)
+        np.testing.assert_allclose(spmv(m, np.ones(3)), np.zeros(4))
+
+    def test_all_empty_rows_interleaved(self):
+        dense = np.zeros((6, 6))
+        dense[0, 0] = 1.0
+        dense[5, 5] = 2.0
+        m = CSRMatrix.from_dense(dense)
+        y = spmv(m, np.ones(6))
+        np.testing.assert_allclose(y, [1, 0, 0, 0, 0, 2.0])
+
+    def test_linearity(self, small_powerlaw, rng):
+        x1 = rng.uniform(size=small_powerlaw.n_cols)
+        x2 = rng.uniform(size=small_powerlaw.n_cols)
+        lhs = spmv(small_powerlaw, 2.0 * x1 + 3.0 * x2)
+        rhs = 2.0 * spmv(small_powerlaw, x1) + 3.0 * spmv(small_powerlaw, x2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+
+class TestRowRange:
+    def test_partial_ranges_tile_the_product(self, small_banded, rng):
+        x = rng.uniform(size=small_banded.n_cols)
+        full = spmv(small_banded, x)
+        n = small_banded.n_rows
+        parts = [
+            spmv_row_range(small_banded, x, 0, n // 3),
+            spmv_row_range(small_banded, x, n // 3, 2 * n // 3),
+            spmv_row_range(small_banded, x, 2 * n // 3, n),
+        ]
+        np.testing.assert_allclose(np.concatenate(parts), full, rtol=1e-12)
+
+    def test_out_parameter_writes_in_place(self, tiny_csr):
+        x = np.ones(5)
+        out = np.zeros(5)
+        ret = spmv_row_range(tiny_csr, x, 1, 3, out=out)
+        assert ret is out
+        np.testing.assert_allclose(out[1:3], (tiny_csr.to_dense() @ x)[1:3])
+        assert out[0] == 0.0 and out[3] == 0.0
+
+    def test_bad_range(self, tiny_csr):
+        with pytest.raises(ValueError):
+            spmv_row_range(tiny_csr, np.ones(5), 3, 2)
+        with pytest.raises(ValueError):
+            spmv_row_range(tiny_csr, np.ones(5), 0, 99)
+
+    def test_bad_out_shape(self, tiny_csr):
+        with pytest.raises(ValueError):
+            spmv_row_range(tiny_csr, np.ones(5), 0, 2, out=np.zeros(3))
+
+    def test_empty_range(self, tiny_csr):
+        y = spmv_row_range(tiny_csr, np.ones(5), 2, 2)
+        assert y.shape == (0,)
+
+
+class TestNoXMissKernel:
+    def test_computes_x0_times_rowsums(self, tiny_csr):
+        x = np.array([2.0, 9.0, 9.0, 9.0, 9.0])
+        y = spmv_no_x_miss(tiny_csr, x)
+        rowsums = tiny_csr.to_dense().sum(axis=1)
+        np.testing.assert_allclose(y, 2.0 * rowsums)
+
+    def test_same_flop_count_shape(self, small_banded):
+        """The diagnostic kernel does the same multiply-adds per row."""
+        x = np.ones(small_banded.n_cols)
+        y1 = spmv(small_banded, x)
+        y2 = spmv_no_x_miss(small_banded, x)
+        # With x == 1 everywhere the two kernels coincide.
+        np.testing.assert_allclose(y1, y2, rtol=1e-12)
+
+    def test_row_range_variant(self, small_banded):
+        x = np.full(small_banded.n_cols, 3.0)
+        n = small_banded.n_rows
+        block = spmv_no_x_miss(small_banded, x, n // 2, n)
+        full = spmv_no_x_miss(small_banded, x)
+        np.testing.assert_allclose(block, full[n // 2 :], rtol=1e-12)
+
+    def test_bad_range(self, tiny_csr):
+        with pytest.raises(ValueError):
+            spmv_no_x_miss(tiny_csr, np.ones(5), 4, 2)
+
+
+class TestNumericalAccuracy:
+    def test_large_cumsum_precision(self):
+        """The prefix-sum row reduction stays accurate on long rows."""
+        n = 200_000
+        ptr = np.array([0, n], dtype=np.int64)
+        index = np.arange(n, dtype=np.int32)
+        da = np.full(n, 1e-3)
+        m = CSRMatrix(ptr, index, da, n_cols=n)
+        y = spmv(m, np.ones(n))
+        assert y[0] == pytest.approx(n * 1e-3, rel=1e-9)

@@ -1,0 +1,108 @@
+"""Tests for the reconstructed Table I testbed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparse import SUITE, build_matrix, entry_by_id, iter_suite, suite_table
+from repro.sparse.stats import working_set_mbytes
+
+# Small scale keeps the full-suite tests fast.
+SCALE = 0.02
+
+
+class TestSuiteDefinition:
+    def test_thirty_two_matrices(self):
+        assert len(SUITE) == 32
+        assert [e.mid for e in SUITE] == list(range(1, 33))
+
+    def test_entry_lookup(self):
+        assert entry_by_id(2).name == "F1"
+        with pytest.raises(KeyError):
+            entry_by_id(0)
+        with pytest.raises(KeyError):
+            entry_by_id(33)
+
+    def test_short_row_matrices_are_24_and_25(self):
+        """The paper singles out ids 24/25 for very small nnz/n."""
+        short = sorted(SUITE, key=lambda e: e.nnz_per_row)[:2]
+        assert {e.mid for e in short} == {24, 25}
+        for e in short:
+            assert e.nnz_per_row < 8
+
+    def test_working_set_spread_covers_l2_boundary(self):
+        """At 24 cores some matrices fit the 256 KB L2, some do not."""
+        per_core = [e.ws_mbytes * 1024 / 24 for e in SUITE]  # KB per core
+        assert any(ws < 256 for ws in per_core)
+        assert any(ws > 256 for ws in per_core)
+
+    def test_ws_matches_formula(self):
+        for e in SUITE:
+            assert e.ws_mbytes == pytest.approx(working_set_mbytes(e.n, e.nnz))
+
+    def test_families_are_known(self):
+        known = {"banded", "block", "random", "random_short", "powerlaw", "powerlaw_short", "dense_rows"}
+        assert {e.family for e in SUITE} <= known
+
+    def test_scaled_preserves_density(self):
+        e = entry_by_id(7)
+        n, npr = e.scaled(0.1)
+        assert n == pytest.approx(e.n * 0.1, rel=0.01)
+        assert npr == e.nnz_per_row
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            entry_by_id(1).scaled(0.0)
+        with pytest.raises(ValueError):
+            entry_by_id(1).scaled(1.5)
+
+
+class TestBuildMatrix:
+    def test_deterministic(self):
+        a = build_matrix(12, scale=SCALE)
+        b = build_matrix(12, scale=SCALE)
+        assert a is b  # memoized
+
+    def test_density_near_target(self):
+        for mid in (7, 14, 26):
+            e = entry_by_id(mid)
+            a = build_matrix(mid, scale=SCALE)
+            assert a.nnz_per_row == pytest.approx(e.nnz_per_row, rel=0.35)
+
+    def test_all_entries_buildable(self):
+        for e, a in iter_suite(scale=SCALE):
+            assert a.n_rows == a.n_cols
+            assert a.nnz > 0
+
+    def test_dense_rows_family_hits_nnz_target(self):
+        # 'fp' stand-in: the dense-row budget must deliver ~nnz/n.
+        e = entry_by_id(21)
+        a = build_matrix(21, scale=0.1)
+        assert a.nnz_per_row == pytest.approx(e.nnz_per_row, rel=0.35)
+
+    def test_dense_rows_family_row_length_spread(self):
+        a = build_matrix(21, scale=0.1)
+        lengths = a.row_lengths()
+        # Bimodal: base rows ~0.3*npr, dense rows much longer.
+        assert lengths.max() > 2 * lengths.mean()
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            build_matrix(99, scale=SCALE)
+
+
+class TestSuiteTable:
+    def test_table_has_paper_columns(self):
+        rows = suite_table(scale=SCALE, ids=[1, 24])
+        assert len(rows) == 2
+        for r in rows:
+            for col in ("id", "name", "n", "nnz", "nnz_per_row", "ws_mbytes"):
+                assert col in r
+
+    def test_ids_filter(self):
+        rows = suite_table(scale=SCALE, ids=[3, 30])
+        assert [r["id"] for r in rows] == [3, 30]
+
+    def test_iter_suite_filter(self):
+        got = [e.mid for e, _ in iter_suite(scale=SCALE, ids=[2, 9, 31])]
+        assert got == [2, 9, 31]
