@@ -1,0 +1,152 @@
+"""``repro lint`` / ``repro check`` subcommand implementations.
+
+Kept separate from :mod:`repro.cli` (which owns the paper-artifact
+commands) so the analysis layer stays importable without the figure
+machinery.  Both commands exit non-zero when any ERROR-severity finding
+is produced, which is what CI keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Sequence, TextIO
+
+from .findings import Finding, Severity, findings_to_json, format_findings, has_errors
+from .lint import lint_paths
+from .rules import all_rules
+
+__all__ = ["lint_main", "check_main"]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically lint RCCE/simulator programs for SPMD protocol "
+        "bugs and determinism hazards.",
+    )
+    p.add_argument("paths", nargs="*", help="files or directories to lint")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p.add_argument(
+        "--select",
+        type=str,
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return p
+
+
+def lint_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``repro lint``; returns a process exit code."""
+    import sys
+
+    out = out or sys.stdout
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for r in all_rules():
+            print(f"{r.id}  [{r.severity.value:7s}]  {r.name}: {r.summary}", file=out)
+        return 0
+    if not args.paths:
+        raise SystemExit("repro lint: at least one path is required (or --list-rules)")
+    select = [s.strip() for s in args.select.split(",") if s.strip()] or None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        raise SystemExit(f"repro lint: {exc}") from exc
+    if args.format == "json":
+        print(findings_to_json(findings), file=out)
+    else:
+        print(format_findings(findings), file=out)
+    return 1 if has_errors(findings) else 0
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro check",
+        description="Run RCCE programs under the dynamic race/deadlock/"
+        "determinism checkers.",
+    )
+    p.add_argument(
+        "--program",
+        type=str,
+        default="",
+        help="check one program given as 'file.py:function' instead of the "
+        "built-in battery",
+    )
+    p.add_argument(
+        "--ues", type=int, default=4, help="number of UEs for --program (default 4)"
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p.add_argument(
+        "--no-determinism",
+        action="store_true",
+        help="skip the replay-based determinism verification",
+    )
+    return p
+
+
+def check_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``repro check``; returns a process exit code."""
+    import sys
+
+    out = out or sys.stdout
+    args = build_check_parser().parse_args(argv)
+    from .check import check_battery, load_program, run_checked
+
+    verify = not args.no_determinism
+    if args.program:
+        if args.ues < 1:
+            raise SystemExit(f"--ues must be >= 1, got {args.ues}")
+        try:
+            name, fn = load_program(args.program)
+        except (ValueError, OSError, AttributeError, TypeError) as exc:
+            raise SystemExit(f"repro check: {exc}") from exc
+        results = [run_checked(name, fn, args.ues, verify_determinism=verify)]
+    else:
+        results = check_battery(verify_determinism=verify)
+
+    all_findings: List[Finding] = []
+    if args.format == "json":
+        payload = []
+        for r in results:
+            payload.append(
+                {
+                    "program": r.name,
+                    "completed": r.completed,
+                    "deterministic": r.deterministic,
+                    "ok": r.ok,
+                    "findings": json.loads(findings_to_json(r.findings)),
+                }
+            )
+            all_findings.extend(r.findings)
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for r in results:
+            status = "ok" if r.ok else "FAIL"
+            det = (
+                ""
+                if r.deterministic is None
+                else f", deterministic={'yes' if r.deterministic else 'NO'}"
+            )
+            print(
+                f"[{status}] {r.name}: completed={'yes' if r.completed else 'NO'}{det}",
+                file=out,
+            )
+            for f in r.findings:
+                print(f"    {f}", file=out)
+            all_findings.extend(r.findings)
+        n_fail = sum(1 for r in results if not r.ok)
+        print(
+            f"{len(results)} program(s) checked, {n_fail} failing", file=out
+        )
+    failed = any(not r.ok for r in results) or any(
+        f.severity is Severity.ERROR for f in all_findings
+    )
+    return 1 if failed else 0

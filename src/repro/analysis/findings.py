@@ -1,0 +1,82 @@
+"""Structured diagnostics shared by the static linter and runtime checkers.
+
+Every rule violation — whether found by AST inspection or observed
+during a simulation — becomes one :class:`Finding` carrying a rule id,
+severity, location and a fix hint, so tooling (CLI, CI, tests) can
+consume both passes uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` findings fail the CLI run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: what rule fired, where, and how to fix it."""
+
+    rule: str                 #: rule id, e.g. "RCCE110"
+    severity: Severity
+    message: str              #: one-line description of the defect
+    path: str = "<runtime>"   #: source file, or "<runtime>" for dynamic findings
+    line: int = 0             #: 1-based line number (0 = not applicable)
+    hint: str = ""            #: suggested fix
+
+    @property
+    def location(self) -> str:
+        """``file:line`` rendering (file only when line unknown)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def __str__(self) -> str:
+        text = f"{self.location}: {self.severity.value}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [str(f) for f in ordered]
+    n_err = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    n_warn = sum(1 for f in ordered if f.severity is Severity.WARNING)
+    lines.append(
+        f"{len(ordered)} finding(s): {n_err} error(s), {n_warn} warning(s)"
+        if ordered
+        else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """JSON rendering (a list of objects) for machine consumers."""
+    payload = []
+    for f in sort_findings(findings):
+        d = asdict(f)
+        d["severity"] = f.severity.value
+        payload.append(d)
+    return json.dumps(payload, indent=2)
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    """True when any finding is ERROR severity (CLI exit-code driver)."""
+    return any(f.severity is Severity.ERROR for f in findings)

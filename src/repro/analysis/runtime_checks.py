@@ -1,0 +1,150 @@
+"""Dynamic checkers wired into the RCCE runtime.
+
+A :class:`RuntimeChecker` attaches to one
+:class:`~repro.rcce.runtime.RCCERuntime` and observes the simulation
+through small hooks in the mailbox, one-sided MPB and collective layers.
+It never changes behaviour — it only records structured findings:
+
+- **deadlock** (``RT801``): the event queue drained with UEs still
+  blocked; the finding carries the wait-for graph naming which rank
+  waits on which (peer, tag).
+- **mailbox race** (``RT802``): a second envelope with the same
+  (source, tag) was queued behind an undrained first — on the real MPB
+  the second write clobbers the first.
+- **MPB overwrite race** (``RT803``): a one-sided put overwrote an
+  offset whose previous payload was never read.
+- **collective mismatch** (``RT804``/``RT805``): ranks entered different
+  collectives at the same position in the program, or the same
+  reduce/allreduce with inconsistent payload sizes.
+
+Enable per runtime with ``RCCERuntime(..., checks=True)`` or globally
+with the ``REPRO_CHECKS`` environment variable (the test suite turns it
+on for every run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .findings import Finding, Severity
+
+__all__ = ["CollectiveEntry", "RuntimeChecker"]
+
+
+@dataclass(frozen=True)
+class CollectiveEntry:
+    """One rank's entry into a collective: what and how big."""
+
+    kind: str
+    nbytes: int
+    time: float
+
+
+#: collectives whose per-rank contribution must be size-consistent.
+#: gather/bcast legitimately carry different sizes per rank (variable
+#: blocks, root-only payload) and are excluded.
+_SIZE_CHECKED = frozenset({"reduce", "allreduce"})
+
+
+class RuntimeChecker:
+    """Observes one runtime and accumulates findings (never raises)."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self._runtime: Optional[Any] = None
+        #: per-UE ordered log of collective entries.
+        self.collective_log: Dict[int, List[CollectiveEntry]] = {}
+        #: first entry observed at each collective position (the reference
+        #: every later rank is compared against).
+        self._reference: Dict[int, CollectiveEntry] = {}
+        self._reference_ue: Dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, runtime: Any) -> None:
+        """Bind to a runtime (called by RCCERuntime.__init__)."""
+        self._runtime = runtime
+        self.collective_log = {ue: [] for ue in range(runtime.n_ues)}
+
+    @property
+    def errors(self) -> List[Finding]:
+        """ERROR-severity findings recorded so far."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def _record(self, rule: str, message: str, hint: str, severity: Severity = Severity.ERROR) -> None:
+        self.findings.append(
+            Finding(rule=rule, severity=severity, message=message, hint=hint)
+        )
+
+    # -- hooks (called from the rcce layer) --------------------------------
+
+    def on_deadlock(self, wait_for: Dict[int, Any], sim_time: float) -> None:
+        """Event queue drained with blocked UEs; record the wait-for graph."""
+        from ..rcce.errors import format_wait_for
+
+        self._record(
+            "RT801",
+            f"deadlock at t={sim_time:.9f}: "
+            f"{len(wait_for)} UE(s) blocked:\n{format_wait_for(wait_for)}",
+            "every send needs a matching recv on the addressed rank; check "
+            "tags and make all ranks enter the same collectives",
+        )
+
+    def on_mailbox_race(self, owner: int, source: int, tag: int, time: float) -> None:
+        """Duplicate (source, tag) queued behind an undrained envelope."""
+        from ..rcce.collectives import tag_name
+
+        self._record(
+            "RT802",
+            f"mailbox race on UE {owner} at t={time:.9f}: a second message "
+            f"from UE {source} with tag={tag_name(tag)} queued while the "
+            f"first is undrained — on the real MPB the write clobbers it",
+            "drain (recv) between same-tag sends, or use distinct tags",
+        )
+
+    def on_mpb_overwrite(
+        self, owner: int, offset: int, old_nbytes: int, new_nbytes: int, time: float
+    ) -> None:
+        """One-sided put overwrote undrained data (conflicting MPB writes)."""
+        self._record(
+            "RT803",
+            f"MPB overwrite race on core {owner} at t={time:.9f}: offset "
+            f"{offset} rewritten ({old_nbytes} B -> {new_nbytes} B) without "
+            f"an intervening read",
+            "synchronize with a flag (OneSided.set_flag/wait_flag) before "
+            "reusing an MPB offset",
+        )
+
+    def on_collective_enter(self, ue: int, kind: str, nbytes: int, time: float) -> None:
+        """A rank entered a (outermost) collective; cross-check the epoch."""
+        log = self.collective_log.setdefault(ue, [])
+        entry = CollectiveEntry(kind, nbytes, time)
+        index = len(log)
+        log.append(entry)
+        ref = self._reference.get(index)
+        if ref is None:
+            self._reference[index] = entry
+            self._reference_ue[index] = ue
+            return
+        ref_ue = self._reference_ue[index]
+        if entry.kind != ref.kind:
+            self._record(
+                "RT804",
+                f"collective mismatch at position {index}: UE {ue} entered "
+                f"{entry.kind!r} but UE {ref_ue} entered {ref.kind!r} — the "
+                f"job will hang or fold garbage",
+                "all ranks must call the same collective in the same order",
+            )
+        elif entry.kind in _SIZE_CHECKED and entry.nbytes != ref.nbytes:
+            self._record(
+                "RT805",
+                f"collective payload mismatch at position {index}: UE {ue} "
+                f"contributes {entry.nbytes} B to {entry.kind!r} but UE "
+                f"{ref_ue} contributes {ref.nbytes} B",
+                "reduce/allreduce contributions must have identical shapes "
+                "on every rank",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RuntimeChecker findings={len(self.findings)}>"

@@ -6,10 +6,15 @@ Usage::
     python -m repro fig5 --scale 0.2 --ids 7,14,24
     python -m repro fig9 --iterations 8
     python -m repro all --scale 0.1
+    python -m repro lint examples/ src/repro/apps/
+    python -m repro check --program myprog.py:ue_main --ues 4
 
 Output is the same tabular rendering the benchmark harness prints; the
 benchmark harness additionally asserts the paper's findings, so use
 ``pytest benchmarks/ --benchmark-only`` for a checked reproduction.
+``lint`` and ``check`` are the correctness tooling of
+:mod:`repro.analysis` (see ``docs/ANALYSIS.md``): a static SPMD/
+determinism linter and the dynamic race/deadlock/determinism checkers.
 """
 
 from __future__ import annotations
@@ -42,6 +47,9 @@ from .scc.chip import CONF0, CONF1, CONF2
 __all__ = ["main", "build_parser"]
 
 ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+#: subcommands handled by repro.analysis.cli rather than the artifact parser.
+ANALYSIS_COMMANDS = ("lint", "check")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +283,14 @@ def _render_validation(out) -> int:
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] in ANALYSIS_COMMANDS:
+        from .analysis.cli import check_main, lint_main
+
+        handler = lint_main if argv[0] == "lint" else check_main
+        return handler(argv[1:], out=out)
     args = build_parser().parse_args(argv)
     opened = None
     if out is None:

@@ -9,7 +9,16 @@
 """
 
 from .api import RCCEComm, payload_bytes
-from .collectives import allreduce, barrier, bcast, gather, reduce
+from .collectives import (
+    RESERVED_TAG_BASE,
+    allreduce,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    tag_name,
+)
+from .errors import RCCEDeadlockError, RCCEError, format_wait_for
 from .mpb import MPB_BYTES_PER_CORE, Envelope, Mailbox, chunked_transfer_time
 from .onesided import FLAG_CLEAR, FLAG_SET, MPBWindow, OneSided
 from .power import (
@@ -18,11 +27,17 @@ from .power import (
     VOLTAGE_RAMP_SECONDS,
     PowerManager,
 )
-from .runtime import RCCERuntime, UEResult
+from .runtime import RCCERuntime, UEResult, checks_enabled_by_default
 
 __all__ = [
     "RCCEComm",
     "payload_bytes",
+    "RESERVED_TAG_BASE",
+    "tag_name",
+    "RCCEError",
+    "RCCEDeadlockError",
+    "format_wait_for",
+    "checks_enabled_by_default",
     "allreduce",
     "barrier",
     "bcast",

@@ -56,9 +56,24 @@ def payload_bytes(obj: Any) -> int:
 class RCCEComm:
     """Communication handle of one unit of execution."""
 
-    def __init__(self, runtime, ue: int) -> None:
+    def __init__(self, runtime: Any, ue: int) -> None:
         self._rt = runtime
         self.ue = ue
+        self._collective_depth = 0
+
+    # -- checker hooks -----------------------------------------------------
+
+    def _enter_collective(self, kind: str, payload: Any) -> None:
+        """Called by the collective layer on entry (outermost call only
+        is reported, so a barrier's internal reduce+bcast don't count)."""
+        self._collective_depth += 1
+        checker = getattr(self._rt, "checker", None)
+        if checker is not None and self._collective_depth == 1:
+            nbytes = 0 if payload is None else payload_bytes(payload)
+            checker.on_collective_enter(self.ue, kind, nbytes, self._rt.sim.now)
+
+    def _exit_collective(self) -> None:
+        self._collective_depth -= 1
 
     # -- identity ------------------------------------------------------------
 
@@ -124,7 +139,11 @@ class RCCEComm:
         yield self._rt.sim.timeout(t)
         ack = self._rt.sim.event(f"ack:{self.ue}->{dest}")
         self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
+        # Record the rendezvous block so the deadlock detector can name
+        # this sender's (peer, tag) in its wait-for graph.
+        self._rt.blocked_sends[self.ue] = (dest, tag)
         yield ack
+        self._rt.blocked_sends.pop(self.ue, None)
 
     def recv(self, source: Optional[int] = None, tag: Optional[int] = None) -> CommGen:
         """Blocking matched receive; returns the payload."""
@@ -146,13 +165,15 @@ class RCCEComm:
 
         return bcast(self, data, root)
 
-    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None, root: int = 0) -> CommGen:
+    def reduce(
+        self, value: Any, op: Optional[Callable[[Any, Any], Any]] = None, root: int = 0
+    ) -> CommGen:
         """RCCE_reduce: fold values onto ``root`` (None elsewhere)."""
         from .collectives import reduce as _reduce
 
         return _reduce(self, value, op, root)
 
-    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> CommGen:
+    def allreduce(self, value: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> CommGen:
         """Reduce then broadcast: every UE gets the folded value."""
         from .collectives import allreduce
 

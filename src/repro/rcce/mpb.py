@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, List, Optional, Tuple
 
 from ..sim import SimEvent, Simulator
+from .errors import RCCEError
 
 __all__ = ["MPB_BYTES_PER_CORE", "chunked_transfer_time", "Envelope", "Mailbox"]
 
@@ -62,11 +63,26 @@ class Mailbox:
     matching receiver).  ``receive`` returns an event that triggers with
     the envelope once a match exists; the receiver must call
     ``envelope.ack.succeed()`` to release the blocked sender.
+
+    ``n_peers`` (when known) bounds the valid source ranks so a recv
+    naming a nonexistent peer raises :class:`~repro.rcce.errors.RCCEError`
+    immediately instead of hanging the job.  Negative tags are rejected
+    unconditionally: the runtime reserves a positive high-tag range for
+    collectives (see :mod:`repro.rcce.collectives`) and user tags must
+    be non-negative.
     """
 
-    def __init__(self, sim: Simulator, owner: int) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: int,
+        n_peers: Optional[int] = None,
+        checker: Optional[Any] = None,
+    ) -> None:
         self.sim = sim
         self.owner = owner
+        self.n_peers = n_peers
+        self.checker = checker
         self._pending: Deque[Envelope] = deque()
         self._waiting: Deque[Tuple[Optional[int], Optional[int], SimEvent]] = deque()
 
@@ -74,17 +90,39 @@ class Mailbox:
     def _matches(env: Envelope, source: Optional[int], tag: Optional[int]) -> bool:
         return (source is None or env.source == source) and (tag is None or env.tag == tag)
 
+    def _validate(self, source: Optional[int], tag: Optional[int], op: str) -> None:
+        if tag is not None and tag < 0:
+            raise RCCEError(
+                f"mailbox[{self.owner}].{op}: negative tag {tag} is invalid "
+                f"(user tags must be >= 0)"
+            )
+        if source is not None and self.n_peers is not None:
+            if not 0 <= source < self.n_peers:
+                raise RCCEError(
+                    f"mailbox[{self.owner}].{op}: peer rank {source} does not "
+                    f"exist (job has UEs 0..{self.n_peers - 1})"
+                )
+
     def deliver(self, env: Envelope) -> None:
         """Enqueue an envelope or hand it to a waiting matching receiver."""
+        self._validate(env.source, env.tag, "deliver")
         for i, (src, tag, ev) in enumerate(self._waiting):
             if self._matches(env, src, tag):
                 del self._waiting[i]
                 ev.succeed(env)
                 return
+        if self.checker is not None:
+            for queued in self._pending:
+                if queued.source == env.source and queued.tag == env.tag:
+                    self.checker.on_mailbox_race(
+                        self.owner, env.source, env.tag, self.sim.now
+                    )
+                    break
         self._pending.append(env)
 
     def receive(self, source: Optional[int] = None, tag: Optional[int] = None) -> SimEvent:
         """Event that triggers with the next (source, tag)-matching envelope."""
+        self._validate(source, tag, "receive")
         ev = self.sim.event(f"mailbox[{self.owner}].recv")
         for i, env in enumerate(self._pending):
             if self._matches(env, source, tag):
@@ -98,3 +136,10 @@ class Mailbox:
     def pending_count(self) -> int:
         """Number of undelivered envelopes queued in this mailbox."""
         return len(self._pending)
+
+    def waiting_requests(self) -> List[Tuple[Optional[int], Optional[int]]]:
+        """(source, tag) of every receive still blocked in this mailbox.
+
+        The deadlock detector reads this to build its wait-for graph.
+        """
+        return [(src, tag) for src, tag, _ev in self._waiting]

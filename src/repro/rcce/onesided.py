@@ -19,7 +19,7 @@ rebuild send/recv from these primitives to show they compose.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, Optional
 
 from .api import payload_bytes
 from .mpb import MPB_BYTES_PER_CORE
@@ -43,13 +43,22 @@ class MPBWindow:
     RCCE to chunk large messages.
     """
 
-    def __init__(self, owner: int, size: int = MPB_BYTES_PER_CORE) -> None:
+    def __init__(
+        self,
+        owner: int,
+        size: int = MPB_BYTES_PER_CORE,
+        on_overwrite: Optional[Callable[[int, int, int, int], None]] = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"MPB size must be positive, got {size}")
         self.owner = owner
         self.size = size
         self._data: Dict[int, Any] = {}
         self._flags: Dict[int, int] = {}
+        #: offsets written since their last read — an overwrite of one of
+        #: these is a data race (the producer clobbered undrained data).
+        self._unread: set[int] = set()
+        self._on_overwrite = on_overwrite
 
     def write(self, offset: int, payload: Any) -> None:
         """Store a payload at ``offset``; enforces the 8 KB capacity."""
@@ -61,12 +70,18 @@ class MPBWindow:
                 f"payload of {nbytes} B at offset {offset} overflows the "
                 f"{self.size} B MPB — chunk it"
             )
+        if offset in self._unread and self._on_overwrite is not None:
+            self._on_overwrite(
+                self.owner, offset, payload_bytes(self._data[offset]), nbytes
+            )
         self._data[offset] = payload
+        self._unread.add(offset)
 
     def read(self, offset: int) -> Any:
         """Return the payload stored at ``offset`` (KeyError if empty)."""
         if offset not in self._data:
             raise KeyError(f"MPB[{self.owner}] has no payload at offset {offset}")
+        self._unread.discard(offset)
         return self._data[offset]
 
     def set_flag(self, flag_id: int, value: int) -> None:
@@ -85,29 +100,38 @@ class OneSided:
     charges the mesh time of the transfer it models.
     """
 
-    def __init__(self, runtime) -> None:
+    def __init__(self, runtime: Any) -> None:
         self._rt = runtime
-        self.windows = [MPBWindow(core) for core in runtime.core_map]
+        checker = getattr(runtime, "checker", None)
+        on_overwrite = None
+        if checker is not None:
+
+            def on_overwrite(owner: int, offset: int, old_n: int, new_n: int) -> None:
+                checker.on_mpb_overwrite(owner, offset, old_n, new_n, runtime.sim.now)
+
+        self.windows = [
+            MPBWindow(core, on_overwrite=on_overwrite) for core in runtime.core_map
+        ]
 
     def _transfer_time(self, src_ue: int, dst_ue: int, nbytes: int) -> float:
         return self._rt.mesh.core_message_time(
             self._rt.core_map[src_ue], self._rt.core_map[dst_ue], nbytes
         )
 
-    def put(self, src_ue: int, dst_ue: int, offset: int, payload: Any) -> Generator:
+    def put(self, src_ue: int, dst_ue: int, offset: int, payload: Any) -> Generator[Any, Any, Any]:
         """Write ``payload`` into ``dst_ue``'s MPB at ``offset``."""
         t = self._transfer_time(src_ue, dst_ue, payload_bytes(payload))
         yield self._rt.sim.timeout(t)
         self.windows[dst_ue].write(offset, payload)
 
-    def get(self, src_ue: int, dst_ue: int, offset: int) -> Generator:
+    def get(self, src_ue: int, dst_ue: int, offset: int) -> Generator[Any, Any, Any]:
         """Read from ``dst_ue``'s MPB at ``offset``; returns the payload."""
         payload = self.windows[dst_ue].read(offset)
         t = self._transfer_time(dst_ue, src_ue, payload_bytes(payload))
         yield self._rt.sim.timeout(t)
         return payload
 
-    def set_flag(self, src_ue: int, dst_ue: int, flag_id: int, value: int = FLAG_SET) -> Generator:
+    def set_flag(self, src_ue: int, dst_ue: int, flag_id: int, value: int = FLAG_SET) -> Generator[Any, Any, Any]:
         """Write a one-byte flag in ``dst_ue``'s MPB (releases pollers)."""
         t = self._transfer_time(src_ue, dst_ue, 1)
         yield self._rt.sim.timeout(t)
@@ -120,7 +144,7 @@ class OneSided:
         value: int = FLAG_SET,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         timeout: Optional[float] = None,
-    ) -> Generator:
+    ) -> Generator[Any, Any, Any]:
         """Spin on a local flag until it reads ``value``.
 
         Polling quantizes the wake-up to ``poll_interval`` — the

@@ -14,19 +14,31 @@ knob of the paper's mapping study; mapping policies live in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Sequence
+import os
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..scc.chip import CONF0, SCCConfig
 from ..scc.mesh import MeshNetwork
 from ..scc.topology import N_CORES, SCCTopology
 from ..sim import Process, SimEvent, Simulator
 from .api import RCCEComm
+from .errors import RCCEDeadlockError, WaitInfo
 from .mpb import Mailbox
 from .power import PowerManager
 
-__all__ = ["UEResult", "RCCERuntime"]
+__all__ = ["UEResult", "RCCERuntime", "checks_enabled_by_default"]
 
 UEFunction = Callable[..., Generator[SimEvent, Any, Any]]
+
+
+def checks_enabled_by_default() -> bool:
+    """Whether new runtimes attach a RuntimeChecker automatically.
+
+    Controlled by the ``REPRO_CHECKS`` environment variable ("1"/"true"/
+    "on" enable).  The test suite turns it on for every run; production
+    campaigns leave it off and opt in per runtime via ``checks=True``.
+    """
+    return os.environ.get("REPRO_CHECKS", "").lower() in ("1", "true", "on", "yes")
 
 
 class UEResult:
@@ -52,6 +64,9 @@ class RCCERuntime:
         core_map: Sequence[int],
         config: SCCConfig = CONF0,
         topology: Optional[SCCTopology] = None,
+        checks: Optional[bool] = None,
+        checker: Optional[Any] = None,
+        record_trace: bool = False,
     ) -> None:
         core_list = list(core_map)
         if not core_list:
@@ -65,10 +80,22 @@ class RCCERuntime:
         self.n_ues = len(core_list)
         self.config = config
         self.topology = topology or SCCTopology()
-        self.sim = Simulator()
+        self.sim = Simulator(record_trace=record_trace)
         self.mesh = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz)
         self.power = PowerManager(config, self.topology)
-        self.mailboxes = [Mailbox(self.sim, ue) for ue in range(self.n_ues)]
+        if checker is None and (checks if checks is not None else checks_enabled_by_default()):
+            from ..analysis.runtime_checks import RuntimeChecker
+
+            checker = RuntimeChecker()
+        self.checker = checker
+        if checker is not None:
+            checker.attach(self)
+        #: rendezvous sends currently blocked on their ack: ue -> (dest, tag)
+        self.blocked_sends: Dict[int, Tuple[int, int]] = {}
+        self.mailboxes = [
+            Mailbox(self.sim, ue, n_peers=self.n_ues, checker=checker)
+            for ue in range(self.n_ues)
+        ]
         self.comms = [RCCEComm(self, ue) for ue in range(self.n_ues)]
 
     def run(self, fn: UEFunction, *args: Any, until: Optional[float] = None) -> List[UEResult]:
@@ -94,16 +121,37 @@ class RCCERuntime:
 
         self.sim.run(until=until)
 
-        stuck = [p.name for p in procs if not p.finished]
+        stuck = [ue for ue in range(self.n_ues) if not procs[ue].finished]
         if stuck:
-            raise RuntimeError(
-                f"deadlock: UEs {stuck} never finished (event queue drained at "
-                f"t={self.sim.now:.9f})"
-            )
+            wait_for = self._wait_for_graph(stuck)
+            if self.checker is not None:
+                self.checker.on_deadlock(wait_for, self.sim.now)
+            raise RCCEDeadlockError(wait_for, self.sim.now)
         return [
             UEResult(ue, self.core_map[ue], procs[ue].done.value, finish_times[ue])
             for ue in range(self.n_ues)
         ]
+
+    def _wait_for_graph(self, stuck: Sequence[int]) -> Dict[int, Optional[WaitInfo]]:
+        """What each stuck UE was blocked on when the queue drained.
+
+        A UE is either parked in a matched receive (its mailbox holds the
+        (source, tag) it asked for), blocked in a rendezvous send waiting
+        for the receiver's ack, or — rarely — waiting on an event the
+        runtime does not track (e.g. another process's ``done``).
+        """
+        graph: Dict[int, Optional[WaitInfo]] = {}
+        for ue in stuck:
+            waits = self.mailboxes[ue].waiting_requests()
+            if waits:
+                source, tag = waits[0]
+                graph[ue] = ("recv", source, tag)
+            elif ue in self.blocked_sends:
+                dest, tag = self.blocked_sends[ue]
+                graph[ue] = ("send", dest, tag)
+            else:
+                graph[ue] = None
+        return graph
 
     def makespan(self, results: List[UEResult]) -> float:
         """Parallel completion time: the slowest UE's finish time."""

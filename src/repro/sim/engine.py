@@ -99,11 +99,16 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record_trace: bool = False) -> None:
         self._now = 0.0
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._handled = 0
+        self._record_trace = record_trace
+        #: (time, seq, event-name) of every dispatched event when
+        #: ``record_trace`` is on — the determinism verifier replays a
+        #: run and diffs two of these schedules.
+        self.trace: list[tuple[float, int, str]] = []
 
     @property
     def now(self) -> float:
@@ -143,6 +148,8 @@ class Simulator:
         self._now = entry.time
         self._handled += 1
         ev = entry.event
+        if self._record_trace:
+            self.trace.append((entry.time, entry.seq, ev.name))
         if not ev.triggered:
             ev.succeed(ev._pending_value)
 

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Dynamic runtime checkers (repro.analysis) are on by default under test so
+# any protocol regression in the suite surfaces as a recorded finding.
+os.environ.setdefault("REPRO_CHECKS", "1")
 
 from repro.scc import SCCTopology
 from repro.sparse import CSRMatrix, banded, power_law, random_uniform

@@ -1,0 +1,68 @@
+"""Intentionally buggy UE programs exercising the *runtime* checkers.
+
+Each function is an RCCE program (generator taking ``comm``) with one
+specific protocol defect; the integration tests boot them on a checked
+:class:`~repro.rcce.runtime.RCCERuntime` and assert the corresponding
+checker fires.  ``repro check --program tests/fixtures/buggy_programs.py:<name>``
+demonstrates the same from the CLI.
+"""
+
+from __future__ import annotations
+
+
+def deadlock_tag_mismatch(comm):
+    """UE 0 sends tag 5 but UE 1 expects tag 7: rendezvous deadlock (RT801)."""
+    if comm.ue == 0:
+        yield from comm.send("payload", dest=1, tag=5)
+    else:
+        data = yield from comm.recv(source=0, tag=7)
+        return data
+
+
+def deadlock_all_recv(comm):
+    """Every rank receives, nobody sends (RT801 with recv-only graph)."""
+    data = yield from comm.recv()
+    return data
+
+
+def collective_kind_mismatch(comm):
+    """UE 0 calls barrier while the rest call allreduce (RT804).
+
+    Both are reduce+bcast trees on the same reserved tags, so the run
+    *completes* — with rank 0's barrier token silently folded into the
+    other ranks' sum.  Exactly the class of silent corruption the
+    dynamic checker exists to catch.
+    """
+    if comm.ue == 0:
+        yield from comm.barrier()
+        return 0.0
+    total = yield from comm.allreduce(1.0)
+    return total
+
+
+def collective_size_mismatch(comm):
+    """Ranks contribute different payload sizes to an allreduce (RT805)."""
+    contribution = [1.0] * (4 if comm.ue == 0 else 2)
+    total = yield from comm.allreduce(contribution)
+    return len(total)
+
+
+def mpb_overwrite_race(comm, onesided):
+    """UE 0 puts twice to the same offset with no intervening read (RT803)."""
+    if comm.ue == 0:
+        yield from onesided.put(0, 1, 0, b"first")
+        yield from onesided.put(0, 1, 0, b"clobbered")  # never drained
+        yield from onesided.set_flag(0, 1, flag_id=0)
+    else:
+        yield from onesided.wait_flag(1, flag_id=0)
+        payload = yield from onesided.get(1, 1, 0)
+        return payload
+
+
+def nondeterministic_compute(comm):
+    """Compute time drawn from the process-global RNG (DET900 on replay)."""
+    import random
+
+    yield from comm.compute(1e-9 + random.random() * 1e-8)
+    yield from comm.barrier()
+    return comm.wtime()

@@ -1,0 +1,10 @@
+"""Fixture: host wall-clock consulted inside simulated code (DET201)."""
+
+import time
+
+
+def program(comm):
+    t0 = time.time()  # host clock, not simulated time
+    yield from comm.compute(1e-6)
+    elapsed = time.perf_counter() - t0
+    return elapsed

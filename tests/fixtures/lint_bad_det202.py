@@ -1,0 +1,12 @@
+"""Fixture: unseeded / global-state randomness in simulated code (DET202)."""
+
+import random
+
+import numpy as np
+
+
+def program(comm):
+    rng = np.random.default_rng()  # no seed: differs per process
+    jitter = random.random()       # stdlib global RNG
+    noise = np.random.uniform()    # NumPy legacy global RNG
+    yield from comm.compute(1e-9 * (rng.uniform() + jitter + noise))

@@ -1,0 +1,8 @@
+"""Fixture: mutable default argument on a simulated function (DET203)."""
+
+
+def program(comm, acc=[], table={}):
+    acc.append(comm.ue)  # shared across every UE and every run
+    table[comm.ue] = True
+    yield from comm.barrier()
+    return len(acc)

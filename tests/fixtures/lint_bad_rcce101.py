@@ -1,0 +1,9 @@
+"""Fixture: send/recv tags that can never match (RCCE101)."""
+
+
+def program(comm):
+    if comm.ue == 0:
+        yield from comm.send("payload", dest=1, tag=1)
+    else:
+        data = yield from comm.recv(source=0, tag=2)  # tag typo: never matches
+        return data

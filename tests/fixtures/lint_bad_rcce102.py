@@ -1,0 +1,7 @@
+"""Fixture: rendezvous send addressed to the sender itself (RCCE102)."""
+
+
+def program(comm):
+    yield from comm.send("boomerang", comm.ue)
+    data = yield from comm.recv()
+    return data

@@ -1,0 +1,9 @@
+"""Fixture: user tags straying into the negative/reserved range (RCCE103)."""
+
+
+def program(comm):
+    if comm.ue == 0:
+        yield from comm.send(1.0, dest=1, tag=-1)  # negative: rejected at runtime
+    else:
+        data = yield from comm.recv(source=0, tag=-1)
+        return data

@@ -1,0 +1,10 @@
+"""Fixture: collective entered only by some ranks (RCCE110)."""
+
+
+def program(comm):
+    partial = float(comm.ue)
+    if comm.ue == 0:
+        total = yield from comm.allreduce(partial)  # other ranks never enter
+        return total
+    yield from comm.compute(1e-6)
+    return partial

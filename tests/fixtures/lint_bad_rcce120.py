@@ -1,0 +1,10 @@
+"""Fixture: payload bigger than the 8 KB MPB on a non-chunked path (RCCE120)."""
+
+import numpy as np
+
+
+def program(comm, onesided, window):
+    # 2048 float64 = 16 KB: twice the per-core MPB, unchunked.
+    yield from onesided.put(comm.ue, 1, 0, np.zeros(2048))
+    window.write(0, bytes(10000))
+    yield from comm.barrier()

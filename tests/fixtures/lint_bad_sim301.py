@@ -1,0 +1,6 @@
+"""Fixture: communication generator built but never driven (SIM301)."""
+
+
+def program(comm):
+    comm.barrier()  # missing `yield from`: nothing happens
+    yield from comm.compute(1e-6)

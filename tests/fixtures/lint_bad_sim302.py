@@ -1,0 +1,7 @@
+"""Fixture: yielding non-SimEvent values to the engine (SIM302)."""
+
+
+def program(comm):
+    yield comm.compute(1e-6)  # generator, not SimEvent: use `yield from`
+    yield 5                   # plain value: engine raises
+    yield                     # bare yield delivers None

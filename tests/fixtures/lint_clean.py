@@ -1,0 +1,19 @@
+"""Fixture: a correct SPMD program no rule should fire on."""
+
+import numpy as np
+
+
+def program(comm, rng_seed=7):
+    rng = np.random.default_rng(rng_seed)
+    payload = rng.uniform(size=16)
+    right = (comm.ue + 1) % comm.num_ues
+    left = (comm.ue - 1) % comm.num_ues
+    if comm.ue % 2 == 0:  # symmetry break: p2p only, no collectives
+        yield from comm.send(payload, right, tag=3)
+        incoming = yield from comm.recv(left, tag=3)
+    else:
+        incoming = yield from comm.recv(left, tag=3)
+        yield from comm.send(payload, right, tag=3)
+    total = yield from comm.allreduce(float(incoming.sum()))
+    yield from comm.barrier()
+    return total
