@@ -8,6 +8,8 @@ Usage::
     python -m repro all --scale 0.1
     python -m repro lint examples/ src/repro/apps/
     python -m repro check --program myprog.py:ue_main --ues 4
+    python -m repro faults --plan crash --ids 2,7 --cores 8
+    python -m repro faults --repair results/sweep.jsonl
 
 Output is the same tabular rendering the benchmark harness prints; the
 benchmark harness additionally asserts the paper's findings, so use
@@ -15,6 +17,8 @@ benchmark harness additionally asserts the paper's findings, so use
 ``lint`` and ``check`` are the correctness tooling of
 :mod:`repro.analysis` (see ``docs/ANALYSIS.md``): a static SPMD/
 determinism linter and the dynamic race/deadlock/determinism checkers.
+``faults`` runs the fault-tolerant SpMV driver under a seeded fault
+plan and repairs damaged campaign files (see ``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -50,6 +54,8 @@ ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
 
 #: subcommands handled by repro.analysis.cli rather than the artifact parser.
 ANALYSIS_COMMANDS = ("lint", "check")
+#: subcommands handled by repro.faults.cli.
+FAULTS_COMMANDS = ("faults",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -291,6 +297,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
         handler = lint_main if argv[0] == "lint" else check_main
         return handler(argv[1:], out=out)
+    if argv and argv[0] in FAULTS_COMMANDS:
+        from .faults.cli import faults_main
+
+        return faults_main(argv[1:], out=out)
     args = build_parser().parse_args(argv)
     opened = None
     if out is None:

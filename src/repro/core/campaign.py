@@ -7,26 +7,72 @@ one JSON record per completed point to ``<name>.jsonl``.  Reopening the
 campaign skips points that are already on disk, so an interrupted sweep
 resumes where it stopped, and the records feed any external analysis
 without re-simulation.
+
+Robustness contract (the parts a crashed or faulty sweep relies on):
+
+- appends are flushed *and* fsynced per record, so a killed process
+  loses at most the record being written;
+- a truncated trailing line (the fsync race the previous rule cannot
+  close) is tolerated on read — the point simply reruns on resume;
+  corruption anywhere *else* is an integrity error and raises, pointing
+  at :meth:`Campaign.repair`, which quarantines bad lines instead of
+  deleting them;
+- every record carries a ``status`` — points that exhaust their
+  simulated-time budget (``point_budget``) or die on a runtime error
+  are recorded as ``timeout`` / ``failed`` instead of aborting the
+  sweep, and are *not* retried on resume (delete the record or repair
+  to retry);
+- with a ``fault_plan`` the sweep runs the fault-tolerant driver and
+  records the fault/recovery counters per point.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from itertools import product
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..rcce.errors import RCCEBudgetExceededError, RCCEError
 from ..scc.chip import PRESETS
+from ..sim import ProcessFailure, SimulationError
 from ..sparse.suite import build_matrix, entry_by_id
-from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
+from .experiment import (
+    DEFAULT_ITERATIONS,
+    ExperimentResult,
+    FaultTolerantResult,
+    SpMVExperiment,
+)
 
-__all__ = ["result_record", "CampaignPoint", "Campaign"]
+__all__ = [
+    "result_record",
+    "fault_tolerant_record",
+    "CampaignPoint",
+    "Campaign",
+    "CampaignIntegrityError",
+]
+
+
+class CampaignIntegrityError(ValueError):
+    """A campaign file holds corrupt JSON away from the trailing edge."""
+
+    def __init__(self, path: Path, lineno: int, detail: str) -> None:
+        self.path = path
+        self.lineno = lineno
+        super().__init__(
+            f"{path}:{lineno}: corrupt campaign record ({detail}); "
+            f"run the repair path (CLI: `repro faults --repair {path}`, "
+            f"API: Campaign.repair()) to quarantine bad lines"
+        )
 
 
 def result_record(r: ExperimentResult) -> dict:
     """Flatten an ExperimentResult into a JSON-serializable record."""
     return {
+        "status": "ok",
         "matrix": r.matrix_name,
         "n": r.n,
         "nnz": r.nnz,
@@ -40,6 +86,28 @@ def result_record(r: ExperimentResult) -> dict:
         "power_watts": r.power_watts,
         "mflops_per_watt": r.mflops_per_watt,
         "ws_per_core_bytes": r.ws_per_core_bytes,
+    }
+
+
+def fault_tolerant_record(r: FaultTolerantResult) -> dict:
+    """Flatten a FaultTolerantResult (fault/recovery counters included)."""
+    return {
+        "status": "ok",
+        "matrix": r.matrix_name,
+        "n": r.n,
+        "nnz": r.nnz,
+        "n_cores": r.n_cores,
+        "config": r.config_name,
+        "mapping": r.mapping,
+        "kernel": "csr",
+        "iterations": r.iterations,
+        "makespan_s": r.makespan,
+        "mflops": r.mflops,
+        "plan": r.plan_name,
+        "plan_seed": r.plan_seed,
+        "verified": r.verified,
+        "failed_ues": sorted(r.failed_ues),
+        "fault_counters": dict(sorted(r.counters.items())),
     }
 
 
@@ -58,6 +126,43 @@ class CampaignPoint:
         return f"{self.mid}:{self.n_cores}:{self.config}:{self.mapping}:{self.kernel}"
 
 
+def _iter_jsonl(path: Path, tolerate_trailing: bool = True):
+    """Yield (lineno, record) from a campaign file, defensively.
+
+    A bad *final* line is tolerated (with a warning): it is the
+    signature of a write cut mid-record by a crash, and dropping it just
+    reruns that point.  A bad line with valid records *after* it means
+    the file was edited or the disk corrupted — that raises
+    :class:`CampaignIntegrityError` so nobody silently analyses a
+    damaged campaign.
+    """
+    bad: Optional[Tuple[int, str]] = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if bad is not None:
+                raise CampaignIntegrityError(path, bad[0], bad[1])
+            try:
+                rec = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                bad = (lineno, f"invalid JSON: {exc}")
+                continue
+            if not isinstance(rec, dict):
+                bad = (lineno, f"expected an object, got {type(rec).__name__}")
+                continue
+            yield lineno, rec
+    if bad is not None:
+        if not tolerate_trailing:
+            raise CampaignIntegrityError(path, bad[0], bad[1])
+        warnings.warn(
+            f"{path}:{bad[0]}: ignoring truncated trailing record "
+            f"({bad[1]}); the point will rerun on resume",
+            stacklevel=2,
+        )
+
+
 class Campaign:
     """A persistent sweep over the experiment grid."""
 
@@ -67,46 +172,96 @@ class Campaign:
         output_dir: Path | str,
         scale: float = 1.0,
         iterations: int = DEFAULT_ITERATIONS,
+        fault_plan: Optional[object] = None,
+        point_budget: Optional[float] = None,
     ) -> None:
         if not name or "/" in name:
             raise ValueError(f"campaign name must be a simple identifier, got {name!r}")
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if point_budget is not None and point_budget <= 0:
+            raise ValueError(f"point_budget must be > 0, got {point_budget}")
         self.name = name
         self.output_dir = Path(output_dir)
         self.output_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.output_dir / f"{name}.jsonl"
         self.scale = scale
         self.iterations = iterations
+        #: a FaultPlan switches the sweep to the fault-tolerant driver.
+        self.fault_plan = fault_plan
+        #: per-point simulated-time budget (None = unbounded).
+        self.point_budget = point_budget
         self._experiments: Dict[int, SpMVExperiment] = {}
 
     # -- persistence ----------------------------------------------------
 
     def completed_keys(self) -> set:
-        """Resume keys of every record already on disk."""
+        """Resume keys of every record already on disk.
+
+        Failed and timed-out points count as completed — rerunning a
+        point that deterministically times out would wedge every resume.
+        """
         done = set()
         if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    rec = json.loads(line)
+            for _lineno, rec in _iter_jsonl(self.path):
+                if "_key" in rec:
                     done.add(rec["_key"])
         return done
 
     def load(self) -> List[dict]:
-        """All completed records (without the internal resume key)."""
+        """All records on disk (without the internal resume key)."""
         records = []
         if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        rec = json.loads(line)
-                        rec.pop("_key", None)
-                        records.append(rec)
+            for _lineno, rec in _iter_jsonl(self.path):
+                rec = dict(rec)
+                rec.pop("_key", None)
+                records.append(rec)
         return records
+
+    def repair(self) -> Tuple[int, int]:
+        """Quarantine corrupt lines; returns (kept, quarantined).
+
+        Bad lines are moved to ``<name>.quarantine.jsonl`` (appended,
+        never overwritten — evidence is kept) and the campaign file is
+        atomically rewritten with only the valid records.
+        """
+        if not self.path.exists():
+            return 0, 0
+        kept: List[str] = []
+        quarantined: List[str] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    rec = json.loads(stripped)
+                    ok = isinstance(rec, dict)
+                except json.JSONDecodeError:
+                    ok = False
+                (kept if ok else quarantined).append(stripped)
+        if quarantined:
+            qpath = self.output_dir / f"{self.name}.quarantine.jsonl"
+            with open(qpath, "a", encoding="utf-8") as fh:
+                for line in quarantined:
+                    fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for line in kept:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return len(kept), len(quarantined)
+
+    @staticmethod
+    def _append(fh, rec: dict) -> None:
+        """One durable record: write, flush, fsync."""
+        fh.write(json.dumps(rec) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
 
     # -- execution ----------------------------------------------------------
 
@@ -134,8 +289,60 @@ class Campaign:
             )
         ]
 
+    def _run_point(self, pt: CampaignPoint) -> dict:
+        """Execute one point, mapping failures to structured records."""
+        exp = self._experiment(pt.mid)
+        try:
+            if self.fault_plan is not None:
+                result = exp.run_fault_tolerant(
+                    n_cores=pt.n_cores,
+                    config=PRESETS[pt.config],
+                    mapping=pt.mapping,
+                    plan=self.fault_plan,
+                    iterations=self.iterations,
+                    time_budget=self.point_budget,
+                )
+                return fault_tolerant_record(result)
+            result = exp.run(
+                n_cores=pt.n_cores,
+                config=PRESETS[pt.config],
+                mapping=pt.mapping,
+                kernel=pt.kernel,
+                iterations=self.iterations,
+                time_budget=self.point_budget,
+            )
+            return result_record(result)
+        except RCCEBudgetExceededError as exc:
+            return {
+                "status": "timeout",
+                "matrix": entry_by_id(pt.mid).name,
+                "n_cores": pt.n_cores,
+                "config": pt.config,
+                "mapping": pt.mapping,
+                "kernel": pt.kernel,
+                "budget_s": exc.budget,
+                "stuck_ues": list(exc.running_ues),
+                "error": str(exc),
+            }
+        except (RCCEError, ProcessFailure, SimulationError) as exc:
+            return {
+                "status": "failed",
+                "matrix": entry_by_id(pt.mid).name,
+                "n_cores": pt.n_cores,
+                "config": pt.config,
+                "mapping": pt.mapping,
+                "kernel": pt.kernel,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+
     def run(self, points: Iterable[CampaignPoint]) -> Tuple[int, int]:
-        """Execute all points not yet on disk; returns (ran, skipped)."""
+        """Execute all points not yet on disk; returns (ran, skipped).
+
+        A point that times out or fails is recorded with its status and
+        the sweep continues — one pathological point cannot take the
+        campaign down.
+        """
         done = self.completed_keys()
         ran = skipped = 0
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -147,19 +354,10 @@ class Campaign:
                     raise ValueError(
                         f"unknown config {pt.config!r}; choose from {sorted(PRESETS)}"
                     )
-                exp = self._experiment(pt.mid)
-                result = exp.run(
-                    n_cores=pt.n_cores,
-                    config=PRESETS[pt.config],
-                    mapping=pt.mapping,
-                    kernel=pt.kernel,
-                    iterations=self.iterations,
-                )
-                rec = result_record(result)
+                rec = self._run_point(pt)
                 rec["_key"] = pt.key()
                 rec["scale"] = self.scale
-                fh.write(json.dumps(rec) + "\n")
-                fh.flush()
+                self._append(fh, rec)
                 ran += 1
                 done.add(pt.key())
         return ran, skipped
@@ -167,8 +365,22 @@ class Campaign:
     # -- analysis --------------------------------------------------------------
 
     def summarize(self, group_by: str = "n_cores") -> Dict:
-        """Mean MFLOPS/s of completed records grouped by one field."""
+        """Mean MFLOPS/s of successful records grouped by one field.
+
+        Timed-out and failed points are excluded (they carry no
+        throughput); they still live in the file for failure analysis.
+        """
         groups: Dict = {}
         for rec in self.load():
+            if rec.get("status", "ok") != "ok":
+                continue
             groups.setdefault(rec[group_by], []).append(rec["mflops"])
         return {k: sum(v) / len(v) for k, v in sorted(groups.items())}
+
+    def status_counts(self) -> Dict[str, int]:
+        """How many records ended in each status (ok/timeout/failed)."""
+        counts: Dict[str, int] = {}
+        for rec in self.load():
+            status = rec.get("status", "ok")
+            counts[status] = counts.get(status, 0) + 1
+        return dict(sorted(counts.items()))

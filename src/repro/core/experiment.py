@@ -22,11 +22,13 @@ Performance is reported exactly as in the paper (Sec. IV):
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Counter as TCounter, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..rcce.errors import RCCETimeoutError
 from ..rcce.runtime import RCCERuntime
 from ..scc.chip import CONF0, SCCConfig
 from ..scc.memory import MemorySystem
@@ -44,7 +46,14 @@ from .mapping import get_mapping
 from .timing import CoreTiming, solve_core_times
 from .trace import DEFAULT_X_CAPACITY_FRACTION, UETrace, access_summary, characterize_partition
 
-__all__ = ["ExperimentResult", "SpMVExperiment", "DEFAULT_ITERATIONS"]
+__all__ = [
+    "ExperimentResult",
+    "FaultTolerantResult",
+    "SpMVExperiment",
+    "DEFAULT_ITERATIONS",
+    "FT_WORK_TAG",
+    "FT_RESULT_TAG",
+]
 
 #: SpMV repetitions per timed run, matching the usual benchmarking loop.
 DEFAULT_ITERATIONS = 16
@@ -111,6 +120,228 @@ def _ue_body(comm, durations, blocks, a, x, kernel, verify):
     return None
 
 
+#: reliable-layer user tags of the fault-tolerant driver.
+FT_WORK_TAG = 1
+FT_RESULT_TAG = 2
+
+
+@dataclass(frozen=True)
+class FaultTolerantResult:
+    """Outcome of one fault-tolerant run under a (possibly faulty) plan."""
+
+    matrix_name: str
+    n: int
+    nnz: int
+    n_cores: int
+    config_name: str
+    mapping: str
+    iterations: int
+    makespan: float
+    plan_name: str
+    plan_seed: int
+    #: assembled result vector (always present; the driver survives).
+    y: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    #: exact equality against the fault-free block-wise computation.
+    verified: bool = False
+    #: fault + recovery counters: injector kinds (drop/duplicate/corrupt/
+    #: core_failure/...) merged with protocol counters (retries,
+    #: repartitions, detected_failures, checkpoints, stale_results, ...).
+    counters: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: ranks that died, with their simulated failure time.
+    failed_ues: Dict[int, float] = field(default_factory=dict)
+    #: the injector's replayable fault schedule (same seed => identical).
+    fault_schedule: List[Tuple] = field(default_factory=list, repr=False, compare=False)
+    #: dispatched-event trace when ``record_trace=True`` (for DET900).
+    trace: List[Tuple] = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations: 2 * nnz * iterations."""
+        return 2 * self.nnz * self.iterations
+
+    @property
+    def mflops(self) -> float:
+        """Throughput in MFLOPS/s over the makespan."""
+        return self.flops / self.makespan / 1e6
+
+
+def _block_nnz(a: CSRMatrix, r0: int, r1: int) -> int:
+    return int(a.ptr[r1] - a.ptr[r0])
+
+
+def _ft_coordinator(
+    comm, rcomm, blocks, a, x, iterations, time_per_nnz, collect_timeout
+):
+    """Rank 0 of the fault-tolerant driver: dispatch, collect, recover.
+
+    Owns the authoritative ``y``.  Work units are whole partition blocks;
+    when a worker dies (discovered by a failed send or a collect timeout
+    plus liveness probe) its blocks are re-dealt round-robin over the
+    surviving workers — or computed locally when none remain.  Results
+    are idempotent (a block is a pure function of the immutable inputs),
+    so a late result from a presumed-dead worker is simply accepted or
+    discarded as stale, never harmful.
+    """
+    from ..faults.reliable import PeerFailedError, ReliableSendError
+
+    n_blocks = len(blocks)
+    owner: Dict[int, int] = {b: b % comm.num_ues for b in range(n_blocks)}
+    dead: set = set()
+    counters: TCounter = Counter()
+    y = np.zeros(a.n_rows)
+    rr = 0  # round-robin pointer for re-deals
+
+    def _mark_dead(w: int) -> None:
+        if w not in dead:
+            dead.add(w)
+            counters["detected_failures"] += 1
+            counters["repartitions"] += 1
+
+    def _pick_owner() -> int:
+        """Next surviving worker (round-robin), or 0 to compute locally."""
+        nonlocal rr
+        live = [w for w in range(1, comm.num_ues) if w not in dead]
+        if not live:
+            return 0
+        w = live[rr % len(live)]
+        rr += 1
+        return w
+
+    for it in range(iterations):
+        filled = [False] * n_blocks
+        for b in range(n_blocks):
+            if owner[b] in dead:
+                owner[b] = _pick_owner()
+
+        # -- dispatch this iteration's work to the (believed-live) owners
+        for b in range(n_blocks):
+            while owner[b] != 0:
+                w = owner[b]
+                try:
+                    yield from rcomm.send(("work", it, b), w, FT_WORK_TAG)
+                    break
+                except PeerFailedError:
+                    _mark_dead(w)
+                    owner[b] = _pick_owner()
+                except ReliableSendError:
+                    # Peer probes alive but never acked: degrade by
+                    # taking the block over rather than stalling the run.
+                    counters["send_failures"] += 1
+                    owner[b] = 0
+
+        # -- compute locally-owned blocks (overlaps with workers)
+        for b in range(n_blocks):
+            if owner[b] == 0 and not filled[b]:
+                r0, r1 = blocks[b]
+                yield from comm.compute(_block_nnz(a, r0, r1) * time_per_nnz)
+                y[r0:r1] = spmv_row_range(a, x, r0, r1)
+                filled[b] = True
+
+        # -- collect, probing and re-dealing on timeout
+        while not all(filled):
+            try:
+                _src, msg = yield from rcomm.recv(
+                    None, FT_RESULT_TAG, timeout=collect_timeout
+                )
+            except RCCETimeoutError:
+                for b in range(n_blocks):
+                    if filled[b] or owner[b] == 0:
+                        continue
+                    w = owner[b]
+                    alive = w not in dead and (yield from rcomm.detector.probe(w))
+                    if alive:
+                        continue
+                    _mark_dead(w)
+                    nw = _pick_owner()
+                    if nw != 0:
+                        try:
+                            yield from rcomm.send(("work", it, b), nw, FT_WORK_TAG)
+                            owner[b] = nw
+                            continue
+                        except (PeerFailedError, ReliableSendError):
+                            _mark_dead(nw)
+                    owner[b] = 0
+                    r0, r1 = blocks[b]
+                    yield from comm.compute(_block_nnz(a, r0, r1) * time_per_nnz)
+                    y[r0:r1] = spmv_row_range(a, x, r0, r1)
+                    filled[b] = True
+                continue
+            if not (isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "result"):
+                counters["garbage_results"] += 1
+                continue
+            _kind, rit, b, arr = msg
+            if rit != it or filled[b]:
+                counters["stale_results"] += 1
+                continue
+            r0, r1 = blocks[b]
+            y[r0:r1] = arr
+            filled[b] = True
+
+        # -- iteration complete: checkpoint the assembled vector
+        counters["checkpoints"] += 1
+
+    # -- release the survivors
+    for w in range(1, comm.num_ues):
+        if w in dead:
+            continue
+        try:
+            yield from rcomm.send(("stop",), w, FT_WORK_TAG)
+        except (PeerFailedError, ReliableSendError):
+            _mark_dead(w)
+    counters.update(rcomm.counters)
+    return {"y": y, "counters": dict(counters)}
+
+
+def _ft_worker(comm, rcomm, blocks, a, x, time_per_nnz, idle_timeout):
+    """Worker loop: compute assigned blocks until told to stop.
+
+    Every receive is bounded (lint rule RCCE130): a worker orphaned by
+    message loss keeps polling instead of hanging the simulation, and
+    the runtime's time budget bounds the whole job.
+    """
+    from ..faults.reliable import PeerFailedError, ReliableSendError
+
+    while True:
+        try:
+            _src, msg = yield from rcomm.recv(0, FT_WORK_TAG, timeout=idle_timeout)
+        except RCCETimeoutError:
+            continue
+        if not (isinstance(msg, tuple) and msg):
+            continue
+        if msg[0] == "stop":
+            break
+        if msg[0] != "work" or len(msg) != 3:
+            continue
+        _kind, it, b = msg
+        r0, r1 = blocks[b]
+        yield from comm.compute(_block_nnz(a, r0, r1) * time_per_nnz)
+        block_y = spmv_row_range(a, x, r0, r1)
+        try:
+            yield from rcomm.send(("result", it, b, block_y), 0, FT_RESULT_TAG)
+        except (PeerFailedError, ReliableSendError):
+            break  # coordinator unreachable: nothing left to contribute
+    return {"counters": dict(rcomm.counters)}
+
+
+def _ft_ue_body(
+    comm, blocks, a, x, iterations, time_per_nnz, collect_timeout, idle_timeout,
+    ack_timeout,
+):
+    """SPMD entry of the fault-tolerant driver (rank 0 coordinates)."""
+    from ..faults.reliable import ReliableComm
+
+    rcomm = ReliableComm(comm, ack_timeout=ack_timeout)
+    if comm.ue == 0:
+        out = yield from _ft_coordinator(
+            comm, rcomm, blocks, a, x, iterations, time_per_nnz, collect_timeout
+        )
+    else:
+        out = yield from _ft_worker(
+            comm, rcomm, blocks, a, x, time_per_nnz, idle_timeout
+        )
+    return out
+
+
 class SpMVExperiment:
     """Run the paper's SpMV study for one matrix on the SCC model."""
 
@@ -173,6 +404,7 @@ class SpMVExperiment:
         iterations: int = DEFAULT_ITERATIONS,
         verify: bool = False,
         x: Optional[np.ndarray] = None,
+        time_budget: Optional[float] = None,
     ) -> ExperimentResult:
         """Execute one configuration and return its result.
 
@@ -180,6 +412,11 @@ class SpMVExperiment:
         explicit core list (e.g. from ``single_core_at_distance``).
         ``verify=True`` additionally runs the real kernel on the RCCE
         runtime and attaches the gathered ``y`` to the result.
+        ``time_budget`` bounds the run in *simulated* seconds: a job that
+        has not finished by then raises
+        :class:`~repro.rcce.errors.RCCEBudgetExceededError` — campaigns
+        use this to turn a hung point into a structured record instead
+        of a hung sweep.
         """
         if kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -212,7 +449,9 @@ class SpMVExperiment:
         blocks = self.partition(n_cores).ranges()
         x_vec = x if x is not None else np.ones(self.a.n_cols)
         runtime = RCCERuntime(core_map, config=config, topology=self.topology)
-        results = runtime.run(_ue_body, durations, blocks, self.a, x_vec, kernel, verify)
+        results = runtime.run(
+            _ue_body, durations, blocks, self.a, x_vec, kernel, verify, until=time_budget
+        )
         makespan = runtime.makespan(results)
         y = results[0].value if verify else None
 
@@ -230,6 +469,111 @@ class SpMVExperiment:
             power_watts=config.full_chip_power(),
             ws_per_core_bytes=working_set_per_core(self.a, n_cores),
             y=y,
+        )
+
+    def run_fault_tolerant(
+        self,
+        n_cores: int = 48,
+        config: SCCConfig = CONF0,
+        mapping: Union[str, Sequence[int]] = "distance_reduction",
+        plan: Optional[Any] = None,
+        iterations: int = DEFAULT_ITERATIONS,
+        x: Optional[np.ndarray] = None,
+        time_per_nnz: float = 1e-8,
+        time_budget: Optional[float] = None,
+        record_trace: bool = False,
+        collect_timeout: float = 5e-4,
+        idle_timeout: float = 1e-3,
+        ack_timeout: float = 2e-4,
+    ) -> FaultTolerantResult:
+        """Run SpMV fault-tolerantly under a :class:`~repro.faults.plan.FaultPlan`.
+
+        Rank 0 coordinates: it deals partition blocks to the workers over
+        the reliable-messaging layer (:mod:`repro.faults.reliable`),
+        re-deals the blocks of workers that die mid-run, checkpoints the
+        assembled vector every iteration and survives message loss,
+        duplication and corruption.  The returned result carries the
+        merged fault/recovery counters and, per the robustness contract,
+        ``verified`` is exact (bitwise) equality of ``y`` against the
+        fault-free block-wise computation.
+
+        ``plan=None`` (or a faultless plan) runs the same protocol on a
+        perfect machine — useful as the baseline of injection studies.
+        ``time_budget`` bounds the run in simulated seconds
+        (:class:`~repro.rcce.errors.RCCEBudgetExceededError` past it).
+        """
+        if isinstance(mapping, str):
+            core_map = get_mapping(mapping)(n_cores, self.topology)
+            mapping_name = mapping
+        else:
+            core_map = list(mapping)
+            mapping_name = "explicit"
+            if len(core_map) != n_cores:
+                raise ValueError(
+                    f"explicit mapping names {len(core_map)} cores but n_cores={n_cores}"
+                )
+
+        blocks = self.partition(n_cores).ranges()
+        x_vec = x if x is not None else np.ones(self.a.n_cols)
+        runtime = RCCERuntime(
+            core_map,
+            config=config,
+            topology=self.topology,
+            record_trace=record_trace,
+            fault_plan=plan,
+        )
+        results = runtime.run(
+            _ft_ue_body,
+            blocks,
+            self.a,
+            x_vec,
+            iterations,
+            time_per_nnz,
+            collect_timeout,
+            idle_timeout,
+            ack_timeout,
+            until=time_budget,
+        )
+        makespan = runtime.makespan(results)
+
+        coord = results[0].value
+        if not isinstance(coord, dict) or "y" not in coord:
+            raise RuntimeError(
+                "fault-tolerant coordinator returned no result "
+                "(rank 0 must be protected from injected failures)"
+            )
+        y = coord["y"]
+        counters: TCounter[str] = Counter(coord["counters"])
+        for r in results[1:]:
+            if isinstance(r.value, dict):
+                counters.update(r.value.get("counters", {}))
+        fault_schedule: List[Tuple] = []
+        plan_name, plan_seed = "none", 0
+        if runtime.fault_injector is not None:
+            counters.update(runtime.fault_injector.counters)
+            fault_schedule = runtime.fault_injector.schedule_signature()
+            plan_name = runtime.fault_injector.plan.name
+            plan_seed = runtime.fault_injector.plan.seed
+        reference = np.concatenate(
+            [spmv_row_range(self.a, x_vec, r0, r1) for r0, r1 in blocks]
+        )
+        return FaultTolerantResult(
+            matrix_name=self.name,
+            n=self.a.n_rows,
+            nnz=self.a.nnz,
+            n_cores=n_cores,
+            config_name=config.name,
+            mapping=mapping_name,
+            iterations=iterations,
+            makespan=makespan,
+            plan_name=plan_name,
+            plan_seed=plan_seed,
+            y=y,
+            verified=bool(np.array_equal(y, reference)),
+            counters=dict(counters),
+            failed_ues=dict(runtime.failed_ues),
+            fault_schedule=fault_schedule,
+            trace=list(runtime.sim.trace),
         )
 
     def sweep_cores(

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and fault-tolerant execution.
+
+Three layers:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, the declarative seeded
+  failure model (message loss/duplication/corruption, core stalls and
+  failures, MC stall bursts, degraded mesh links), serializable as JSON;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, which binds a
+  plan to one simulated run through hooks in the mailbox/runtime/mesh/
+  mcqueue layers and logs a bit-replayable fault schedule;
+- :mod:`repro.faults.reliable` — :class:`ReliableComm` and
+  :class:`FailureDetector`, the recovery substrate (checksummed frames,
+  acks, bounded retry with backoff, dedup, liveness probes) that the
+  fault-tolerant SpMV driver in :mod:`repro.core.experiment` runs on.
+
+See ``docs/FAULTS.md`` for the taxonomy and recovery semantics.
+"""
+
+from .injector import FaultEvent, FaultInjector, derive_seed
+from .plan import (
+    EXAMPLE_PLANS,
+    CoreFailure,
+    CoreStall,
+    FaultPlan,
+    LinkDegradation,
+    McStallBurst,
+    get_plan,
+    load_plan,
+)
+from .reliable import (
+    ACK_TAG_BASE,
+    DATA_TAG_BASE,
+    FailureDetector,
+    PeerFailedError,
+    ReliableComm,
+    ReliableSendError,
+    payload_checksum,
+)
+
+__all__ = [
+    "CoreFailure",
+    "CoreStall",
+    "McStallBurst",
+    "LinkDegradation",
+    "FaultPlan",
+    "EXAMPLE_PLANS",
+    "get_plan",
+    "load_plan",
+    "FaultEvent",
+    "FaultInjector",
+    "derive_seed",
+    "DATA_TAG_BASE",
+    "ACK_TAG_BASE",
+    "PeerFailedError",
+    "ReliableSendError",
+    "payload_checksum",
+    "FailureDetector",
+    "ReliableComm",
+]

@@ -1,0 +1,239 @@
+"""Deterministic fault injection: a plan applied to one simulated run.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to one :class:`~repro.sim.Simulator` and answers the hook points wired
+into the runtime layers:
+
+- :meth:`message_fate` — called by :meth:`repro.rcce.mpb.Mailbox.deliver`
+  for every envelope: deliver / drop / duplicate / corrupt;
+- :meth:`corrupt_payload` — deterministic payload perturbation;
+- :meth:`consume_stalls` — called by ``RCCEComm.compute`` to stretch a
+  compute window by any stall scheduled inside it;
+- :meth:`core_failures` / :meth:`on_core_failure` — the kill schedule
+  the runtime arms at boot;
+- :meth:`link_degradations` — static mesh degradations applied at boot.
+
+All randomness comes from per-category ``random.Random`` streams seeded
+from the plan (CRC32-derived, stable across platforms and runs), and
+every injected fault is appended to :attr:`events` with its simulated
+time — two runs of the same (program, plan) pair produce byte-identical
+event logs, which the determinism checker (DET900) verifies for faulty
+runs.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Counter as TCounter, Dict, List, Tuple
+from collections import Counter
+
+import numpy as np
+
+from ..sim import Simulator
+from .plan import CoreFailure, CoreStall, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "derive_seed"]
+
+
+def derive_seed(seed: int, category: str) -> int:
+    """Stable per-category sub-seed (CRC32 mix, platform-independent)."""
+    return (seed * 0x9E3779B1 + zlib.crc32(category.encode("utf-8"))) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, stamped with simulated time."""
+
+    time: float
+    kind: str      #: drop | duplicate | corrupt | blackhole | core_failure | core_stall
+    detail: Tuple  #: kind-specific fields, hashable for exact comparison
+
+
+class FaultInjector:
+    """Applies one plan to one run; fully deterministic per seed."""
+
+    def __init__(self, plan: FaultPlan, n_ues: int, sim: Simulator) -> None:
+        if n_ues < 1:
+            raise ValueError(f"n_ues must be >= 1, got {n_ues}")
+        self.plan = plan
+        self.n_ues = n_ues
+        self.sim = sim
+        self._msg_rng = random.Random(derive_seed(plan.seed, "messages"))
+        self._payload_rng = random.Random(derive_seed(plan.seed, "payloads"))
+        #: every injected fault in injection order (the replayable schedule).
+        self.events: List[FaultEvent] = []
+        #: per-kind totals, merged into experiment/campaign records.
+        self.counters: TCounter[str] = Counter()
+        self._failures = self._resolve_failures()
+        self._stalls = self._resolve_stalls()
+        #: unconsumed transient stalls per UE, ordered by time.
+        self._pending_stalls: Dict[int, List[CoreStall]] = {}
+        for stall in self._stalls:
+            self._pending_stalls.setdefault(stall.ue, []).append(stall)
+        for stalls in self._pending_stalls.values():
+            stalls.sort(key=lambda s: s.time)
+
+    # -- schedule resolution (construction time, deterministic) ------------
+
+    def _resolve_failures(self) -> List[CoreFailure]:
+        failures = [cf for cf in self.plan.core_failures if cf.ue < self.n_ues]
+        if self.plan.n_random_failures:
+            rng = random.Random(derive_seed(self.plan.seed, "core-failures"))
+            candidates = [
+                ue
+                for ue in range(self.n_ues)
+                if ue not in self.plan.protected_ues
+                and ue not in {cf.ue for cf in failures}
+            ]
+            t0, t1 = self.plan.failure_window
+            n = min(self.plan.n_random_failures, len(candidates))
+            for ue in rng.sample(candidates, n):
+                failures.append(CoreFailure(ue, rng.uniform(t0, t1)))
+        failures.sort(key=lambda cf: (cf.time, cf.ue))
+        return failures
+
+    def _resolve_stalls(self) -> List[CoreStall]:
+        stalls = [s for s in self.plan.core_stalls if s.ue < self.n_ues]
+        if self.plan.n_random_stalls:
+            rng = random.Random(derive_seed(self.plan.seed, "core-stalls"))
+            t0, t1 = self.plan.stall_window
+            for _ in range(self.plan.n_random_stalls):
+                stalls.append(
+                    CoreStall(
+                        rng.randrange(self.n_ues),
+                        rng.uniform(t0, t1),
+                        self.plan.stall_duration,
+                    )
+                )
+        stalls.sort(key=lambda s: (s.time, s.ue))
+        return stalls
+
+    # -- schedule introspection --------------------------------------------
+
+    def core_failures(self) -> List[Tuple[int, float]]:
+        """(ue, time) kill schedule the runtime arms at boot."""
+        return [(cf.ue, cf.time) for cf in self._failures]
+
+    def core_stalls(self) -> List[Tuple[int, float, float]]:
+        """(ue, time, duration) of every resolved transient stall."""
+        return [(s.ue, s.time, s.duration) for s in self._stalls]
+
+    def link_degradations(self) -> List[Tuple[Tuple[int, int], Tuple[int, int], float]]:
+        """(src_tile, dst_tile, factor) degradations applied at boot."""
+        return [
+            (d.src_tile, d.dst_tile, d.factor) for d in self.plan.link_degradations
+        ]
+
+    def mc_stall_bursts(self) -> List[Tuple[float, float, float]]:
+        """(start, end, factor) memory-controller stall windows."""
+        return [(b.start, b.end, b.factor) for b in self.plan.mc_stall_bursts]
+
+    def schedule_signature(self) -> List[Tuple]:
+        """Hashable rendering of the event log (for replay comparison)."""
+        return [(e.time, e.kind, e.detail) for e in self.events]
+
+    # -- hooks --------------------------------------------------------------
+
+    def _record(self, kind: str, detail: Tuple) -> None:
+        self.events.append(FaultEvent(self.sim.now, kind, detail))
+        self.counters[kind] += 1
+
+    def message_fate(self, source: int, dest: int, tag: int, now: float) -> str:
+        """Fate of one mailbox delivery: deliver | drop | duplicate | corrupt.
+
+        One uniform draw per delivery keeps the stream aligned across
+        replays regardless of which fate fires.
+        """
+        p = self.plan
+        if p.drop_rate == 0.0 and p.duplicate_rate == 0.0 and p.corrupt_rate == 0.0:
+            return "deliver"
+        r = self._msg_rng.random()
+        if r < p.drop_rate:
+            self._record("drop", (source, dest, tag))
+            return "drop"
+        if r < p.drop_rate + p.duplicate_rate:
+            self._record("duplicate", (source, dest, tag))
+            return "duplicate"
+        if r < p.drop_rate + p.duplicate_rate + p.corrupt_rate:
+            self._record("corrupt", (source, dest, tag))
+            return "corrupt"
+        return "deliver"
+
+    def corrupt_payload(self, payload: Any) -> Any:
+        """Deterministically perturb a payload (models a flipped line).
+
+        NumPy arrays get one element perturbed, numbers are offset,
+        bytes get a flipped bit, tuples/lists have one element corrupted
+        recursively.  Unrecognized objects are replaced with a marker so
+        corruption is never silently a no-op.
+        """
+        rng = self._payload_rng
+        if isinstance(payload, np.ndarray):
+            out = payload.copy()
+            if out.size:
+                idx = rng.randrange(out.size)
+                flat = out.reshape(-1)
+                if np.issubdtype(out.dtype, np.floating):
+                    flat[idx] = flat[idx] * 1.5 + 1.0
+                elif np.issubdtype(out.dtype, np.integer):
+                    flat[idx] = flat[idx] ^ 0x5A
+                elif out.dtype == np.bool_:
+                    flat[idx] = ~flat[idx]
+            return out
+        if isinstance(payload, bool):
+            return not payload
+        if isinstance(payload, int):
+            return payload ^ (1 << rng.randrange(16))
+        if isinstance(payload, float):
+            return payload * 1.5 + 1.0
+        if isinstance(payload, (bytes, bytearray)):
+            if not payload:
+                return b"\x5a"
+            data = bytearray(payload)
+            idx = rng.randrange(len(data))
+            data[idx] ^= 0x5A
+            return bytes(data)
+        if isinstance(payload, str):
+            return payload + "\x00corrupt"
+        if isinstance(payload, (tuple, list)):
+            if not payload:
+                return payload
+            idx = rng.randrange(len(payload))
+            items = list(payload)
+            items[idx] = self.corrupt_payload(items[idx])
+            return tuple(items) if isinstance(payload, tuple) else items
+        return ("__corrupted__", payload)
+
+    def consume_stalls(self, ue: int, now: float, window: float) -> float:
+        """Total stall seconds injected into a compute window.
+
+        Consumes (once) every stall for ``ue`` scheduled at or before the
+        end of the window — a stall scheduled while the core was blocked
+        elsewhere fires on its next compute, which keeps the schedule
+        deterministic without preempting blocked processes.
+        """
+        pending = self._pending_stalls.get(ue)
+        if not pending:
+            return 0.0
+        extra = 0.0
+        while pending and pending[0].time <= now + window:
+            stall = pending.pop(0)
+            extra += stall.duration
+            self._record("core_stall", (ue, stall.duration))
+        return extra
+
+    def on_core_failure(self, ue: int, now: float) -> None:
+        """Runtime notification that the planned kill fired."""
+        self._record("core_failure", (ue,))
+
+    def on_blackhole(self, source: int, dest: int, tag: int, now: float) -> None:
+        """A message was delivered to a dead core's mailbox."""
+        self._record("blackhole", (source, dest, tag))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultInjector plan={self.plan.name!r} seed={self.plan.seed} "
+            f"events={len(self.events)}>"
+        )

@@ -1,0 +1,333 @@
+"""Fault plans: the declarative, seeded failure model of a run.
+
+A :class:`FaultPlan` describes *what can go wrong* in one simulated run
+of an RCCE job — message loss/duplication/corruption on the mesh,
+transient core stalls, permanent core failures, memory-controller stall
+bursts and degraded mesh links.  Plans are plain data: they can be
+written as JSON files, shipped with a campaign, and replayed bit-exactly
+because every random choice is drawn from ``random.Random`` streams
+derived from the plan's seed (see :mod:`repro.faults.injector`).
+
+The taxonomy (documented in ``docs/FAULTS.md``):
+
+==================  ====================================================
+fault               where it is injected
+==================  ====================================================
+message drop        :meth:`repro.rcce.mpb.Mailbox.deliver`
+message duplicate   same (second copy with its own ack)
+message corrupt     same (payload perturbed; checksums catch it)
+core stall          :meth:`repro.rcce.api.RCCEComm.compute` windows
+core failure        the UE's :class:`repro.sim.Process` is killed
+MC stall burst      :func:`repro.scc.mcqueue.simulate_controller`
+link degradation    :meth:`repro.scc.mesh.MeshNetwork.message_time`
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+__all__ = [
+    "CoreFailure",
+    "CoreStall",
+    "McStallBurst",
+    "LinkDegradation",
+    "FaultPlan",
+    "EXAMPLE_PLANS",
+    "get_plan",
+    "load_plan",
+]
+
+
+@dataclass(frozen=True)
+class CoreFailure:
+    """Permanent failure: UE ``ue`` dies at simulated time ``time``."""
+
+    ue: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.ue < 0:
+            raise ValueError(f"ue must be >= 0, got {self.ue}")
+        if self.time < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class CoreStall:
+    """Transient stall: UE ``ue`` loses ``duration`` seconds near ``time``."""
+
+    ue: int
+    time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.ue < 0:
+            raise ValueError(f"ue must be >= 0, got {self.ue}")
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError(
+                f"stall needs time >= 0 and duration > 0, got "
+                f"time={self.time}, duration={self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class McStallBurst:
+    """Memory-controller stall window: service slows by ``factor``."""
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"burst window [{self.start}, {self.end}) is invalid")
+        if self.factor < 1.0:
+            raise ValueError(f"burst factor must be >= 1.0, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Mesh link (src tile -> dst tile) serializes ``factor``x slower."""
+
+    src_tile: Tuple[int, int]
+    dst_tile: Tuple[int, int]
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1.0, got {self.factor}")
+
+
+def _rate(name: str, value: float) -> float:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be in [0, 1), got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete failure model (seeded and serializable).
+
+    Message faults are rate-based: every mailbox delivery draws from the
+    plan's message stream and is dropped / duplicated / corrupted with
+    the configured probabilities.  Core failures and stalls are either
+    explicit schedules or drawn at injector-construction time from the
+    seed (``n_random_failures`` ranks, excluding ``protected_ues``, with
+    failure times uniform in ``failure_window``).  Everything downstream
+    of the seed is deterministic: the same plan on the same program
+    yields the identical fault schedule, which is what makes faulty runs
+    replayable and debuggable.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    # -- message faults (rates per delivery) --
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    # -- core failures --
+    core_failures: Tuple[CoreFailure, ...] = ()
+    n_random_failures: int = 0
+    failure_window: Tuple[float, float] = (0.0, 1e-3)
+    #: ranks that are never chosen for random failure (rank 0 is the
+    #: fault-tolerant driver's coordinator and must survive).
+    protected_ues: Tuple[int, ...] = (0,)
+    # -- transient core stalls --
+    core_stalls: Tuple[CoreStall, ...] = ()
+    n_random_stalls: int = 0
+    stall_window: Tuple[float, float] = (0.0, 1e-3)
+    stall_duration: float = 1e-4
+    # -- memory-controller / mesh degradation --
+    mc_stall_bursts: Tuple[McStallBurst, ...] = ()
+    link_degradations: Tuple[LinkDegradation, ...] = ()
+
+    def __post_init__(self) -> None:
+        _rate("drop_rate", self.drop_rate)
+        _rate("duplicate_rate", self.duplicate_rate)
+        _rate("corrupt_rate", self.corrupt_rate)
+        total = self.drop_rate + self.duplicate_rate + self.corrupt_rate
+        if total >= 1.0:
+            raise ValueError(
+                f"drop+duplicate+corrupt rates must sum below 1.0, got {total}"
+            )
+        if self.n_random_failures < 0 or self.n_random_stalls < 0:
+            raise ValueError("random fault counts must be >= 0")
+        for window, label in (
+            (self.failure_window, "failure_window"),
+            (self.stall_window, "stall_window"),
+        ):
+            if len(window) != 2 or window[0] < 0 or window[1] < window[0]:
+                raise ValueError(f"{label} must be (t0, t1) with 0 <= t0 <= t1")
+        if self.stall_duration <= 0:
+            raise ValueError(f"stall_duration must be > 0, got {self.stall_duration}")
+        for cf in self.core_failures:
+            if cf.ue in self.protected_ues:
+                raise ValueError(
+                    f"core_failures names protected UE {cf.ue} "
+                    f"(protected: {sorted(self.protected_ues)})"
+                )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def is_faultless(self) -> bool:
+        """True when the plan injects nothing (the perfect machine)."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and not self.core_failures
+            and self.n_random_failures == 0
+            and not self.core_stalls
+            and self.n_random_stalls == 0
+            and not self.mc_stall_bursts
+            and not self.link_degradations
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Same plan, different seed (new draw of the random schedule)."""
+        return replace(self, seed=seed)
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict (the plan file format)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "core_failures": [[cf.ue, cf.time] for cf in self.core_failures],
+            "n_random_failures": self.n_random_failures,
+            "failure_window": list(self.failure_window),
+            "protected_ues": list(self.protected_ues),
+            "core_stalls": [[s.ue, s.time, s.duration] for s in self.core_stalls],
+            "n_random_stalls": self.n_random_stalls,
+            "stall_window": list(self.stall_window),
+            "stall_duration": self.stall_duration,
+            "mc_stall_bursts": [[b.start, b.end, b.factor] for b in self.mc_stall_bursts],
+            "link_degradations": [
+                [list(d.src_tile), list(d.dst_tile), d.factor]
+                for d in self.link_degradations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "core_failures" in kwargs:
+            kwargs["core_failures"] = tuple(
+                CoreFailure(int(ue), float(t)) for ue, t in kwargs["core_failures"]
+            )
+        if "core_stalls" in kwargs:
+            kwargs["core_stalls"] = tuple(
+                CoreStall(int(ue), float(t), float(d))
+                for ue, t, d in kwargs["core_stalls"]
+            )
+        if "mc_stall_bursts" in kwargs:
+            kwargs["mc_stall_bursts"] = tuple(
+                McStallBurst(float(a), float(b), float(f))
+                for a, b, f in kwargs["mc_stall_bursts"]
+            )
+        if "link_degradations" in kwargs:
+            kwargs["link_degradations"] = tuple(
+                LinkDegradation((int(s[0]), int(s[1])), (int(d[0]), int(d[1])), float(f))
+                for s, d, f in kwargs["link_degradations"]
+            )
+        for key in ("failure_window", "stall_window", "protected_ues"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Write the plan as a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Load a plan from a JSON file written by :meth:`to_file`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan {path}: invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan {path}: top level must be an object")
+        return cls.from_dict(data)
+
+
+#: Named example plans: ``repro faults --plan <name>`` and the CI smoke
+#: matrix use these.  Times are sized for the small CLI/CI workloads
+#: (sub-millisecond makespans at --scale 0.1).
+EXAMPLE_PLANS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "lossy": FaultPlan(
+        name="lossy",
+        seed=2012,
+        drop_rate=0.05,
+        duplicate_rate=0.02,
+        corrupt_rate=0.02,
+    ),
+    "crash": FaultPlan(
+        name="crash",
+        seed=2012,
+        drop_rate=0.02,
+        n_random_failures=1,
+        failure_window=(1e-5, 5e-4),
+    ),
+    "degraded": FaultPlan(
+        name="degraded",
+        seed=2012,
+        n_random_stalls=4,
+        stall_window=(0.0, 5e-4),
+        stall_duration=5e-5,
+        mc_stall_bursts=(McStallBurst(1e-4, 3e-4, 4.0),),
+        link_degradations=(LinkDegradation((0, 0), (1, 0), 8.0),),
+    ),
+    "chaos": FaultPlan(
+        name="chaos",
+        seed=2012,
+        drop_rate=0.08,
+        duplicate_rate=0.04,
+        corrupt_rate=0.04,
+        n_random_failures=1,
+        failure_window=(1e-5, 5e-4),
+        n_random_stalls=2,
+        stall_window=(0.0, 5e-4),
+        stall_duration=5e-5,
+        link_degradations=(LinkDegradation((0, 0), (1, 0), 4.0),),
+    ),
+}
+
+
+def get_plan(name: str) -> FaultPlan:
+    """Look up a named example plan (KeyError names the unknown plan)."""
+    if name not in EXAMPLE_PLANS:
+        raise KeyError(
+            f"unknown fault plan {name!r}; known: {sorted(EXAMPLE_PLANS)}"
+        )
+    return EXAMPLE_PLANS[name]
+
+
+def load_plan(spec: str) -> FaultPlan:
+    """Resolve a plan spec: a named example plan or a JSON file path."""
+    if spec in EXAMPLE_PLANS:
+        return EXAMPLE_PLANS[spec]
+    path = Path(spec)
+    if path.exists():
+        return FaultPlan.from_file(path)
+    raise ValueError(
+        f"fault plan {spec!r} is neither a named plan "
+        f"({sorted(EXAMPLE_PLANS)}) nor an existing file"
+    )

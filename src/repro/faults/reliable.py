@@ -1,0 +1,343 @@
+"""Reliable messaging over the lossy MPB: acks, retries, dedup, checksums.
+
+:class:`ReliableComm` wraps one :class:`~repro.rcce.api.RCCEComm` with
+the protocol machinery a faulty mesh demands:
+
+- every payload travels framed as ``(marker, src, seq, checksum, data)``
+  — a CRC32 over (src, seq, data) catches injected corruption of *any*
+  frame field, so a corrupted message is never acknowledged and never
+  delivered (the sender simply retries);
+- arrivals are acknowledged by an **auto-acker** installed on the owning
+  mailbox (modelling the interrupt-driven message driver RCCE runs on
+  each core): acks flow even while the UE process is busy computing,
+  which is what prevents two ranks that are mid-protocol from livelocking
+  on each other's unserviced retransmits;
+- sends retransmit with exponential backoff in *simulated* time until
+  acked; after each timeout the peer's liveness is probed, so a send to
+  a crashed rank fails fast with :class:`PeerFailedError` instead of
+  burning the full retry budget;
+- receives deduplicate by (source, sequence) — duplicated deliveries and
+  retransmits of already-acked frames are discarded, never re-delivered;
+- :class:`FailureDetector` models the SCC system interface's core-status
+  registers: a probe costs a round-trip of simulated time and reports
+  whether the rank is dead, which is how the fault-tolerant SpMV driver
+  confirms a suspicion raised by a collect timeout.
+
+Everything advances only simulated time, so runs under a seeded
+:class:`~repro.faults.plan.FaultPlan` stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Any, Counter as TCounter, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..rcce.api import CommGen, payload_bytes
+from ..rcce.collectives import RESERVED_TAG_BASE
+from ..rcce.errors import RCCEError, RCCETimeoutError
+from ..rcce.mpb import Envelope, chunked_transfer_time
+
+__all__ = [
+    "DATA_TAG_BASE",
+    "ACK_TAG_BASE",
+    "PeerFailedError",
+    "ReliableSendError",
+    "payload_checksum",
+    "FailureDetector",
+    "ReliableComm",
+]
+
+#: reliable-layer tag spaces, disjoint from user tags and collectives.
+DATA_TAG_BASE = RESERVED_TAG_BASE + (1 << 10)
+ACK_TAG_BASE = RESERVED_TAG_BASE + (2 << 10)
+
+_DATA_MARKER = "rmsg"
+_ACK_MARKER = "rack"
+
+
+class PeerFailedError(RCCEError):
+    """The addressed rank is dead (confirmed by a liveness probe)."""
+
+    def __init__(self, ue: int, peer: int, sim_time: float) -> None:
+        self.ue = ue
+        self.peer = peer
+        self.sim_time = sim_time
+        super().__init__(
+            f"UE {ue}: peer UE {peer} is dead (detected at t={sim_time:.9f})"
+        )
+
+
+class ReliableSendError(RCCEError):
+    """Retries exhausted against a peer that still probes alive."""
+
+    def __init__(self, ue: int, dest: int, tag: int, attempts: int, sim_time: float) -> None:
+        self.ue = ue
+        self.dest = dest
+        self.tag = tag
+        self.attempts = attempts
+        self.sim_time = sim_time
+        super().__init__(
+            f"UE {ue}: send to UE {dest} (tag={tag}) unacked after "
+            f"{attempts} attempts at t={sim_time:.9f}"
+        )
+
+
+def _checksum_update(crc: int, obj: Any) -> int:
+    if obj is None:
+        return zlib.crc32(b"\x00none", crc)
+    if isinstance(obj, np.ndarray):
+        crc = zlib.crc32(str(obj.dtype).encode(), crc)
+        crc = zlib.crc32(str(obj.shape).encode(), crc)
+        return zlib.crc32(np.ascontiguousarray(obj).tobytes(), crc)
+    if isinstance(obj, (bool, int, float, complex, np.number)):
+        return zlib.crc32(repr(obj).encode(), crc)
+    if isinstance(obj, str):
+        return zlib.crc32(obj.encode("utf-8", "surrogatepass"), crc)
+    if isinstance(obj, (bytes, bytearray)):
+        return zlib.crc32(bytes(obj), crc)
+    if isinstance(obj, (tuple, list)):
+        crc = zlib.crc32(f"seq{len(obj)}".encode(), crc)
+        for item in obj:
+            crc = _checksum_update(crc, item)
+        return crc
+    if isinstance(obj, dict):
+        crc = zlib.crc32(f"map{len(obj)}".encode(), crc)
+        for key in sorted(obj, key=repr):
+            crc = _checksum_update(crc, key)
+            crc = _checksum_update(crc, obj[key])
+        return crc
+    return zlib.crc32(repr(obj).encode(), crc)
+
+
+def payload_checksum(source: int, seq: int, data: Any) -> int:
+    """CRC32 over the frame identity *and* content.
+
+    Covering (source, seq) as well as the data means a corrupted
+    sequence number cannot poison the receiver's dedup window and a
+    corrupted source cannot mis-route an ack — any perturbed field
+    fails verification and the frame is treated as garbage.
+    """
+    crc = zlib.crc32(f"{source}:{seq}:".encode())
+    return _checksum_update(crc, data)
+
+
+class FailureDetector:
+    """Liveness probes against the SCC system interface's status registers.
+
+    The real chip exposes per-core status through the system FPGA, out of
+    band of the mesh; reading it is not free, so a probe costs a fixed
+    round-trip of simulated time.  Probes are authoritative: a rank is
+    dead iff the runtime killed it (no false positives, matching the
+    hardware register semantics rather than gossip heartbeats).
+    """
+
+    def __init__(self, runtime: Any, probe_cost: float = 2e-6) -> None:
+        if probe_cost < 0:
+            raise ValueError(f"probe_cost must be >= 0, got {probe_cost}")
+        self._rt = runtime
+        self.probe_cost = probe_cost
+        self.probes_sent = 0
+
+    def probe(self, peer: int) -> CommGen:
+        """Yield-from: True when ``peer`` is alive, False when it crashed."""
+        if not 0 <= peer < self._rt.n_ues:
+            raise RCCEError(f"probe of nonexistent UE {peer}")
+        self.probes_sent += 1
+        yield self._rt.sim.timeout(self.probe_cost)
+        return peer not in self._rt.failed_ues
+
+    def failure_time(self, peer: int) -> Optional[float]:
+        """Simulated death time of ``peer`` (None while alive)."""
+        return self._rt.failed_ues.get(peer)
+
+
+class ReliableComm:
+    """Reliable send/recv with bounded retry over one RCCE communicator."""
+
+    def __init__(
+        self,
+        comm: Any,
+        ack_timeout: float = 2e-4,
+        max_retries: int = 10,
+        backoff: float = 2.0,
+        max_timeout: float = 5e-3,
+        probe_cost: float = 2e-6,
+    ) -> None:
+        if ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be > 0, got {ack_timeout}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {backoff}")
+        self._comm = comm
+        self._rt = comm._rt
+        self.ue = comm.ue
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.detector = FailureDetector(self._rt, probe_cost=probe_cost)
+        #: next sequence number per (dest, tag).
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+        #: highest delivered sequence per (source, tag) — the dedup window.
+        self._delivered: Dict[Tuple[int, int], int] = {}
+        self.counters: TCounter[str] = Counter()
+        self._install_auto_acker()
+
+    # -- the interrupt-driven ack driver -----------------------------------
+
+    def _install_auto_acker(self) -> None:
+        mailbox = self._rt.mailboxes[self.ue]
+        previous = mailbox.on_deliver
+
+        def _auto_ack(env: Envelope) -> None:
+            if previous is not None:
+                previous(env)
+            self._maybe_ack(env)
+
+        mailbox.on_deliver = _auto_ack
+
+    def _maybe_ack(self, env: Envelope) -> None:
+        """Acknowledge a verified reliable DATA frame on arrival.
+
+        Runs at delivery time, independent of what the UE process is
+        doing.  The ack pays mesh time and goes back through the normal
+        mailbox path, so it is itself subject to fault injection.
+        """
+        if not DATA_TAG_BASE <= env.tag < ACK_TAG_BASE:
+            return
+        frame = env.payload
+        if not (isinstance(frame, tuple) and len(frame) == 5 and frame[0] == _DATA_MARKER):
+            self.counters["garbage_frames"] += 1
+            return
+        _marker, src, seq, csum, data = frame
+        if (
+            not isinstance(src, int)
+            or not isinstance(seq, int)
+            or payload_checksum(src, seq, data) != csum
+        ):
+            self.counters["corrupt_detected"] += 1
+            return
+        if src != env.source or not 0 <= src < self._rt.n_ues or src == self.ue:
+            self.counters["garbage_frames"] += 1
+            return
+        self.counters["acks_sent"] += 1
+        utag = env.tag - DATA_TAG_BASE
+        ack = (_ACK_MARKER, self.ue, seq, payload_checksum(self.ue, seq, None))
+        rt = self._rt
+        sim = rt.sim
+        delay = chunked_transfer_time(
+            rt.mesh, rt.core_map[self.ue], rt.core_map[src], payload_bytes(ack)
+        )
+        sim.schedule(
+            delay,
+            lambda: rt.mailboxes[src].deliver(
+                Envelope(self.ue, ACK_TAG_BASE + utag, ack, sim.event("rack"))
+            ),
+        )
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, data: Any, dest: int, tag: int = 0) -> CommGen:
+        """Reliable send: retransmit until acked, bounded, failure-aware.
+
+        Raises :class:`PeerFailedError` once the destination probes dead
+        and :class:`ReliableSendError` when the retry budget runs out
+        against a live peer (the congestion-collapse guard).
+        """
+        if not 0 <= tag < (1 << 10):
+            raise ValueError(f"reliable tag must be in [0, 1024), got {tag}")
+        key = (dest, tag)
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        frame = (_DATA_MARKER, self.ue, seq, payload_checksum(self.ue, seq, data), data)
+        timeout = self.ack_timeout
+        for attempt in range(self.max_retries):
+            if attempt:
+                self.counters["retries"] += 1
+            yield from self._comm.send_async(frame, dest, DATA_TAG_BASE + tag)
+            deadline = self._rt.sim.now + timeout
+            while True:
+                remaining = deadline - self._rt.sim.now
+                if remaining <= 0:
+                    break
+                try:
+                    ack = yield from self._comm.recv(
+                        dest, ACK_TAG_BASE + tag, timeout=remaining
+                    )
+                except RCCETimeoutError:
+                    break
+                if self._valid_ack(ack, dest) and ack[2] == seq:
+                    return None
+                # stale / corrupted / duplicate ack: keep waiting
+                self.counters["stale_acks"] += 1
+            alive = yield from self.detector.probe(dest)
+            if not alive:
+                raise PeerFailedError(self.ue, dest, self._rt.sim.now)
+            timeout = min(timeout * self.backoff, self.max_timeout)
+        raise ReliableSendError(
+            self.ue, dest, tag, self.max_retries, self._rt.sim.now
+        )
+
+    @staticmethod
+    def _valid_ack(ack: Any, dest: int) -> bool:
+        if not (isinstance(ack, tuple) and len(ack) == 4 and ack[0] == _ACK_MARKER):
+            return False
+        _marker, src, seq, csum = ack
+        if not isinstance(src, int) or not isinstance(seq, int) or src != dest:
+            return False
+        return payload_checksum(src, seq, None) == csum
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(
+        self,
+        source: Optional[int] = None,
+        tag: int = 0,
+        timeout: Optional[float] = None,
+    ) -> CommGen:
+        """Reliable receive: verified, deduplicated; returns (source, data).
+
+        Raises :class:`~repro.rcce.errors.RCCETimeoutError` when no fresh
+        verified frame arrives within ``timeout`` simulated seconds.
+        Corrupted and duplicate frames are consumed silently (counted)
+        without resetting the deadline.
+        """
+        deadline = None if timeout is None else self._rt.sim.now + timeout
+        while True:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - self._rt.sim.now
+                if remaining <= 0:
+                    raise RCCETimeoutError(
+                        self.ue, source, tag, timeout or 0.0, self._rt.sim.now
+                    )
+            frame = yield from self._comm.recv(
+                source, DATA_TAG_BASE + tag, timeout=remaining
+            )
+            if not (
+                isinstance(frame, tuple) and len(frame) == 5 and frame[0] == _DATA_MARKER
+            ):
+                self.counters["garbage_frames"] += 1
+                continue
+            _marker, src, seq, csum, data = frame
+            if (
+                not isinstance(src, int)
+                or not isinstance(seq, int)
+                or payload_checksum(src, seq, data) != csum
+            ):
+                self.counters["corrupt_detected"] += 1
+                continue
+            key = (src, tag)
+            last = self._delivered.get(key, -1)
+            if seq <= last:
+                self.counters["duplicates_discarded"] += 1
+                continue
+            self._delivered[key] = seq
+            return src, data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ReliableComm ue={self.ue} counters={dict(self.counters)}>"

@@ -27,7 +27,8 @@ from typing import Any, Callable, Generator, Optional
 
 import numpy as np
 
-from ..sim import SimEvent
+from ..sim import SimEvent, any_of
+from .errors import RCCETimeoutError
 from .mpb import Envelope, chunked_transfer_time
 
 __all__ = ["payload_bytes", "RCCEComm"]
@@ -93,11 +94,23 @@ class RCCEComm:
 
     # -- time modelling ---------------------------------------------------------
 
+    def _stall_penalty(self, seconds: float) -> float:
+        """Extra time injected by pending transient core stalls (if any)."""
+        injector = getattr(self._rt, "fault_injector", None)
+        if injector is None:
+            return 0.0
+        return injector.consume_stalls(self.ue, self._rt.sim.now, seconds)
+
     def compute(self, seconds: float) -> CommGen:
-        """Model ``seconds`` of local computation (yield from it)."""
+        """Model ``seconds`` of local computation (yield from it).
+
+        Injected transient core stalls (fault plans) manifest here: a
+        stall scheduled inside the compute window stretches it by the
+        stall's duration.
+        """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
-        yield self._rt.sim.timeout(seconds)
+        yield self._rt.sim.timeout(seconds + self._stall_penalty(seconds))
 
     def compute_cycles(self, cycles: float) -> CommGen:
         """Model ``cycles`` of work at this core's *current* frequency.
@@ -111,7 +124,8 @@ class RCCEComm:
         mhz = self._rt.power.frequency_of_core(self.core)
         if mhz <= 0:
             raise ValueError(f"core {self.core} is power-gated (0 MHz)")
-        yield self._rt.sim.timeout(cycles / (mhz * 1e6))
+        seconds = cycles / (mhz * 1e6)
+        yield self._rt.sim.timeout(seconds + self._stall_penalty(seconds))
 
     # -- power management (RCCE_iset_power / RCCE_wait_power) -------------
 
@@ -145,9 +159,55 @@ class RCCEComm:
         yield ack
         self._rt.blocked_sends.pop(self.ue, None)
 
-    def recv(self, source: Optional[int] = None, tag: Optional[int] = None) -> CommGen:
-        """Blocking matched receive; returns the payload."""
-        env: Envelope = yield self._rt.mailboxes[self.ue].receive(source, tag)
+    def send_async(self, data: Any, dest: int, tag: int = 0) -> CommGen:
+        """Eager (non-rendezvous) send: deliver and return without waiting.
+
+        The transfer still pays full MPB/mesh time, but the sender does
+        not block on the receiver's ack — the buffered-send behaviour the
+        reliable-messaging layer (:mod:`repro.faults.reliable`) builds
+        its own ack/retry protocol on.  A dropped message is therefore
+        *lost*, not a hang: callers must tolerate that or use the
+        rendezvous :meth:`send`.
+        """
+        if not 0 <= dest < self.num_ues:
+            raise ValueError(f"dest {dest} out of range [0, {self.num_ues})")
+        if dest == self.ue:
+            raise ValueError("send to self is not supported (use local state)")
+        nbytes = payload_bytes(data)
+        t = chunked_transfer_time(self._rt.mesh, self.core, self._rt.core_map[dest], nbytes)
+        yield self._rt.sim.timeout(t)
+        ack = self._rt.sim.event(f"async-ack:{self.ue}->{dest}")
+        self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
+
+    def recv(
+        self,
+        source: Optional[int] = None,
+        tag: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> CommGen:
+        """Blocking matched receive; returns the payload.
+
+        With ``timeout`` (simulated seconds) the receive raises
+        :class:`~repro.rcce.errors.RCCETimeoutError` if no matching
+        message arrived in time; a message that lands exactly at the
+        deadline wins the race.  Unbounded receives hang forever when the
+        peer crashed or the message was lost — fault-tolerant programs
+        should always bound their receives (lint rule RCCE130).
+        """
+        mailbox = self._rt.mailboxes[self.ue]
+        ev = mailbox.receive(source, tag)
+        if timeout is None:
+            env: Envelope = yield ev
+        else:
+            if timeout < 0:
+                raise ValueError(f"timeout must be >= 0, got {timeout}")
+            sim = self._rt.sim
+            timer = sim.timeout(timeout)
+            yield any_of(sim, [ev, timer], name=f"recv-race:ue{self.ue}")
+            if not ev.triggered:
+                mailbox.cancel_wait(ev)
+                raise RCCETimeoutError(self.ue, source, tag, timeout, sim.now)
+            env = ev.value
         env.ack.succeed()
         return env.payload
 

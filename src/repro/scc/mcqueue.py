@@ -17,11 +17,34 @@ workloads is what licenses using the closed form everywhere else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim import Process, Resource, Simulator
 
-__all__ = ["CoreWorkload", "simulate_controller"]
+__all__ = ["CoreWorkload", "StallBurst", "simulate_controller"]
+
+
+@dataclass(frozen=True)
+class StallBurst:
+    """A window during which the controller serves lines ``factor``x slower.
+
+    Models transient DDR3/controller stalls (refresh storms, thermal
+    throttling) the fault plans inject: every line whose service starts
+    inside [start, end) pays ``factor`` times the normal service time.
+    """
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"burst window [{self.start}, {self.end}) is invalid")
+        if self.factor < 1.0:
+            raise ValueError(f"burst factor must be >= 1.0, got {self.factor}")
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
 
 
 @dataclass(frozen=True)
@@ -37,13 +60,31 @@ class CoreWorkload:
             raise ValueError("workload terms must be non-negative (latency positive)")
 
 
-def _core_process(sim: Simulator, mc: Resource, wl: CoreWorkload, service: float, out: List[float], idx: int):
+def _burst_factor(bursts: Optional[Sequence[StallBurst]], t: float) -> float:
+    if not bursts:
+        return 1.0
+    worst = 1.0
+    for b in bursts:
+        if b.active_at(t):
+            worst = max(worst, b.factor)
+    return worst
+
+
+def _core_process(
+    sim: Simulator,
+    mc: Resource,
+    wl: CoreWorkload,
+    service: float,
+    out: List[float],
+    idx: int,
+    bursts: Optional[Sequence[StallBurst]] = None,
+):
     gap = wl.compute_time / wl.n_lines if wl.n_lines else 0.0
     for _ in range(wl.n_lines):
         yield sim.timeout(gap)
         arrival = sim.now
         yield mc.request()
-        yield sim.timeout(service)
+        yield sim.timeout(service * _burst_factor(bursts, sim.now))
         mc.release()
         # The DDR round trip is a latency floor: even an idle controller
         # cannot answer faster than Eq. 1.
@@ -57,12 +98,15 @@ def simulate_controller(
     workloads: Sequence[CoreWorkload],
     capacity_lines_per_sec: float,
     line_pipeline_fraction: float = 1.0,
+    stall_bursts: Optional[Sequence[StallBurst]] = None,
 ) -> List[float]:
     """Per-core completion times under FIFO service.
 
     ``line_pipeline_fraction`` scales the serialized portion of the
     service (1.0 = fully serialized server, the conservative model the
-    closed form also assumes).
+    closed form also assumes).  ``stall_bursts`` injects windows of
+    degraded service (see :class:`StallBurst`) — fault plans use this to
+    model flaky memory controllers; the default is a healthy controller.
     """
     if capacity_lines_per_sec <= 0:
         raise ValueError("capacity must be positive")
@@ -70,11 +114,16 @@ def simulate_controller(
         raise ValueError("line_pipeline_fraction must be in (0, 1]")
     if not workloads:
         raise ValueError("need at least one workload")
+    bursts: Optional[Tuple[StallBurst, ...]] = tuple(stall_bursts) if stall_bursts else None
     sim = Simulator()
     mc = Resource(sim, capacity=1, name="mc")
     service = line_pipeline_fraction / capacity_lines_per_sec
     out = [0.0] * len(workloads)
     for i, wl in enumerate(workloads):
-        Process(sim, _core_process(sim, mc, wl, service, out, i), name=f"core{i}")
+        Process(
+            sim,
+            _core_process(sim, mc, wl, service, out, i, bursts),
+            name=f"core{i}",
+        )
     sim.run()
     return out

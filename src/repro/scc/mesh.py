@@ -60,6 +60,9 @@ class MeshNetwork:
         self.topology = topology or SCCTopology()
         self.mesh_mhz = mesh_mhz
         self._link_loads: Counter[Link] = Counter()
+        #: per-link serialization slowdown factor (>= 1.0) for degraded
+        #: links — the fault model's flaky-mesh knob.
+        self._degraded: Dict[Link, float] = {}
 
     @property
     def cycle_time(self) -> float:
@@ -97,6 +100,40 @@ class MeshNetwork:
         """Clear all link-load accounting."""
         self._link_loads.clear()
 
+    # -- degradation (fault model) -----------------------------------------
+
+    def set_link_degradation(
+        self, a: Coord, b: Coord, factor: float, symmetric: bool = True
+    ) -> None:
+        """Mark the (a, b) link as degraded: serialization slows by ``factor``.
+
+        A degraded link models an SCC mesh link running with retries /
+        reduced effective width.  ``factor`` must be >= 1.0; routes that
+        avoid the link are unaffected.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1.0, got {factor}")
+        for coord in (a, b):
+            x, y = coord
+            if not (0 <= x < GRID_X and 0 <= y < GRID_Y):
+                raise ValueError(f"coordinate {coord} outside {GRID_X}x{GRID_Y} mesh")
+        self._degraded[(tuple(a), tuple(b))] = factor
+        if symmetric:
+            self._degraded[(tuple(b), tuple(a))] = factor
+
+    def clear_link_degradations(self) -> None:
+        """Restore every link to full bandwidth."""
+        self._degraded.clear()
+
+    def route_slowdown(self, src: Coord, dst: Coord) -> float:
+        """Worst degradation factor along the XY route (1.0 = healthy)."""
+        if not self._degraded:
+            return 1.0
+        worst = 1.0
+        for link in self.links_of(xy_route(src, dst)):
+            worst = max(worst, self._degraded.get(link, 1.0))
+        return worst
+
     # -- timing --------------------------------------------------------------
 
     def message_time(self, src: Coord, dst: Coord, size_bytes: int) -> float:
@@ -111,7 +148,7 @@ class MeshNetwork:
             raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
         hops = max(1, self.topology.hops_between(src, dst))
         header = hops * ROUTER_CYCLES * self.cycle_time
-        serialize = size_bytes / self.link_bandwidth
+        serialize = size_bytes / self.link_bandwidth * self.route_slowdown(src, dst)
         return header + serialize
 
     def core_message_time(self, src_core: int, dst_core: int, size_bytes: int) -> float:

@@ -9,7 +9,7 @@ Public surface:
   — FIFO contention primitives.
 """
 
-from .engine import SimEvent, SimulationError, Simulator
+from .engine import SimEvent, SimulationError, Simulator, any_of
 from .process import Process, ProcessFailure
 from .resources import Resource, Store
 
@@ -17,6 +17,7 @@ __all__ = [
     "SimEvent",
     "SimulationError",
     "Simulator",
+    "any_of",
     "Process",
     "ProcessFailure",
     "Resource",

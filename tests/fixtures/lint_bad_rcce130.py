@@ -1,0 +1,15 @@
+"""Fixture: unbounded recv in a program that uses the fault stack (RCCE130)."""
+
+from repro.faults import FaultPlan, ReliableComm
+
+
+def program(comm):
+    rcomm = ReliableComm(comm)
+    plan = FaultPlan(drop_rate=0.1)
+    # unbounded: hangs forever if the peer crashed or the message dropped
+    data = yield from comm.recv(1, 0)
+    more = yield from rcomm.recv(1, tag=0)
+    # bounded receives are the fault-tolerant idiom and must not fire
+    safe = yield from comm.recv(1, 0, timeout=1e-3)
+    also_safe = yield from rcomm.recv(1, tag=0, timeout=1e-3)
+    return (plan, data, more, safe, also_safe)

@@ -6,8 +6,14 @@ import json
 
 import pytest
 
-from repro.core.campaign import Campaign, CampaignPoint, result_record
+from repro.core.campaign import (
+    Campaign,
+    CampaignIntegrityError,
+    CampaignPoint,
+    result_record,
+)
 from repro.core.experiment import SpMVExperiment
+from repro.faults.plan import get_plan
 from repro.sparse import banded
 
 SCALE = 0.04
@@ -87,3 +93,88 @@ class TestCampaign:
         rec = json.loads(raw[0])
         assert rec["scale"] == SCALE
         assert "_key" in rec
+
+
+class TestRobustPersistence:
+    def test_truncated_trailing_record_tolerated(self, campaign):
+        campaign.run(Campaign.grid([30], [1, 4]))
+        with open(campaign.path, "a", encoding="utf-8") as fh:
+            fh.write('{"matrix": "cut-mid-wri')  # crash mid-append
+        with pytest.warns(UserWarning, match="truncated trailing record"):
+            records = campaign.load()
+        assert len(records) == 2
+        # the interrupted point simply reruns on resume
+        with pytest.warns(UserWarning, match="truncated trailing record"):
+            ran, skipped = campaign.run(Campaign.grid([30], [1, 4, 8]))
+        assert (ran, skipped) == (1, 2)
+
+    def test_mid_file_corruption_raises_integrity_error(self, campaign):
+        campaign.run(Campaign.grid([30], [1, 4]))
+        lines = campaign.path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # damage a non-final line
+        campaign.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CampaignIntegrityError, match="repair"):
+            campaign.load()
+        with pytest.raises(CampaignIntegrityError):
+            campaign.completed_keys()
+
+    def test_repair_quarantines_and_rewrites(self, campaign):
+        campaign.run(Campaign.grid([30], [1, 4]))
+        lines = campaign.path.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        lines.insert(0, '["a", "list", "not", "an", "object"]')
+        campaign.path.write_text("\n".join(lines) + "\n")
+        kept, quarantined = campaign.repair()
+        assert (kept, quarantined) == (2, 2)
+        assert len(campaign.load()) == 2  # readable again
+        qpath = campaign.output_dir / "trial.quarantine.jsonl"
+        qlines = qpath.read_text().strip().splitlines()
+        assert qlines == ['["a", "list", "not", "an", "object"]', "not json at all"]
+        # quarantine appends rather than overwriting
+        campaign.path.write_text('{"x":\n' + campaign.path.read_text())
+        campaign.repair()
+        assert len(qpath.read_text().strip().splitlines()) == 3
+
+    def test_repair_on_missing_file(self, tmp_path):
+        assert Campaign("virgin", tmp_path).repair() == (0, 0)
+
+    def test_point_budget_records_timeout_and_continues(self, tmp_path):
+        c = Campaign("budget", tmp_path, scale=SCALE, iterations=2,
+                     point_budget=1e-12)
+        ran, skipped = c.run(Campaign.grid([30], [1, 4]))
+        assert (ran, skipped) == (2, 0)
+        records = c.load()
+        assert [r["status"] for r in records] == ["timeout", "timeout"]
+        assert all(r["budget_s"] == 1e-12 and r["stuck_ues"] for r in records)
+        assert c.status_counts() == {"timeout": 2}
+        assert c.summarize() == {}  # no throughput from timed-out points
+        # deterministically-timing-out points are NOT retried on resume
+        ran, skipped = c.run(Campaign.grid([30], [1, 4]))
+        assert (ran, skipped) == (0, 2)
+
+    def test_point_budget_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign("bad", tmp_path, point_budget=0.0)
+
+
+class TestFaultTolerantCampaign:
+    def test_ft_sweep_records_fault_counters(self, tmp_path):
+        c = Campaign("ft", tmp_path, scale=SCALE, iterations=2,
+                     fault_plan=get_plan("lossy"), point_budget=60.0)
+        ran, _ = c.run(Campaign.grid([30], [2, 4]))
+        assert ran == 2
+        for rec in c.load():
+            assert rec["status"] == "ok"
+            assert rec["plan"] == "lossy"
+            assert rec["plan_seed"] == get_plan("lossy").seed
+            assert rec["verified"] is True
+            assert rec["fault_counters"]["checkpoints"] == 2
+            assert rec["failed_ues"] == []
+        assert c.status_counts() == {"ok": 2}
+
+    def test_ft_summarize_uses_ok_records(self, tmp_path):
+        c = Campaign("ft2", tmp_path, scale=SCALE, iterations=2,
+                     fault_plan=get_plan("lossy"))
+        c.run(Campaign.grid([30], [4]))
+        summary = c.summarize(group_by="n_cores")
+        assert summary[4] > 0

@@ -1,0 +1,149 @@
+"""Property tests for the fault-tolerant SpMV driver.
+
+The robustness contract: under any seeded fault plan (message loss,
+duplication, corruption, mid-run core failures) the driver completes
+and its result vector is *bitwise* equal to the fault-free computation,
+and the same plan seed replays the identical schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import SpMVExperiment
+from repro.faults.plan import CoreFailure, FaultPlan, get_plan
+from repro.rcce.errors import RCCEBudgetExceededError
+from repro.sparse import banded, partition_rows_balanced, spmv, spmv_row_range
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    a = banded(400, 6.0, 8, seed=3)
+    return SpMVExperiment(a, name="ft-band")
+
+
+def reference_vector(exp, n_cores, x):
+    blocks = partition_rows_balanced(exp.a, n_cores).ranges()
+    return np.concatenate([spmv_row_range(exp.a, x, r0, r1) for r0, r1 in blocks])
+
+
+class TestFaultFree:
+    def test_faultless_run_verifies(self, experiment):
+        r = experiment.run_fault_tolerant(n_cores=4, plan=None, iterations=2)
+        assert r.verified
+        assert r.failed_ues == {}
+        assert r.counters["checkpoints"] == 2
+        assert r.fault_schedule == []
+        assert r.mflops > 0
+
+    def test_single_core_runs_coordinator_only(self, experiment):
+        r = experiment.run_fault_tolerant(n_cores=1, plan=get_plan("lossy"), iterations=2)
+        assert r.verified
+
+
+class TestPropertyGrid:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    @pytest.mark.parametrize("drop_rate", [0.05, 0.2])
+    def test_exact_result_under_message_faults(self, experiment, seed, drop_rate):
+        plan = FaultPlan(
+            seed=seed,
+            drop_rate=drop_rate,
+            duplicate_rate=0.05,
+            corrupt_rate=0.05,
+        )
+        x = np.linspace(0.5, 2.0, experiment.a.n_cols)
+        r = experiment.run_fault_tolerant(
+            n_cores=4, plan=plan, iterations=3, x=x, time_budget=60.0
+        )
+        assert r.verified
+        assert np.array_equal(r.y, reference_vector(experiment, 4, x))
+        assert np.allclose(r.y, spmv(experiment.a, x))
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_exact_result_with_mid_run_core_failure(self, experiment, seed):
+        plan = FaultPlan(
+            seed=seed,
+            drop_rate=0.05,
+            n_random_failures=1,
+            # the whole fault-free run lasts ~1.1e-5 sim-seconds, so the
+            # window must sit inside it for the death to land mid-run
+            failure_window=(1e-6, 8e-6),
+        )
+        r = experiment.run_fault_tolerant(
+            n_cores=6, plan=plan, iterations=3, time_budget=60.0
+        )
+        assert r.verified
+        assert len(r.failed_ues) == 1
+        assert 0 not in r.failed_ues  # the coordinator is protected
+        assert r.counters["detected_failures"] >= 1
+        assert r.counters["repartitions"] >= 1
+        assert r.counters["core_failure"] == 1
+
+    def test_explicit_victim_and_counters(self, experiment):
+        plan = FaultPlan(seed=3, core_failures=(CoreFailure(2, 3e-6),))
+        r = experiment.run_fault_tolerant(
+            n_cores=4, plan=plan, iterations=2, time_budget=60.0
+        )
+        assert r.verified
+        assert set(r.failed_ues) == {2}
+        assert r.counters["checkpoints"] == 2
+
+    def test_chaos_plan_survives(self, experiment):
+        r = experiment.run_fault_tolerant(
+            n_cores=6, plan=get_plan("chaos"), iterations=2, time_budget=60.0
+        )
+        assert r.verified
+
+
+class TestReplayDeterminism:
+    def test_same_seed_identical_schedule_and_trace(self, experiment):
+        plan = get_plan("crash")
+        kwargs = dict(n_cores=6, plan=plan, iterations=2, record_trace=True,
+                      time_budget=60.0)
+        r1 = experiment.run_fault_tolerant(**kwargs)
+        r2 = experiment.run_fault_tolerant(**kwargs)
+        assert r1.fault_schedule == r2.fault_schedule
+        assert r1.trace == r2.trace
+        assert r1.makespan == r2.makespan
+        assert np.array_equal(r1.y, r2.y)
+        assert r1.counters == r2.counters
+
+    def test_different_seed_diverges(self, experiment):
+        plan = get_plan("lossy")
+        r1 = experiment.run_fault_tolerant(n_cores=4, plan=plan, iterations=2)
+        r2 = experiment.run_fault_tolerant(
+            n_cores=4, plan=plan.with_seed(4242), iterations=2
+        )
+        assert r1.fault_schedule != r2.fault_schedule
+        assert r1.verified and r2.verified
+
+    def test_det900_extends_to_faulty_runs(self):
+        from repro.analysis.determinism import verify_program_determinism
+
+        def program(comm):
+            if comm.ue == 0:
+                yield from comm.send_async(np.ones(8), 1)
+            yield from comm.compute(1e-4)
+            return None
+
+        report = verify_program_determinism(
+            program, n_ues=2, fault_plan=get_plan("lossy")
+        )
+        assert report.deterministic
+
+
+class TestBudget:
+    def test_budget_exceeded_raises_structured_error(self, experiment):
+        with pytest.raises(RCCEBudgetExceededError) as err:
+            experiment.run_fault_tolerant(
+                n_cores=4, plan=get_plan("lossy"), iterations=4, time_budget=1e-6
+            )
+        assert err.value.budget == 1e-6
+        assert err.value.running_ues
+
+    def test_plain_run_accepts_budget(self, experiment):
+        with pytest.raises(RCCEBudgetExceededError):
+            experiment.run(n_cores=4, iterations=4, time_budget=1e-9)
+        r = experiment.run(n_cores=4, iterations=2, time_budget=60.0)
+        assert r.makespan < 60.0

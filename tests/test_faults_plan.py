@@ -1,0 +1,178 @@
+"""Tests for fault plans and the deterministic injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector, derive_seed
+from repro.faults.plan import (
+    EXAMPLE_PLANS,
+    CoreFailure,
+    CoreStall,
+    FaultPlan,
+    LinkDegradation,
+    McStallBurst,
+    get_plan,
+    load_plan,
+)
+from repro.sim import Simulator
+
+
+class TestPlanValidation:
+    def test_default_plan_is_faultless(self):
+        assert FaultPlan().is_faultless
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=0.5, duplicate_rate=0.3, corrupt_rate=0.3)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(n_random_failures=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(n_random_stalls=-1)
+
+    def test_windows_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failure_window=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            FaultPlan(stall_window=(-1.0, 0.5))
+
+    def test_explicit_failure_of_protected_ue_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(core_failures=(CoreFailure(0, 1e-4),))
+        # non-protected explicit failure is fine
+        FaultPlan(core_failures=(CoreFailure(3, 1e-4),))
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            CoreFailure(-1, 0.0)
+        with pytest.raises(ValueError):
+            CoreStall(0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            McStallBurst(0.5, 0.5, 2.0)
+        with pytest.raises(ValueError):
+            McStallBurst(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            LinkDegradation((0, 0), (1, 0), 0.9)
+
+    def test_with_seed(self):
+        plan = get_plan("lossy").with_seed(99)
+        assert plan.seed == 99
+        assert plan.drop_rate == get_plan("lossy").drop_rate
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        plan = EXAMPLE_PLANS["chaos"]
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        assert FaultPlan.from_file(path) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"drop_rte": 0.1})
+
+    def test_bad_json_reported_with_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            FaultPlan.from_file(path)
+
+    def test_load_plan_resolves_names_and_files(self, tmp_path):
+        assert load_plan("crash") is EXAMPLE_PLANS["crash"]
+        path = tmp_path / "custom.json"
+        get_plan("lossy").to_file(path)
+        assert load_plan(str(path)) == get_plan("lossy")
+        with pytest.raises(ValueError, match="neither a named plan"):
+            load_plan("no-such-plan")
+
+
+class TestInjectorDeterminism:
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(7, "messages") == derive_seed(7, "messages")
+        assert derive_seed(7, "messages") != derive_seed(7, "payloads")
+        assert derive_seed(7, "messages") != derive_seed(8, "messages")
+
+    def test_resolved_schedules_replay_identically(self):
+        plan = get_plan("chaos")
+        a = FaultInjector(plan, 8, Simulator())
+        b = FaultInjector(plan, 8, Simulator())
+        assert a.core_failures() == b.core_failures()
+        assert a.core_stalls() == b.core_stalls()
+
+    def test_different_seed_different_schedule(self):
+        plan = get_plan("crash")
+        a = FaultInjector(plan, 8, Simulator())
+        b = FaultInjector(plan.with_seed(999), 8, Simulator())
+        assert a.core_failures() != b.core_failures()
+
+    def test_random_failures_never_hit_protected_ues(self):
+        plan = FaultPlan(seed=1, n_random_failures=7, protected_ues=(0,))
+        inj = FaultInjector(plan, 8, Simulator())
+        failed = [ue for ue, _t in inj.core_failures()]
+        assert 0 not in failed
+        assert len(failed) == 7  # everyone else dies
+
+    def test_message_fate_stream_replays(self):
+        plan = get_plan("lossy")
+        a = FaultInjector(plan, 4, Simulator())
+        b = FaultInjector(plan, 4, Simulator())
+        fates_a = [a.message_fate(0, 1, 0, 0.0) for _ in range(200)]
+        fates_b = [b.message_fate(0, 1, 0, 0.0) for _ in range(200)]
+        assert fates_a == fates_b
+        assert {"drop", "duplicate", "corrupt"} & set(fates_a)
+
+    def test_faultless_plan_never_touches_rng(self):
+        inj = FaultInjector(FaultPlan(), 4, Simulator())
+        assert all(
+            inj.message_fate(0, 1, 0, 0.0) == "deliver" for _ in range(50)
+        )
+        assert inj.events == []
+
+
+class TestCorruption:
+    def _injector(self):
+        return FaultInjector(get_plan("lossy"), 4, Simulator())
+
+    def test_ndarray_corruption_changes_one_element(self):
+        inj = self._injector()
+        arr = np.ones(16)
+        out = inj.corrupt_payload(arr)
+        assert out is not arr and (out != arr).sum() == 1
+        assert np.array_equal(arr, np.ones(16))  # original untouched
+
+    def test_scalar_and_container_corruption_changes_value(self):
+        inj = self._injector()
+        assert inj.corrupt_payload(42) != 42
+        assert inj.corrupt_payload(1.5) != 1.5
+        assert inj.corrupt_payload(True) is False
+        assert inj.corrupt_payload(b"abc") != b"abc"
+        assert inj.corrupt_payload("tag") != "tag"
+        t = ("work", 3, 5)
+        assert inj.corrupt_payload(t) != t
+
+    def test_unknown_object_wrapped_not_dropped(self):
+        inj = self._injector()
+        out = inj.corrupt_payload(object())
+        assert out[0] == "__corrupted__"
+
+
+class TestStalls:
+    def test_stalls_consumed_once(self):
+        plan = FaultPlan(core_stalls=(CoreStall(1, 1e-5, 2e-4),))
+        inj = FaultInjector(plan, 4, Simulator())
+        assert inj.consume_stalls(1, 0.0, 1e-3) == pytest.approx(2e-4)
+        assert inj.consume_stalls(1, 0.0, 1e-3) == 0.0
+        assert inj.consume_stalls(0, 0.0, 1e-3) == 0.0
+
+    def test_stall_outside_window_waits(self):
+        plan = FaultPlan(core_stalls=(CoreStall(0, 5e-3, 1e-4),))
+        inj = FaultInjector(plan, 2, Simulator())
+        assert inj.consume_stalls(0, 0.0, 1e-4) == 0.0
+        assert inj.consume_stalls(0, 5e-3, 1e-4) == pytest.approx(1e-4)

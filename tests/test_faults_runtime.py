@@ -1,0 +1,207 @@
+"""Fault behaviour of the runtime and hardware layers.
+
+Covers the injection points the fault plans drive: process kills and
+their surfacing in deadlock diagnostics, per-core stall windows, memory
+controller stall bursts, and mesh link degradation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import CoreFailure, CoreStall, FaultPlan, LinkDegradation
+from repro.rcce.errors import (
+    RCCEBudgetExceededError,
+    RCCEDeadlockError,
+    RCCETimeoutError,
+)
+from repro.rcce.runtime import RCCERuntime
+from repro.scc.mcqueue import CoreWorkload, StallBurst, simulate_controller
+from repro.scc.mesh import MeshNetwork
+from repro.sim import Process, Simulator, any_of
+
+
+class TestProcessKill:
+    def test_kill_marks_finished_and_fires_done(self):
+        sim = Simulator()
+        seen = []
+
+        def body():
+            seen.append("start")
+            yield sim.timeout(1.0)
+            seen.append("never")
+
+        p = Process(sim, body(), name="victim")
+        sim.schedule(0.5, p.kill)
+        sim.run()
+        assert seen == ["start"]
+        assert p.killed and p.finished
+
+    def test_kill_is_idempotent(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        p = Process(sim, body(), name="victim")
+        sim.schedule(0.1, p.kill)
+        sim.run()
+        assert p.kill() is False  # already dead
+
+
+class TestRuntimeFaults:
+    def test_core_failure_registers_time(self):
+        plan = FaultPlan(core_failures=(CoreFailure(1, 2e-4),))
+
+        def fn(comm):
+            yield from comm.compute(1e-3)
+            return comm.ue
+
+        rt = RCCERuntime([0, 1], fault_plan=plan)
+        res = rt.run(fn)
+        assert rt.failed_ues == {1: pytest.approx(2e-4)}
+        assert res[0].value == 0
+        assert res[1].value is None  # killed before returning
+
+    def test_core_stall_extends_compute(self):
+        stall = CoreStall(0, 1e-5, 3e-4)
+        plan = FaultPlan(core_stalls=(stall,))
+
+        def fn(comm):
+            yield from comm.compute(1e-4)
+            return comm.wtime()
+
+        faulty = RCCERuntime([0], fault_plan=plan).run(fn)[0].value
+        clean = RCCERuntime([0]).run(fn)[0].value
+        assert faulty == pytest.approx(clean + 3e-4)
+
+    def test_raw_recv_timeout(self):
+        def fn(comm):
+            if comm.ue == 0:
+                with pytest.raises(RCCETimeoutError) as err:
+                    yield from comm.recv(1, 0, timeout=1e-4)
+                assert err.value.timeout == 1e-4
+                return "expired"
+            yield from comm.compute(1e-3)
+            return None
+
+        assert RCCERuntime([0, 1]).run(fn)[0].value == "expired"
+
+    def test_budget_exceeded_lists_running_ues(self):
+        def fn(comm):
+            yield from comm.compute(1.0)
+
+        with pytest.raises(RCCEBudgetExceededError) as err:
+            RCCERuntime([0, 1]).run(fn, until=1e-3)
+        assert err.value.budget == 1e-3
+        assert set(err.value.running_ues) == {0, 1}
+        assert err.value.sim_time == pytest.approx(1e-3)
+
+    def test_deadlock_report_marks_crashed_peer(self):
+        """Blocking on a UE that the fault plan killed must be diagnosed
+        as 'peer crashed', not a generic never-sent deadlock."""
+        plan = FaultPlan(core_failures=(CoreFailure(1, 1e-5),))
+
+        def fn(comm):
+            if comm.ue == 0:
+                # deliberately unbounded: this is the bug RCCE130 flags
+                data = yield from comm.recv(1, 0)
+                return data
+            yield from comm.compute(1.0)
+            return None
+
+        with pytest.raises(RCCEDeadlockError) as err:
+            RCCERuntime([0, 1], fault_plan=plan).run(fn)
+        message = str(err.value)
+        assert "CRASHED" in message
+        assert "injected core failure" in message
+        assert err.value.failed_ues == {1: pytest.approx(1e-5)}
+
+    def test_deadlock_without_faults_has_no_crash_note(self):
+        def fn(comm):
+            if comm.ue == 0:
+                yield from comm.recv(1, 0)
+            return None
+
+        with pytest.raises(RCCEDeadlockError) as err:
+            RCCERuntime([0, 1]).run(fn)
+        assert "CRASHED" not in str(err.value)
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        sim = Simulator()
+        winner = []
+
+        def body():
+            fast = sim.timeout(0.1, value="fast")
+            slow = sim.timeout(0.5, value="slow")
+            ev, val = yield any_of(sim, [fast, slow])
+            winner.append((ev is fast, val))
+
+        Process(sim, body(), name="racer")
+        sim.run()
+        assert winner == [(True, "fast")]
+
+
+class TestMcStallBursts:
+    WORKLOADS = [CoreWorkload(compute_time=1e-4, n_lines=100, latency=1e-7)] * 4
+
+    def test_burst_slows_completion(self):
+        base = simulate_controller(self.WORKLOADS, capacity_lines_per_sec=1e7)
+        bursty = simulate_controller(
+            self.WORKLOADS,
+            capacity_lines_per_sec=1e7,
+            stall_bursts=[StallBurst(0.0, 1.0, 8.0)],
+        )
+        assert max(bursty) > max(base)
+
+    def test_burst_outside_window_is_free(self):
+        base = simulate_controller(self.WORKLOADS, capacity_lines_per_sec=1e7)
+        late = simulate_controller(
+            self.WORKLOADS,
+            capacity_lines_per_sec=1e7,
+            stall_bursts=[StallBurst(10.0, 11.0, 8.0)],
+        )
+        assert late == base
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            StallBurst(1.0, 0.5, 2.0)
+        with pytest.raises(ValueError):
+            StallBurst(0.0, 1.0, 0.9)
+
+    def test_worst_overlapping_burst_wins(self):
+        from repro.scc.mcqueue import _burst_factor
+
+        bursts = (StallBurst(0.0, 1.0, 2.0), StallBurst(0.5, 1.5, 6.0))
+        assert _burst_factor(bursts, 0.25) == 2.0
+        assert _burst_factor(bursts, 0.75) == 6.0
+        assert _burst_factor(bursts, 2.0) == 1.0
+
+
+class TestMeshDegradation:
+    def test_degraded_link_slows_route(self):
+        mesh = MeshNetwork()
+        healthy = mesh.message_time((0, 0), (3, 0), 4096)
+        mesh.set_link_degradation((1, 0), (2, 0), 4.0)
+        assert mesh.route_slowdown((0, 0), (3, 0)) == 4.0
+        assert mesh.message_time((0, 0), (3, 0), 4096) > healthy
+        # a route avoiding the link is unaffected
+        assert mesh.route_slowdown((0, 1), (3, 1)) == 1.0
+        mesh.clear_link_degradations()
+        assert mesh.message_time((0, 0), (3, 0), 4096) == healthy
+
+    def test_degradation_validation(self):
+        mesh = MeshNetwork()
+        with pytest.raises(ValueError):
+            mesh.set_link_degradation((0, 0), (1, 0), 0.5)
+        with pytest.raises(ValueError):
+            mesh.set_link_degradation((0, 0), (99, 0), 2.0)
+
+    def test_plan_degradations_reach_the_runtime_mesh(self):
+        plan = FaultPlan(
+            link_degradations=(LinkDegradation((0, 0), (1, 0), 3.0),)
+        )
+        rt = RCCERuntime([0, 1], fault_plan=plan)
+        assert rt.mesh.route_slowdown((0, 0), (1, 0)) == 3.0
