@@ -12,6 +12,12 @@ paper's SpMV characterization study on the model:
   the reconstructed Table I testbed.
 - :mod:`repro.core` — the study itself: mappings, experiment runner,
   metrics and the cross-architecture comparison models.
+- :mod:`repro.analysis` — static linter and dynamic checkers for RCCE
+  programs.
+- :mod:`repro.faults` — deterministic fault injection and the
+  fault-tolerant execution layer.
+- :mod:`repro.obs` — structured tracing (simulated-time spans, Chrome
+  trace export) and a labelled metrics registry.
 
 Quickstart::
 

@@ -4,6 +4,11 @@ Kept separate from :mod:`repro.cli` (which owns the paper-artifact
 commands) so the analysis layer stays importable without the figure
 machinery.  Both commands exit non-zero when any ERROR-severity finding
 is produced, which is what CI keys off.
+
+The parser *definitions* (``configure_*_parser``) are separate from the
+entry points so the unified ``repro`` parser can mount them as real
+subparsers while the standalone ``lint_main``/``check_main`` entry
+points keep working unchanged.
 """
 
 from __future__ import annotations
@@ -12,19 +17,23 @@ import argparse
 import json
 from typing import List, Optional, Sequence, TextIO
 
+from ..cliutil import add_json_flag, add_output_flag, open_output, resolve_format
 from .findings import Finding, Severity, findings_to_json, format_findings, has_errors
 from .lint import lint_paths
 from .rules import all_rules
 
-__all__ = ["lint_main", "check_main"]
+__all__ = [
+    "lint_main",
+    "check_main",
+    "configure_lint_parser",
+    "configure_check_parser",
+    "run_lint",
+    "run_check",
+]
 
 
-def build_lint_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro lint",
-        description="Statically lint RCCE/simulator programs for SPMD protocol "
-        "bugs and determinism hazards.",
-    )
+def configure_lint_parser(p: argparse.ArgumentParser) -> None:
+    """Add the ``repro lint`` arguments to an existing parser."""
     p.add_argument("paths", nargs="*", help="files or directories to lint")
     p.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
@@ -38,39 +47,53 @@ def build_lint_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    add_json_flag(p)
+    add_output_flag(p)
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically lint RCCE/simulator programs for SPMD protocol "
+        "bugs and determinism hazards.",
+    )
+    configure_lint_parser(p)
     return p
+
+
+def run_lint(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro lint`` from a parsed namespace."""
+    with open_output(args, out) as stream:
+        if args.list_rules:
+            for r in all_rules():
+                print(
+                    f"{r.id}  [{r.severity.value:7s}]  {r.name}: {r.summary}",
+                    file=stream,
+                )
+            return 0
+        if not args.paths:
+            raise SystemExit(
+                "repro lint: at least one path is required (or --list-rules)"
+            )
+        select = [s.strip() for s in args.select.split(",") if s.strip()] or None
+        try:
+            findings = lint_paths(args.paths, select=select)
+        except (FileNotFoundError, KeyError) as exc:
+            raise SystemExit(f"repro lint: {exc}") from exc
+        if resolve_format(args) == "json":
+            print(findings_to_json(findings), file=stream)
+        else:
+            print(format_findings(findings), file=stream)
+        return 1 if has_errors(findings) else 0
 
 
 def lint_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
     """Entry point for ``repro lint``; returns a process exit code."""
-    import sys
-
-    out = out or sys.stdout
-    args = build_lint_parser().parse_args(argv)
-    if args.list_rules:
-        for r in all_rules():
-            print(f"{r.id}  [{r.severity.value:7s}]  {r.name}: {r.summary}", file=out)
-        return 0
-    if not args.paths:
-        raise SystemExit("repro lint: at least one path is required (or --list-rules)")
-    select = [s.strip() for s in args.select.split(",") if s.strip()] or None
-    try:
-        findings = lint_paths(args.paths, select=select)
-    except (FileNotFoundError, KeyError) as exc:
-        raise SystemExit(f"repro lint: {exc}") from exc
-    if args.format == "json":
-        print(findings_to_json(findings), file=out)
-    else:
-        print(format_findings(findings), file=out)
-    return 1 if has_errors(findings) else 0
+    return run_lint(build_lint_parser().parse_args(argv), out=out)
 
 
-def build_check_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro check",
-        description="Run RCCE programs under the dynamic race/deadlock/"
-        "determinism checkers.",
-    )
+def configure_check_parser(p: argparse.ArgumentParser) -> None:
+    """Add the ``repro check`` arguments to an existing parser."""
     p.add_argument(
         "--program",
         type=str,
@@ -89,15 +112,22 @@ def build_check_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the replay-based determinism verification",
     )
+    add_json_flag(p)
+    add_output_flag(p)
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro check",
+        description="Run RCCE programs under the dynamic race/deadlock/"
+        "determinism checkers.",
+    )
+    configure_check_parser(p)
     return p
 
 
-def check_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
-    """Entry point for ``repro check``; returns a process exit code."""
-    import sys
-
-    out = out or sys.stdout
-    args = build_check_parser().parse_args(argv)
+def run_check(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro check`` from a parsed namespace."""
     from .check import check_battery, load_program, run_checked
 
     verify = not args.no_determinism
@@ -113,40 +143,46 @@ def check_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = Non
         results = check_battery(verify_determinism=verify)
 
     all_findings: List[Finding] = []
-    if args.format == "json":
-        payload = []
-        for r in results:
-            payload.append(
-                {
-                    "program": r.name,
-                    "completed": r.completed,
-                    "deterministic": r.deterministic,
-                    "ok": r.ok,
-                    "findings": json.loads(findings_to_json(r.findings)),
-                }
-            )
-            all_findings.extend(r.findings)
-        print(json.dumps(payload, indent=2), file=out)
-    else:
-        for r in results:
-            status = "ok" if r.ok else "FAIL"
-            det = (
-                ""
-                if r.deterministic is None
-                else f", deterministic={'yes' if r.deterministic else 'NO'}"
-            )
+    with open_output(args, out) as stream:
+        if resolve_format(args) == "json":
+            payload = []
+            for r in results:
+                payload.append(
+                    {
+                        "program": r.name,
+                        "completed": r.completed,
+                        "deterministic": r.deterministic,
+                        "ok": r.ok,
+                        "findings": json.loads(findings_to_json(r.findings)),
+                    }
+                )
+                all_findings.extend(r.findings)
+            print(json.dumps(payload, indent=2), file=stream)
+        else:
+            for r in results:
+                status = "ok" if r.ok else "FAIL"
+                det = (
+                    ""
+                    if r.deterministic is None
+                    else f", deterministic={'yes' if r.deterministic else 'NO'}"
+                )
+                print(
+                    f"[{status}] {r.name}: completed={'yes' if r.completed else 'NO'}{det}",
+                    file=stream,
+                )
+                for f in r.findings:
+                    print(f"    {f}", file=stream)
+                all_findings.extend(r.findings)
+            n_fail = sum(1 for r in results if not r.ok)
             print(
-                f"[{status}] {r.name}: completed={'yes' if r.completed else 'NO'}{det}",
-                file=out,
+                f"{len(results)} program(s) checked, {n_fail} failing", file=stream
             )
-            for f in r.findings:
-                print(f"    {f}", file=out)
-            all_findings.extend(r.findings)
-        n_fail = sum(1 for r in results if not r.ok)
-        print(
-            f"{len(results)} program(s) checked, {n_fail} failing", file=out
-        )
     failed = any(not r.ok for r in results) or any(
         f.severity is Severity.ERROR for f in all_findings
     )
     return 1 if failed else 0
+
+
+def check_main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``repro check``; returns a process exit code."""
+    return run_check(build_check_parser().parse_args(argv), out=out)

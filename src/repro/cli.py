@@ -2,23 +2,27 @@
 
 Usage::
 
-    python -m repro table1 --scale 0.2
-    python -m repro fig5 --scale 0.2 --ids 7,14,24
-    python -m repro fig9 --iterations 8
-    python -m repro all --scale 0.1
+    python -m repro run table1 --scale 0.2
+    python -m repro run fig5 --scale 0.2 --ids 7,14,24
+    python -m repro run all --scale 0.1
     python -m repro lint examples/ src/repro/apps/
     python -m repro check --program myprog.py:ue_main --ues 4
     python -m repro faults --plan crash --ids 2,7 --cores 8
     python -m repro faults --repair results/sweep.jsonl
+    python -m repro trace --cores 4 --export chrome --output trace.json
+    python -m repro bench snapshot
+
+Legacy invocations without the ``run`` subcommand (``python -m repro
+fig5``) keep working: artifact names are aliased to ``run <artifact>``.
 
 Output is the same tabular rendering the benchmark harness prints; the
 benchmark harness additionally asserts the paper's findings, so use
 ``pytest benchmarks/ --benchmark-only`` for a checked reproduction.
 ``lint`` and ``check`` are the correctness tooling of
-:mod:`repro.analysis` (see ``docs/ANALYSIS.md``): a static SPMD/
-determinism linter and the dynamic race/deadlock/determinism checkers.
-``faults`` runs the fault-tolerant SpMV driver under a seeded fault
-plan and repairs damaged campaign files (see ``docs/FAULTS.md``).
+:mod:`repro.analysis` (see ``docs/ANALYSIS.md``); ``faults`` runs the
+fault-tolerant SpMV driver under a seeded fault plan (see
+``docs/FAULTS.md``); ``trace`` and ``bench`` are the observability
+layer (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .cliutil import add_output_flag, open_output
 from .core.figures import (
     FIG3_HOPS,
     FIG5_CORE_COUNTS,
@@ -48,22 +53,21 @@ from .core.metrics import average_gflops
 from .core.report import banner, format_series, format_table
 from .scc.chip import CONF0, CONF1, CONF2
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "COMMANDS", "ARTIFACTS"]
 
 ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
 
-#: subcommands handled by repro.analysis.cli rather than the artifact parser.
+#: every first-class subcommand of the unified parser.
+COMMANDS = ("run", "lint", "check", "faults", "trace", "bench")
+
+#: subcommands implemented by repro.analysis.cli (kept for callers that
+#: dispatch on these names; the unified parser mounts them directly).
 ANALYSIS_COMMANDS = ("lint", "check")
-#: subcommands handled by repro.faults.cli.
+#: subcommands implemented by repro.faults.cli.
 FAULTS_COMMANDS = ("faults",)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse parser for ``python -m repro``."""
-    p = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate tables/figures of the SCC SpMV paper on the model.",
-    )
+def _configure_run_parser(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "artifact",
         choices=ARTIFACTS + ("all", "validate"),
@@ -87,12 +91,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="SpMV repetitions per timed run (default 16)",
     )
-    p.add_argument(
-        "--output",
-        type=str,
-        default="",
-        help="write the rendered artifact(s) to this file instead of stdout",
+    add_output_flag(p)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the unified argparse parser for ``python -m repro``."""
+    from .analysis.cli import configure_check_parser, configure_lint_parser
+    from .faults.cli import configure_faults_parser
+    from .obs.cli import configure_bench_parser, configure_trace_parser
+
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="The SCC SpMV paper reproduction: artifacts, analysis "
+        "tooling, fault injection and observability.",
     )
+    sub = p.add_subparsers(dest="command", metavar="command")
+
+    run_p = sub.add_parser(
+        "run", help="regenerate paper tables/figures on the model"
+    )
+    _configure_run_parser(run_p)
+    run_p.set_defaults(handler=_run_artifacts)
+
+    lint_p = sub.add_parser(
+        "lint", help="statically lint RCCE/simulator programs"
+    )
+    configure_lint_parser(lint_p)
+    lint_p.set_defaults(handler=_dispatch_lint)
+
+    check_p = sub.add_parser(
+        "check", help="run programs under the dynamic race/deadlock checkers"
+    )
+    configure_check_parser(check_p)
+    check_p.set_defaults(handler=_dispatch_check)
+
+    faults_p = sub.add_parser(
+        "faults", help="fault-injection runs and campaign repair"
+    )
+    configure_faults_parser(faults_p)
+    faults_p.set_defaults(handler=_dispatch_faults)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one traced experiment and export the trace"
+    )
+    configure_trace_parser(trace_p)
+    trace_p.set_defaults(handler=_dispatch_trace)
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark snapshots (model throughput, tracer overhead)"
+    )
+    configure_bench_parser(bench_p)
+    bench_p.set_defaults(handler=_dispatch_bench)
+
     return p
 
 
@@ -287,49 +337,80 @@ def _render_validation(out) -> int:
     return failures
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
-    if argv is None:
-        argv = sys.argv[1:]
-    argv = list(argv)
-    if argv and argv[0] in ANALYSIS_COMMANDS:
-        from .analysis.cli import check_main, lint_main
-
-        handler = lint_main if argv[0] == "lint" else check_main
-        return handler(argv[1:], out=out)
-    if argv and argv[0] in FAULTS_COMMANDS:
-        from .faults.cli import faults_main
-
-        return faults_main(argv[1:], out=out)
-    args = build_parser().parse_args(argv)
-    opened = None
-    if out is None:
-        if args.output:
-            opened = open(args.output, "w", encoding="utf-8")
-            out = opened
-        else:
-            out = sys.stdout
+def _run_artifacts(args: argparse.Namespace, out=None) -> int:
+    """Handler of ``repro run``: render the requested artifact(s)."""
     if not 0 < args.scale <= 1.0:
         raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
     if args.iterations < 1:
         raise SystemExit(f"--iterations must be >= 1, got {args.iterations}")
-    if args.artifact == "validate":
-        try:
-            return _render_validation(out)
-        finally:
-            if opened is not None:
-                opened.close()
-    exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))
-    if not exps:
-        raise SystemExit("no matrices selected; check --ids")
-    artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
-    try:
+    with open_output(args, out) as stream:
+        if args.artifact == "validate":
+            return _render_validation(stream)
+        exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))
+        if not exps:
+            raise SystemExit("no matrices selected; check --ids")
+        artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
         for artifact in artifacts:
-            _render(artifact, exps, args.iterations, out)
-    finally:
-        if opened is not None:
-            opened.close()
+            _render(artifact, exps, args.iterations, stream)
     return 0
+
+
+def _dispatch_lint(args, out=None) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args, out=out)
+
+
+def _dispatch_check(args, out=None) -> int:
+    from .analysis.cli import run_check
+
+    return run_check(args, out=out)
+
+
+def _dispatch_faults(args, out=None) -> int:
+    from .faults.cli import run_faults
+
+    return run_faults(args, out=out)
+
+
+def _dispatch_trace(args, out=None) -> int:
+    from .obs.cli import run_trace
+
+    return run_trace(args, out=out)
+
+
+def _dispatch_bench(args, out=None) -> int:
+    from .obs.cli import run_bench
+
+    return run_bench(args, out=out)
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Legacy alias shim: ``repro fig5`` means ``repro run fig5``."""
+    if argv and argv[0] in ARTIFACTS + ("all", "validate"):
+        return ["run", *argv]
+    return argv
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = _normalize_argv(list(argv))
+    if argv and not argv[0].startswith("-") and argv[0] not in COMMANDS:
+        print(
+            f"repro: unknown command {argv[0]!r} — expected one of: "
+            f"{', '.join(COMMANDS)} (or a paper artifact: "
+            f"{', '.join(ARTIFACTS + ('all', 'validate'))})",
+            file=sys.stderr,
+        )
+        return 2
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    return args.handler(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

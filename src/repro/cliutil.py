@@ -1,0 +1,64 @@
+"""Shared plumbing of the ``repro`` CLI subcommands.
+
+Every subcommand takes the same two output knobs: ``--output FILE``
+(write the rendering to a file instead of stdout) and, where the
+subcommand has a structured rendering, ``--json`` (shorthand for
+``--format json``).  The helpers here keep those flags and their
+resolution identical across :mod:`repro.cli`, :mod:`repro.analysis.cli`,
+:mod:`repro.faults.cli` and :mod:`repro.obs.cli`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+__all__ = ["add_output_flag", "add_json_flag", "resolve_format", "open_output"]
+
+
+def add_output_flag(p: argparse.ArgumentParser) -> None:
+    """The uniform ``--output FILE`` flag."""
+    p.add_argument(
+        "--output",
+        type=str,
+        default="",
+        metavar="FILE",
+        help="write the output to this file instead of stdout",
+    )
+
+
+def add_json_flag(p: argparse.ArgumentParser) -> None:
+    """The uniform ``--json`` flag (shorthand for ``--format json``)."""
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON (shorthand for --format json)",
+    )
+
+
+def resolve_format(args: argparse.Namespace) -> str:
+    """Effective output format: ``--json`` wins over ``--format``."""
+    if getattr(args, "json", False):
+        return "json"
+    return getattr(args, "format", "text")
+
+
+@contextmanager
+def open_output(args: argparse.Namespace, out: Optional[TextIO]) -> Iterator[TextIO]:
+    """Yield the stream to print to.
+
+    An explicit ``out`` (tests pass a StringIO) always wins; otherwise
+    ``--output`` opens a file for the duration, else stdout.
+    """
+    if out is not None:
+        yield out
+    elif getattr(args, "output", ""):
+        fh = open(args.output, "w", encoding="utf-8")
+        try:
+            yield fh
+        finally:
+            fh.close()
+    else:
+        yield sys.stdout

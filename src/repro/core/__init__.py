@@ -15,10 +15,16 @@
 """
 
 from .blocked import BCSRTimingResult, run_bcsr_timing
-from .campaign import Campaign, CampaignPoint, result_record
+from .campaign import Campaign, CampaignPoint, fault_tolerant_record, result_record
 from .diagrams import chip_diagram, csr_example, mapping_diagram
 from .comparison import COMPARISON_SYSTEMS, ArchitectureModel, comparison_table
-from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
+from .experiment import (
+    DEFAULT_ITERATIONS,
+    ExperimentResult,
+    FaultTolerantResult,
+    ResultBase,
+    SpMVExperiment,
+)
 from .figures import suite_experiments
 from .roofline import MatrixPoint, SCCRoofline, locate_matrix
 from .sensitivity import EffectSet, measure_effects, sensitivity_sweep
@@ -47,6 +53,7 @@ __all__ = [
     "Campaign",
     "CampaignPoint",
     "result_record",
+    "fault_tolerant_record",
     "chip_diagram",
     "csr_example",
     "mapping_diagram",
@@ -55,6 +62,8 @@ __all__ = [
     "comparison_table",
     "DEFAULT_ITERATIONS",
     "ExperimentResult",
+    "FaultTolerantResult",
+    "ResultBase",
     "SpMVExperiment",
     "suite_experiments",
     "MatrixPoint",

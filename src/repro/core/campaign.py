@@ -70,45 +70,18 @@ class CampaignIntegrityError(ValueError):
 
 
 def result_record(r: ExperimentResult) -> dict:
-    """Flatten an ExperimentResult into a JSON-serializable record."""
-    return {
-        "status": "ok",
-        "matrix": r.matrix_name,
-        "n": r.n,
-        "nnz": r.nnz,
-        "n_cores": r.n_cores,
-        "config": r.config_name,
-        "mapping": r.mapping,
-        "kernel": r.kernel,
-        "iterations": r.iterations,
-        "makespan_s": r.makespan,
-        "mflops": r.mflops,
-        "power_watts": r.power_watts,
-        "mflops_per_watt": r.mflops_per_watt,
-        "ws_per_core_bytes": r.ws_per_core_bytes,
-    }
+    """Deprecated alias for :meth:`ExperimentResult.to_record`.
+
+    The flattening now lives on the result itself (``r.to_record()``);
+    this wrapper is kept so existing campaign/analysis code keeps
+    working and will be removed in a future release.
+    """
+    return r.to_record()
 
 
 def fault_tolerant_record(r: FaultTolerantResult) -> dict:
-    """Flatten a FaultTolerantResult (fault/recovery counters included)."""
-    return {
-        "status": "ok",
-        "matrix": r.matrix_name,
-        "n": r.n,
-        "nnz": r.nnz,
-        "n_cores": r.n_cores,
-        "config": r.config_name,
-        "mapping": r.mapping,
-        "kernel": "csr",
-        "iterations": r.iterations,
-        "makespan_s": r.makespan,
-        "mflops": r.mflops,
-        "plan": r.plan_name,
-        "plan_seed": r.plan_seed,
-        "verified": r.verified,
-        "failed_ues": sorted(r.failed_ues),
-        "fault_counters": dict(sorted(r.counters.items())),
-    }
+    """Deprecated alias for :meth:`FaultTolerantResult.to_record`."""
+    return r.to_record()
 
 
 @dataclass(frozen=True)
@@ -174,6 +147,7 @@ class Campaign:
         iterations: int = DEFAULT_ITERATIONS,
         fault_plan: Optional[object] = None,
         point_budget: Optional[float] = None,
+        collect_metrics: bool = False,
     ) -> None:
         if not name or "/" in name:
             raise ValueError(f"campaign name must be a simple identifier, got {name!r}")
@@ -191,6 +165,9 @@ class Campaign:
         self.fault_plan = fault_plan
         #: per-point simulated-time budget (None = unbounded).
         self.point_budget = point_budget
+        #: attach a metrics-only tracer per point and append its flat
+        #: summary to the record under ``"metrics"``.
+        self.collect_metrics = collect_metrics
         self._experiments: Dict[int, SpMVExperiment] = {}
 
     # -- persistence ----------------------------------------------------
@@ -292,6 +269,13 @@ class Campaign:
     def _run_point(self, pt: CampaignPoint) -> dict:
         """Execute one point, mapping failures to structured records."""
         exp = self._experiment(pt.mid)
+        tracer = None
+        if self.collect_metrics:
+            # categories=() drops every trace event but leaves the
+            # metrics registry live: summaries without event overhead.
+            from ..obs import Tracer
+
+            tracer = Tracer(categories=())
         try:
             if self.fault_plan is not None:
                 result = exp.run_fault_tolerant(
@@ -301,17 +285,22 @@ class Campaign:
                     plan=self.fault_plan,
                     iterations=self.iterations,
                     time_budget=self.point_budget,
+                    tracer=tracer,
                 )
-                return fault_tolerant_record(result)
-            result = exp.run(
-                n_cores=pt.n_cores,
-                config=PRESETS[pt.config],
-                mapping=pt.mapping,
-                kernel=pt.kernel,
-                iterations=self.iterations,
-                time_budget=self.point_budget,
-            )
-            return result_record(result)
+            else:
+                result = exp.run(
+                    n_cores=pt.n_cores,
+                    config=PRESETS[pt.config],
+                    mapping=pt.mapping,
+                    kernel=pt.kernel,
+                    iterations=self.iterations,
+                    time_budget=self.point_budget,
+                    tracer=tracer,
+                )
+            rec = result.to_record()
+            if tracer is not None:
+                rec["metrics"] = tracer.metrics.flat_summary()
+            return rec
         except RCCEBudgetExceededError as exc:
             return {
                 "status": "timeout",

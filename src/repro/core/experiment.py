@@ -47,6 +47,7 @@ from .timing import CoreTiming, solve_core_times
 from .trace import DEFAULT_X_CAPACITY_FRACTION, UETrace, access_summary, characterize_partition
 
 __all__ = [
+    "ResultBase",
     "ExperimentResult",
     "FaultTolerantResult",
     "SpMVExperiment",
@@ -61,8 +62,66 @@ DEFAULT_ITERATIONS = 16
 KERNELS = ("csr", "no_x_miss")
 
 
+class ResultBase:
+    """Shared surface of experiment outcomes (plain mixin, not a dataclass).
+
+    Both result dataclasses carry the (matrix, cores, config, mapping,
+    iterations, makespan) identity and report throughput the same way —
+    ``FLOPS = 2 * nnz * iterations`` over the makespan (paper Sec. IV).
+    The derived properties and the JSONL flattening (:meth:`to_record`)
+    live here so campaigns and metrics never special-case the result
+    kind.  Kept a plain class so the frozen dataclasses' field order is
+    untouched.
+    """
+
+    matrix_name: str
+    n: int
+    nnz: int
+    n_cores: int
+    config_name: str
+    mapping: str
+    iterations: int
+    makespan: float
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations: 2 * nnz * iterations."""
+        return 2 * self.nnz * self.iterations
+
+    @property
+    def gflops(self) -> float:
+        """Throughput in GFLOPS/s over the makespan."""
+        return self.flops / self.makespan / 1e9
+
+    @property
+    def mflops(self) -> float:
+        """Throughput in MFLOPS/s over the makespan."""
+        return self.flops / self.makespan / 1e6
+
+    def to_record(self) -> dict:
+        """Flatten into the campaign's JSON-serializable record shape.
+
+        Subclasses extend the dict; the shared prefix (through
+        ``mflops``) is identical for every result kind so downstream
+        consumers can group records without caring which driver ran.
+        """
+        return {
+            "status": "ok",
+            "matrix": self.matrix_name,
+            "n": self.n,
+            "nnz": self.nnz,
+            "n_cores": self.n_cores,
+            "config": self.config_name,
+            "mapping": self.mapping,
+            "kernel": getattr(self, "kernel", "csr"),
+            "iterations": self.iterations,
+            "makespan_s": self.makespan,
+            "mflops": self.mflops,
+        }
+
+
 @dataclass(frozen=True)
-class ExperimentResult:
+class ExperimentResult(ResultBase):
     """Outcome of one (matrix, cores, config, mapping, kernel) run."""
 
     matrix_name: str
@@ -80,24 +139,16 @@ class ExperimentResult:
     y: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
-    def flops(self) -> int:
-        """Total floating-point operations: 2 * nnz * iterations."""
-        return 2 * self.nnz * self.iterations
-
-    @property
-    def gflops(self) -> float:
-        """Throughput in GFLOPS/s over the makespan."""
-        return self.flops / self.makespan / 1e9
-
-    @property
-    def mflops(self) -> float:
-        """Throughput in MFLOPS/s over the makespan."""
-        return self.flops / self.makespan / 1e6
-
-    @property
     def mflops_per_watt(self) -> float:
         """Full-system MFLOPS/s per watt, the paper's efficiency metric."""
         return self.mflops / self.power_watts if self.power_watts > 0 else 0.0
+
+    def to_record(self) -> dict:
+        rec = super().to_record()
+        rec["power_watts"] = self.power_watts
+        rec["mflops_per_watt"] = self.mflops_per_watt
+        rec["ws_per_core_bytes"] = self.ws_per_core_bytes
+        return rec
 
 
 def _ue_body(comm, durations, blocks, a, x, kernel, verify):
@@ -126,7 +177,7 @@ FT_RESULT_TAG = 2
 
 
 @dataclass(frozen=True)
-class FaultTolerantResult:
+class FaultTolerantResult(ResultBase):
     """Outcome of one fault-tolerant run under a (possibly faulty) plan."""
 
     matrix_name: str
@@ -154,15 +205,14 @@ class FaultTolerantResult:
     #: dispatched-event trace when ``record_trace=True`` (for DET900).
     trace: List[Tuple] = field(default_factory=list, repr=False, compare=False)
 
-    @property
-    def flops(self) -> int:
-        """Total floating-point operations: 2 * nnz * iterations."""
-        return 2 * self.nnz * self.iterations
-
-    @property
-    def mflops(self) -> float:
-        """Throughput in MFLOPS/s over the makespan."""
-        return self.flops / self.makespan / 1e6
+    def to_record(self) -> dict:
+        rec = super().to_record()
+        rec["plan"] = self.plan_name
+        rec["plan_seed"] = self.plan_seed
+        rec["verified"] = self.verified
+        rec["failed_ues"] = sorted(self.failed_ues)
+        rec["fault_counters"] = dict(sorted(self.counters.items()))
+        return rec
 
 
 def _block_nnz(a: CSRMatrix, r0: int, r1: int) -> int:
@@ -405,6 +455,7 @@ class SpMVExperiment:
         verify: bool = False,
         x: Optional[np.ndarray] = None,
         time_budget: Optional[float] = None,
+        tracer: Optional[Any] = None,
     ) -> ExperimentResult:
         """Execute one configuration and return its result.
 
@@ -416,7 +467,9 @@ class SpMVExperiment:
         has not finished by then raises
         :class:`~repro.rcce.errors.RCCEBudgetExceededError` — campaigns
         use this to turn a hung point into a structured record instead
-        of a hung sweep.
+        of a hung sweep.  ``tracer`` (a :class:`repro.obs.Tracer`)
+        observes the whole stack: runtime spans, mesh counters, memory
+        histograms and per-core model summaries.
         """
         if kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -442,18 +495,26 @@ class SpMVExperiment:
             )
             for t in traces
         ]
-        mem = MemorySystem(self.topology, mem_mhz=config.mem_mhz)
+        mem = MemorySystem(self.topology, mem_mhz=config.mem_mhz, tracer=tracer)
         timings = solve_core_times(summaries, core_map, config, mem, self.timing)
 
         durations = [t.time for t in timings]
         blocks = self.partition(n_cores).ranges()
         x_vec = x if x is not None else np.ones(self.a.n_cols)
-        runtime = RCCERuntime(core_map, config=config, topology=self.topology)
+        runtime = RCCERuntime(
+            core_map, config=config, topology=self.topology, tracer=tracer
+        )
         results = runtime.run(
             _ue_body, durations, blocks, self.a, x_vec, kernel, verify, until=time_budget
         )
         makespan = runtime.makespan(results)
         y = results[0].value if verify else None
+        if tracer:
+            for t in timings:
+                m = tracer.metrics
+                m.counter("model.mem_lines", core=t.core).inc(int(t.mem_lines))
+                m.gauge("model.core_time_s", core=t.core).set(t.time)
+                m.histogram("model.mem_stall_fraction").observe(t.mem_stall_fraction)
 
         return ExperimentResult(
             matrix_name=self.name,
@@ -485,6 +546,7 @@ class SpMVExperiment:
         collect_timeout: float = 5e-4,
         idle_timeout: float = 1e-3,
         ack_timeout: float = 2e-4,
+        tracer: Optional[Any] = None,
     ) -> FaultTolerantResult:
         """Run SpMV fault-tolerantly under a :class:`~repro.faults.plan.FaultPlan`.
 
@@ -521,6 +583,7 @@ class SpMVExperiment:
             topology=self.topology,
             record_trace=record_trace,
             fault_plan=plan,
+            tracer=tracer,
         )
         results = runtime.run(
             _ft_ue_body,

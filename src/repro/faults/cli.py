@@ -16,17 +16,19 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
+from ..cliutil import add_json_flag, add_output_flag, open_output, resolve_format
 from .plan import EXAMPLE_PLANS, load_plan
 
-__all__ = ["faults_main", "build_faults_parser"]
+__all__ = [
+    "faults_main",
+    "build_faults_parser",
+    "configure_faults_parser",
+    "run_faults",
+]
 
 
-def build_faults_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro faults",
-        description="Run fault-injection experiments with the fault-tolerant "
-        "SpMV driver, or repair a damaged campaign file.",
-    )
+def configure_faults_parser(p: argparse.ArgumentParser) -> None:
+    """Add the ``repro faults`` arguments to an existing parser."""
     p.add_argument(
         "--plan",
         type=str,
@@ -73,6 +75,17 @@ def build_faults_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
     )
+    add_json_flag(p)
+    add_output_flag(p)
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Run fault-injection experiments with the fault-tolerant "
+        "SpMV driver, or repair a damaged campaign file.",
+    )
+    configure_faults_parser(p)
     return p
 
 
@@ -107,121 +120,127 @@ def _repair(path_str: str, fmt: str, out: TextIO) -> int:
     return 0
 
 
+def run_faults(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro faults`` from a parsed namespace."""
+    fmt = resolve_format(args)
+    with open_output(args, out) as stream:
+        if args.list_plans:
+            for name, plan in EXAMPLE_PLANS.items():
+                knobs = []
+                if plan.drop_rate:
+                    knobs.append(f"drop={plan.drop_rate}")
+                if plan.duplicate_rate:
+                    knobs.append(f"dup={plan.duplicate_rate}")
+                if plan.corrupt_rate:
+                    knobs.append(f"corrupt={plan.corrupt_rate}")
+                if plan.n_random_failures or plan.core_failures:
+                    knobs.append(
+                        f"failures={plan.n_random_failures + len(plan.core_failures)}"
+                    )
+                if plan.n_random_stalls or plan.core_stalls:
+                    knobs.append(
+                        f"stalls={plan.n_random_stalls + len(plan.core_stalls)}"
+                    )
+                if plan.mc_stall_bursts:
+                    knobs.append(f"mc_bursts={len(plan.mc_stall_bursts)}")
+                if plan.link_degradations:
+                    knobs.append(f"degraded_links={len(plan.link_degradations)}")
+                print(f"{name:10s} {', '.join(knobs) or 'faultless'}", file=stream)
+            return 0
+
+        if args.repair:
+            return _repair(args.repair, fmt, stream)
+
+        # Heavy imports deferred so --list-plans / --repair stay snappy.
+        from ..core.report import banner, format_table
+        from ..core.experiment import SpMVExperiment
+        from ..sparse.suite import build_matrix, entry_by_id
+
+        try:
+            plan = load_plan(args.plan)
+        except ValueError as exc:
+            raise SystemExit(f"repro faults: {exc}") from exc
+        if args.seed is not None:
+            plan = plan.with_seed(args.seed)
+        if args.cores < 1:
+            raise SystemExit(f"--cores must be >= 1, got {args.cores}")
+        if not 0 < args.scale <= 1.0:
+            raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
+        try:
+            ids = [int(tok) for tok in args.ids.split(",") if tok.strip()]
+        except ValueError as exc:
+            raise SystemExit(f"--ids must be comma-separated integers: {exc}") from exc
+        if not ids:
+            raise SystemExit("no matrices selected; check --ids")
+
+        rows = []
+        all_verified = True
+        for mid in ids:
+            entry = entry_by_id(mid)
+            exp = SpMVExperiment(build_matrix(mid, scale=args.scale), name=entry.name)
+            result = exp.run_fault_tolerant(
+                n_cores=args.cores,
+                plan=plan,
+                iterations=args.iterations,
+                time_budget=args.budget,
+            )
+            all_verified &= result.verified
+            c = result.counters
+            rows.append(
+                {
+                    "matrix": result.matrix_name,
+                    "cores": result.n_cores,
+                    "plan": f"{result.plan_name}/{result.plan_seed}",
+                    "makespan_s": result.makespan,
+                    "mflops": result.mflops,
+                    "drops": c.get("drop", 0),
+                    "corrupt": c.get("corrupt", 0),
+                    "retries": c.get("retries", 0),
+                    "deaths": len(result.failed_ues),
+                    "repartitions": c.get("repartitions", 0),
+                    "verified": "yes" if result.verified else "NO",
+                }
+            )
+
+        if fmt == "json":
+            print(json.dumps(rows), file=stream)
+        else:
+            print(
+                banner(
+                    f"Fault-tolerant SpMV under plan {plan.name!r} (seed {plan.seed})"
+                ),
+                file=stream,
+            )
+            print(
+                format_table(
+                    rows,
+                    [
+                        "matrix",
+                        "cores",
+                        "plan",
+                        "makespan_s",
+                        "mflops",
+                        "drops",
+                        "corrupt",
+                        "retries",
+                        "deaths",
+                        "repartitions",
+                        "verified",
+                    ],
+                ),
+                file=stream,
+            )
+            print(
+                "\nall runs verified against the fault-free reference"
+                if all_verified
+                else "\nVERIFICATION FAILED for at least one run",
+                file=stream,
+            )
+        return 0 if all_verified else 1
+
+
 def faults_main(
     argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
 ) -> int:
     """Entry point for ``repro faults``; returns a process exit code."""
-    import sys
-
-    out = out or sys.stdout
-    args = build_faults_parser().parse_args(argv)
-
-    if args.list_plans:
-        for name, plan in EXAMPLE_PLANS.items():
-            knobs = []
-            if plan.drop_rate:
-                knobs.append(f"drop={plan.drop_rate}")
-            if plan.duplicate_rate:
-                knobs.append(f"dup={plan.duplicate_rate}")
-            if plan.corrupt_rate:
-                knobs.append(f"corrupt={plan.corrupt_rate}")
-            if plan.n_random_failures or plan.core_failures:
-                knobs.append(
-                    f"failures={plan.n_random_failures + len(plan.core_failures)}"
-                )
-            if plan.n_random_stalls or plan.core_stalls:
-                knobs.append(f"stalls={plan.n_random_stalls + len(plan.core_stalls)}")
-            if plan.mc_stall_bursts:
-                knobs.append(f"mc_bursts={len(plan.mc_stall_bursts)}")
-            if plan.link_degradations:
-                knobs.append(f"degraded_links={len(plan.link_degradations)}")
-            print(f"{name:10s} {', '.join(knobs) or 'faultless'}", file=out)
-        return 0
-
-    if args.repair:
-        return _repair(args.repair, args.format, out)
-
-    # Heavy imports deferred so --list-plans / --repair stay snappy.
-    from ..core.report import banner, format_table
-    from ..core.experiment import SpMVExperiment
-    from ..sparse.suite import build_matrix, entry_by_id
-
-    try:
-        plan = load_plan(args.plan)
-    except ValueError as exc:
-        raise SystemExit(f"repro faults: {exc}") from exc
-    if args.seed is not None:
-        plan = plan.with_seed(args.seed)
-    if args.cores < 1:
-        raise SystemExit(f"--cores must be >= 1, got {args.cores}")
-    if not 0 < args.scale <= 1.0:
-        raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
-    try:
-        ids = [int(tok) for tok in args.ids.split(",") if tok.strip()]
-    except ValueError as exc:
-        raise SystemExit(f"--ids must be comma-separated integers: {exc}") from exc
-    if not ids:
-        raise SystemExit("no matrices selected; check --ids")
-
-    rows = []
-    all_verified = True
-    for mid in ids:
-        entry = entry_by_id(mid)
-        exp = SpMVExperiment(build_matrix(mid, scale=args.scale), name=entry.name)
-        result = exp.run_fault_tolerant(
-            n_cores=args.cores,
-            plan=plan,
-            iterations=args.iterations,
-            time_budget=args.budget,
-        )
-        all_verified &= result.verified
-        c = result.counters
-        rows.append(
-            {
-                "matrix": result.matrix_name,
-                "cores": result.n_cores,
-                "plan": f"{result.plan_name}/{result.plan_seed}",
-                "makespan_s": result.makespan,
-                "mflops": result.mflops,
-                "drops": c.get("drop", 0),
-                "corrupt": c.get("corrupt", 0),
-                "retries": c.get("retries", 0),
-                "deaths": len(result.failed_ues),
-                "repartitions": c.get("repartitions", 0),
-                "verified": "yes" if result.verified else "NO",
-            }
-        )
-
-    if args.format == "json":
-        print(json.dumps(rows), file=out)
-    else:
-        print(
-            banner(f"Fault-tolerant SpMV under plan {plan.name!r} (seed {plan.seed})"),
-            file=out,
-        )
-        print(
-            format_table(
-                rows,
-                [
-                    "matrix",
-                    "cores",
-                    "plan",
-                    "makespan_s",
-                    "mflops",
-                    "drops",
-                    "corrupt",
-                    "retries",
-                    "deaths",
-                    "repartitions",
-                    "verified",
-                ],
-            ),
-            file=out,
-        )
-        print(
-            "\nall runs verified against the fault-free reference"
-            if all_verified
-            else "\nVERIFICATION FAILED for at least one run",
-            file=out,
-        )
-    return 0 if all_verified else 1
+    return run_faults(build_faults_parser().parse_args(argv), out=out)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Any, Counter as TCounter, Dict, List, Tuple
+from typing import Any, Counter as TCounter, Dict, List, Optional, Tuple
 from collections import Counter
 
 import numpy as np
@@ -54,12 +54,21 @@ class FaultEvent:
 class FaultInjector:
     """Applies one plan to one run; fully deterministic per seed."""
 
-    def __init__(self, plan: FaultPlan, n_ues: int, sim: Simulator) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n_ues: int,
+        sim: Simulator,
+        tracer: Optional[Any] = None,
+    ) -> None:
         if n_ues < 1:
             raise ValueError(f"n_ues must be >= 1, got {n_ues}")
         self.plan = plan
         self.n_ues = n_ues
         self.sim = sim
+        #: optional :class:`repro.obs.Tracer`: every injected fault is
+        #: also emitted as an instant event in the "fault" category.
+        self.tracer = tracer
         self._msg_rng = random.Random(derive_seed(plan.seed, "messages"))
         self._payload_rng = random.Random(derive_seed(plan.seed, "payloads"))
         #: every injected fault in injection order (the replayable schedule).
@@ -139,6 +148,11 @@ class FaultInjector:
     def _record(self, kind: str, detail: Tuple) -> None:
         self.events.append(FaultEvent(self.sim.now, kind, detail))
         self.counters[kind] += 1
+        tr = self.tracer
+        if tr:
+            tr.instant(f"fault.{kind}", tid=detail[0] if detail else 0, cat="fault",
+                       detail=list(detail))
+            tr.metrics.counter("faults.injected", kind=kind).inc()
 
     def message_fate(self, source: int, dest: int, tag: int, now: float) -> str:
         """Fate of one mailbox delivery: deliver | drop | duplicate | corrupt.

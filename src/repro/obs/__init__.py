@@ -1,0 +1,47 @@
+"""repro.obs — structured tracing + metrics for the SCC simulator.
+
+The model's answers are all *explanations* of where cycles go (mesh
+hops, MC queueing, L2 fits, irregular gathers); this package turns the
+simulator into an instrument that can show its work:
+
+- :mod:`repro.obs.tracer` — :class:`Tracer`: span/instant/counter
+  events with simulated-time timestamps, zero-cost when disabled;
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: labelled
+  counters/gauges/histograms with a deterministic JSON snapshot;
+- :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON, a
+  terminal per-core timeline, and campaign metric summaries;
+- :mod:`repro.obs.schema` — structural validation of exported traces.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and exporter
+formats, and ``repro trace`` / ``repro bench`` for the CLI surface.
+"""
+
+from .export import (
+    chrome_trace_json,
+    metrics_summary,
+    render_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .schema import validate_chrome_trace
+from .tracer import NULL_TRACER, NullTracer, TID_SCHED, TID_SIM, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "TID_SIM",
+    "TID_SCHED",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "render_timeline",
+    "metrics_summary",
+    "validate_chrome_trace",
+]

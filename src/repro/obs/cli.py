@@ -1,0 +1,238 @@
+"""``repro trace`` / ``repro bench`` subcommand implementations.
+
+``trace`` runs one traced SpMV experiment on the model and exports the
+event stream — as Chrome/Perfetto ``trace_event`` JSON (load it at
+``chrome://tracing`` or https://ui.perfetto.dev), as a terminal
+timeline, or as a flat metric summary.  Traces are deterministic: two
+runs with the same arguments produce byte-identical exports.
+
+``bench snapshot`` records the model's throughput plus the tracer's
+wall-clock overhead to ``BENCH_spmv.json`` so perf regressions in the
+observability layer are visible in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Optional, TextIO
+
+from ..cliutil import add_json_flag, add_output_flag, open_output
+from .export import chrome_trace_json, metrics_summary, render_timeline
+from .tracer import Tracer
+
+__all__ = [
+    "trace_main",
+    "bench_main",
+    "configure_trace_parser",
+    "configure_bench_parser",
+    "run_trace",
+    "run_bench",
+]
+
+EXPORTS = ("chrome", "timeline", "summary")
+
+
+def configure_trace_parser(p: argparse.ArgumentParser) -> None:
+    """Add the ``repro trace`` arguments to an existing parser."""
+    p.add_argument(
+        "--export",
+        choices=EXPORTS,
+        default="chrome",
+        help="output form: Chrome trace_event JSON, terminal timeline, "
+        "or flat metric summary (default: chrome)",
+    )
+    p.add_argument(
+        "--matrix-id",
+        type=int,
+        default=24,
+        help="Table I matrix id to run (default 24)",
+    )
+    p.add_argument(
+        "--cores", type=int, default=4, help="units of execution (default 4)"
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="matrix-size scale; 1.0 = published UFL sizes (default 0.05)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=2, help="SpMV repetitions (default 2)"
+    )
+    p.add_argument(
+        "--mapping",
+        type=str,
+        default="distance_reduction",
+        help="UE-to-core mapping policy (default distance_reduction)",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("csr", "no_x_miss"),
+        default="csr",
+        help="SpMV kernel variant (default csr)",
+    )
+    p.add_argument(
+        "--categories",
+        type=str,
+        default="",
+        help="comma-separated event categories to record (default: all); "
+        "e.g. rcce,sim,fault",
+    )
+    add_json_flag(p)
+    add_output_flag(p)
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one traced SpMV experiment and export the trace.",
+    )
+    configure_trace_parser(p)
+    return p
+
+
+def _traced_run(args: argparse.Namespace, tracer: Optional[Tracer]):
+    from ..core.experiment import SpMVExperiment
+    from ..sparse.suite import build_matrix, entry_by_id
+
+    if args.cores < 1:
+        raise SystemExit(f"--cores must be >= 1, got {args.cores}")
+    if not 0 < args.scale <= 1.0:
+        raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
+    if args.iterations < 1:
+        raise SystemExit(f"--iterations must be >= 1, got {args.iterations}")
+    try:
+        entry = entry_by_id(args.matrix_id)
+    except KeyError as exc:
+        raise SystemExit(f"repro trace: {exc}") from exc
+    exp = SpMVExperiment(build_matrix(args.matrix_id, scale=args.scale), name=entry.name)
+    result = exp.run(
+        n_cores=args.cores,
+        mapping=args.mapping,
+        kernel=args.kernel,
+        iterations=args.iterations,
+        tracer=tracer,
+    )
+    return result
+
+
+def run_trace(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro trace`` from a parsed namespace."""
+    cats = [c.strip() for c in args.categories.split(",") if c.strip()] or None
+    tracer = Tracer(categories=cats)
+    result = _traced_run(args, tracer)
+    with open_output(args, out) as stream:
+        if args.export == "chrome":
+            stream.write(chrome_trace_json(tracer) + "\n")
+        elif args.export == "timeline":
+            stream.write(render_timeline(tracer) + "\n")
+        else:
+            summary = {
+                "run": result.to_record(),
+                "events": len(tracer.events),
+                "metrics": metrics_summary(tracer),
+            }
+            stream.write(
+                json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n"
+            )
+    return 0
+
+
+def trace_main(argv=None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``repro trace``; returns a process exit code."""
+    return run_trace(build_trace_parser().parse_args(argv), out=out)
+
+
+def configure_bench_parser(p: argparse.ArgumentParser) -> None:
+    """Add the ``repro bench`` arguments to an existing parser."""
+    p.add_argument(
+        "action",
+        choices=("snapshot",),
+        help="'snapshot' measures model throughput and tracer overhead",
+    )
+    p.add_argument(
+        "--matrix-id",
+        type=int,
+        default=24,
+        help="Table I matrix id to benchmark (default 24)",
+    )
+    p.add_argument(
+        "--cores", type=int, default=4, help="units of execution (default 4)"
+    )
+    p.add_argument(
+        "--scale", type=float, default=0.05, help="matrix-size scale (default 0.05)"
+    )
+    p.add_argument(
+        "--iterations", type=int, default=2, help="SpMV repetitions (default 2)"
+    )
+    p.add_argument(
+        "--mapping",
+        type=str,
+        default="distance_reduction",
+        help="UE-to-core mapping policy (default distance_reduction)",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("csr", "no_x_miss"),
+        default="csr",
+        help="SpMV kernel variant (default csr)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock reps per variant; the minimum is reported (default 3)",
+    )
+    add_json_flag(p)
+    add_output_flag(p)
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark snapshots of the simulator (BENCH_spmv.json).",
+    )
+    configure_bench_parser(p)
+    return p
+
+
+def _time_run(args: argparse.Namespace, traced: bool) -> float:
+    """Best-of-N wall-clock seconds of one experiment run."""
+    best = float("inf")
+    for _ in range(max(1, args.repeats)):
+        tracer = Tracer() if traced else None
+        t0 = time.perf_counter()
+        _traced_run(args, tracer)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro bench``; writes the snapshot JSON."""
+    result = _traced_run(args, None)
+    untraced_s = _time_run(args, traced=False)
+    traced_s = _time_run(args, traced=True)
+    snapshot = {
+        "benchmark": "spmv_model",
+        "matrix": result.matrix_name,
+        "n_cores": result.n_cores,
+        "iterations": result.iterations,
+        "scale": args.scale,
+        "model_makespan_s": result.makespan,
+        "model_mflops": result.mflops,
+        "wallclock_untraced_s": untraced_s,
+        "wallclock_traced_s": traced_s,
+        "tracer_overhead_pct": 100.0 * (traced_s - untraced_s) / untraced_s,
+    }
+    if not getattr(args, "output", ""):
+        args.output = "BENCH_spmv.json"
+    with open_output(args, out) as stream:
+        stream.write(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+def bench_main(argv=None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``repro bench``; returns a process exit code."""
+    return run_bench(build_bench_parser().parse_args(argv), out=out)

@@ -1,0 +1,162 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, terminal timelines,
+and compact metric summaries for campaign records.
+
+The Chrome format is the JSON array flavour documented in the Trace
+Event Format spec: open the file at https://ui.perfetto.dev or
+``chrome://tracing``.  Timestamps convert from simulated seconds to the
+format's microseconds; serialization sorts keys and uses fixed
+separators, so a given tracer state has exactly one byte rendering —
+two same-seed runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .tracer import TID_SCHED, TID_SIM, Tracer, jsonable
+
+__all__ = [
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "render_timeline",
+    "metrics_summary",
+]
+
+_LANE_NAMES = {TID_SIM: "simulator", TID_SCHED: "scheduler"}
+
+
+def _lane_name(tid: int) -> str:
+    return _LANE_NAMES.get(tid, f"ue {tid}")
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> Dict[str, Any]:
+    """Render the tracer as a Chrome ``trace_event`` JSON object.
+
+    Span/instant/counter events map 1:1; thread-name metadata events
+    label each lane; the metrics snapshot rides along under
+    ``otherData`` (ignored by viewers, kept for tooling).
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    tids = sorted({ev.tid for ev in tracer.events})
+    for tid in tids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": _lane_name(tid)},
+            }
+        )
+    for ev in tracer.events:
+        rendered: Dict[str, Any] = {
+            "name": ev.name,
+            "ph": ev.ph,
+            # trace_event wants microseconds; round to a fixed grid so
+            # the rendering is a pure function of the simulated time.
+            "ts": round(ev.ts * 1e6, 3),
+            "pid": 0,
+            "tid": ev.tid,
+            "cat": ev.cat or "default",
+        }
+        if ev.ph == "i":
+            rendered["s"] = "t"  # instant scope: thread
+        if ev.args is not None:
+            rendered["args"] = {k: jsonable(v) for k, v in ev.args.items()}
+        events.append(rendered)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": tracer.metrics.snapshot()},
+    }
+
+
+def chrome_trace_json(tracer: Tracer, process_name: str = "repro-sim") -> str:
+    """Canonical (byte-stable) JSON text of :func:`to_chrome_trace`."""
+    return json.dumps(
+        to_chrome_trace(tracer, process_name=process_name),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def write_chrome_trace(tracer: Tracer, path: str, process_name: str = "repro-sim") -> None:
+    """Write the canonical Chrome trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(tracer, process_name=process_name))
+        fh.write("\n")
+
+
+def _spans_by_lane(tracer: Tracer) -> Dict[int, List[Tuple[str, float, float]]]:
+    """Match B/E pairs per lane into (name, t0, t1) triples."""
+    spans: Dict[int, List[Tuple[str, float, float]]] = {}
+    stacks: Dict[int, List[Tuple[str, float]]] = {}
+    for ev in tracer.events:
+        if ev.ph == "B":
+            stacks.setdefault(ev.tid, []).append((ev.name, ev.ts))
+        elif ev.ph == "E":
+            stack = stacks.get(ev.tid)
+            if not stack:
+                continue
+            # Close the innermost matching begin (tolerates interleaved
+            # names from hand-written begin/end calls).
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i][0] == ev.name:
+                    name, t0 = stack.pop(i)
+                    spans.setdefault(ev.tid, []).append((name, t0, ev.ts))
+                    break
+    return spans
+
+
+def render_timeline(tracer: Tracer, width: int = 72) -> str:
+    """Per-lane ASCII timeline of the recorded spans.
+
+    Each lane is one row; spans paint the row with the first letter of
+    their name (later spans overpaint earlier ones, so nested detail
+    wins).  A legend maps letters back to span names.
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    spans = _spans_by_lane(tracer)
+    if not spans:
+        return "(no spans recorded)"
+    t1 = max(t for lane in spans.values() for _n, _t0, t in lane)
+    t1 = t1 or 1e-12  # all-zero-length traces still render
+    lines = []
+    legend: Dict[str, str] = {}
+    label_w = max(len(_lane_name(tid)) for tid in spans) + 1
+    for tid in sorted(spans):
+        row = ["."] * width
+        # Outer spans close (and thus appear) after their children; paint
+        # longest-first so nested detail overpaints its enclosing span.
+        ordered = sorted(spans[tid], key=lambda s: s[1] - s[2])
+        for name, s0, s1 in ordered:
+            glyph = name[:1] or "#"
+            legend.setdefault(glyph, name)
+            i0 = min(int(s0 / t1 * width), width - 1)
+            i1 = min(int(s1 / t1 * width), width - 1)
+            for i in range(i0, i1 + 1):
+                row[i] = glyph
+        lines.append(f"{_lane_name(tid):>{label_w}} |{''.join(row)}|")
+    lines.append("")
+    lines.append(f"span of {t1:.6g} simulated seconds; glyphs:")
+    for glyph, name in sorted(legend.items()):
+        lines.append(f"  {glyph} = {name}")
+    return "\n".join(lines)
+
+
+def metrics_summary(tracer: Tracer) -> Dict[str, Any]:
+    """Flat per-point metric summary for campaign JSONL records."""
+    return tracer.metrics.flat_summary()

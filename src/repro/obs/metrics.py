@@ -1,0 +1,221 @@
+"""Counters, gauges and histograms with per-core labels.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`): components increment named metrics while a run is
+in flight and :meth:`MetricsRegistry.snapshot` renders everything as a
+deterministic JSON-serializable dict afterwards.  Three instrument
+kinds cover the model's needs:
+
+* :class:`Counter` — monotone totals (mesh flits per link, cache
+  misses per level, messages delivered);
+* :class:`Gauge` — last-written values (MPB occupancy, queue depth);
+* :class:`Histogram` — distributions over fixed bucket bounds (MC
+  wait times, effective line times).
+
+Metrics are keyed by ``(name, labels)`` so the same instrument name can
+fan out per core / per link / per level.  Snapshots sort every key, so
+two identical runs produce byte-identical serializations — the same
+determinism contract the tracer and the simulator itself honour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "metric_key",
+]
+
+#: default histogram bounds: decades from 1 ns to 1000 s, which brackets
+#: every simulated duration the model produces.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-9, 4))
+
+Labels = Tuple[Tuple[str, str], ...]
+_MetricKey = Tuple[str, Labels]
+
+
+def _labels_of(labels: Dict[str, object]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def metric_key(name: str, labels: Labels) -> str:
+    """Canonical flat key: ``name`` or ``name{a=1,b=2}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "labels", "value", "high_water")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+        self.high_water: float = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value (the high-water mark is kept too)."""
+        self.value = float(value)
+        if value > self.high_water:
+            self.high_water = float(value)
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (cumulative-style buckets)."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(
+        self, name: str, labels: Labels, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds_t = tuple(float(b) for b in bounds)
+        if not bounds_t or list(bounds_t) != sorted(bounds_t):
+            raise ValueError(f"histogram {name!r}: bounds must be non-empty and sorted")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds_t
+        #: one bucket per bound (value <= bound) plus an overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(bounds_t) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Add one observation."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact {count, mean, min, max} rendering (no buckets)."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics.
+
+    Re-requesting an existing ``(name, labels)`` pair returns the same
+    instrument; requesting it as a *different* kind raises, so a name
+    cannot silently be both a counter and a gauge.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[_MetricKey, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, cls: type, name: str, labels: Labels, *args: object):
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, *args)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {metric_key(name, labels)!r} already registered as "
+                f"{type(metric).__name__}, requested as {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, _labels_of(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, _labels_of(labels))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create a histogram (``buckets`` only applies on creation)."""
+        return self._get(Histogram, name, _labels_of(labels), buckets or DEFAULT_BUCKETS)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Deterministic JSON-serializable dump of every metric.
+
+        Shape::
+
+            {"counters":   {"name{labels}": value, ...},
+             "gauges":     {"name{labels}": {"value": v, "high_water": h}, ...},
+             "histograms": {"name{labels}": {"count":, "mean":, "min":,
+                                             "max":, "buckets": [...]}, ...}}
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        histograms: Dict[str, Dict] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            key = metric_key(name, labels)
+            if isinstance(metric, Counter):
+                counters[key] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[key] = {"value": metric.value, "high_water": metric.high_water}
+            else:
+                histograms[key] = {**metric.summary(), "buckets": list(metric.bucket_counts)}
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def flat_summary(self) -> Dict[str, object]:
+        """One flat dict for campaign records: counters and gauges by
+        value, histograms by their compact summary."""
+        out: Dict[str, object] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            key = metric_key(name, labels)
+            if isinstance(metric, Counter):
+                out[key] = metric.value
+            elif isinstance(metric, Gauge):
+                out[key] = metric.value
+            else:
+                out[key] = metric.summary()
+        return out

@@ -1,0 +1,116 @@
+"""Schema validation for exported Chrome ``trace_event`` JSON.
+
+:func:`validate_chrome_trace` checks the structural contract the
+exporter promises (and docs/OBSERVABILITY.md documents): a JSON object
+with a ``traceEvents`` list whose entries carry the required fields
+with the right types, phases drawn from the supported set, and
+balanced begin/end pairs per lane.  It returns a list of human-readable
+problems — empty means valid — so tests and the CI trace job can print
+exactly what broke instead of a bare assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["SUPPORTED_PHASES", "validate_chrome_trace"]
+
+#: phases the exporter emits: span begin/end, instant, counter, metadata.
+SUPPORTED_PHASES = ("B", "E", "i", "C", "M")
+
+_REQUIRED: Tuple[Tuple[str, type], ...] = (
+    ("name", str),
+    ("ph", str),
+    ("pid", int),
+    ("tid", int),
+)
+
+
+def _check_event(i: int, ev: Any, problems: List[str]) -> None:
+    if not isinstance(ev, dict):
+        problems.append(f"traceEvents[{i}]: not an object")
+        return
+    for field, ftype in _REQUIRED:
+        if field not in ev:
+            problems.append(f"traceEvents[{i}]: missing field {field!r}")
+            return
+        if not isinstance(ev[field], ftype) or isinstance(ev[field], bool):
+            problems.append(
+                f"traceEvents[{i}]: field {field!r} must be {ftype.__name__}, "
+                f"got {type(ev[field]).__name__}"
+            )
+            return
+    if not ev["name"]:
+        problems.append(f"traceEvents[{i}]: empty event name")
+    ph = ev["ph"]
+    if ph not in SUPPORTED_PHASES:
+        problems.append(f"traceEvents[{i}]: unsupported phase {ph!r}")
+        return
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        problems.append(f"traceEvents[{i}]: ts must be a non-negative number, got {ts!r}")
+    args = ev.get("args")
+    if args is not None and not isinstance(args, dict):
+        problems.append(f"traceEvents[{i}]: args must be an object")
+        return
+    if ph == "C":
+        if not isinstance(args, dict) or not args:
+            problems.append(f"traceEvents[{i}]: counter event needs args values")
+        else:
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    problems.append(
+                        f"traceEvents[{i}]: counter value {k!r} must be numeric, got {v!r}"
+                    )
+    if ph == "M" and not isinstance(args, dict):
+        problems.append(f"traceEvents[{i}]: metadata event needs args")
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Validate an exported trace object; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level: expected a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: missing 'traceEvents' list"]
+    for i, ev in enumerate(events):
+        _check_event(i, ev, problems)
+    # Balanced spans per (pid, tid): every E closes an open B of the
+    # same name; nothing is left open at the end.
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") not in ("B", "E", "i", "C"):
+            continue
+        lane = (ev.get("pid", 0), ev.get("tid", 0))
+        ts = ev.get("ts", 0)
+        if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+            if ts < last_ts.get(lane, 0):
+                problems.append(
+                    f"traceEvents[{i}]: timestamp goes backwards on lane {lane}"
+                )
+            else:
+                last_ts[lane] = float(ts)
+        if ev.get("ph") == "B":
+            stacks.setdefault(lane, []).append(ev.get("name", ""))
+        elif ev.get("ph") == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                problems.append(
+                    f"traceEvents[{i}]: end event {ev.get('name')!r} with no open span"
+                )
+            elif ev.get("name") not in stack:
+                problems.append(
+                    f"traceEvents[{i}]: end event {ev.get('name')!r} does not match "
+                    f"an open span (open: {stack})"
+                )
+            else:
+                for j in range(len(stack) - 1, -1, -1):
+                    if stack[j] == ev.get("name"):
+                        del stack[j]
+                        break
+    for lane, stack in sorted(stacks.items()):
+        if stack:
+            problems.append(f"lane {lane}: unclosed span(s) at end of trace: {stack}")
+    return problems

@@ -101,6 +101,25 @@ class RCCEComm:
             return 0.0
         return injector.consume_stalls(self.ue, self._rt.sim.now, seconds)
 
+    def _tracer(self) -> Any:
+        return getattr(self._rt, "tracer", None)
+
+    def _traced(self, gen: CommGen, name: str, **args: Any) -> CommGen:
+        """Wrap a communication generator in a begin/end span pair."""
+        tr = self._tracer()
+        if not tr:
+            return gen
+
+        def _wrapped() -> CommGen:
+            tr.begin(name, tid=self.ue, cat="rcce", **args)
+            try:
+                result = yield from gen
+            finally:
+                tr.end(name, tid=self.ue, cat="rcce")
+            return result
+
+        return _wrapped()
+
     def compute(self, seconds: float) -> CommGen:
         """Model ``seconds`` of local computation (yield from it).
 
@@ -110,7 +129,12 @@ class RCCEComm:
         """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
-        yield self._rt.sim.timeout(seconds + self._stall_penalty(seconds))
+        tr = self._tracer()
+        if tr:
+            with tr.span("compute", tid=self.ue, cat="rcce", seconds=seconds):
+                yield self._rt.sim.timeout(seconds + self._stall_penalty(seconds))
+        else:
+            yield self._rt.sim.timeout(seconds + self._stall_penalty(seconds))
 
     def compute_cycles(self, cycles: float) -> CommGen:
         """Model ``cycles`` of work at this core's *current* frequency.
@@ -149,15 +173,23 @@ class RCCEComm:
         if dest == self.ue:
             raise ValueError("send to self would deadlock (rendezvous semantics)")
         nbytes = payload_bytes(data)
-        t = chunked_transfer_time(self._rt.mesh, self.core, self._rt.core_map[dest], nbytes)
-        yield self._rt.sim.timeout(t)
-        ack = self._rt.sim.event(f"ack:{self.ue}->{dest}")
-        self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
-        # Record the rendezvous block so the deadlock detector can name
-        # this sender's (peer, tag) in its wait-for graph.
-        self._rt.blocked_sends[self.ue] = (dest, tag)
-        yield ack
-        self._rt.blocked_sends.pop(self.ue, None)
+        tr = self._tracer()
+        if tr:
+            tr.begin("send", tid=self.ue, cat="rcce", dest=dest, tag=tag, bytes=nbytes)
+            self._record_mesh_transfer(dest, nbytes)
+        try:
+            t = chunked_transfer_time(self._rt.mesh, self.core, self._rt.core_map[dest], nbytes)
+            yield self._rt.sim.timeout(t)
+            ack = self._rt.sim.event(f"ack:{self.ue}->{dest}")
+            self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
+            # Record the rendezvous block so the deadlock detector can name
+            # this sender's (peer, tag) in its wait-for graph.
+            self._rt.blocked_sends[self.ue] = (dest, tag)
+            yield ack
+            self._rt.blocked_sends.pop(self.ue, None)
+        finally:
+            if tr:
+                tr.end("send", tid=self.ue, cat="rcce")
 
     def send_async(self, data: Any, dest: int, tag: int = 0) -> CommGen:
         """Eager (non-rendezvous) send: deliver and return without waiting.
@@ -174,10 +206,18 @@ class RCCEComm:
         if dest == self.ue:
             raise ValueError("send to self is not supported (use local state)")
         nbytes = payload_bytes(data)
-        t = chunked_transfer_time(self._rt.mesh, self.core, self._rt.core_map[dest], nbytes)
-        yield self._rt.sim.timeout(t)
-        ack = self._rt.sim.event(f"async-ack:{self.ue}->{dest}")
-        self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
+        tr = self._tracer()
+        if tr:
+            tr.begin("send_async", tid=self.ue, cat="rcce", dest=dest, tag=tag, bytes=nbytes)
+            self._record_mesh_transfer(dest, nbytes)
+        try:
+            t = chunked_transfer_time(self._rt.mesh, self.core, self._rt.core_map[dest], nbytes)
+            yield self._rt.sim.timeout(t)
+            ack = self._rt.sim.event(f"async-ack:{self.ue}->{dest}")
+            self._rt.mailboxes[dest].deliver(Envelope(self.ue, tag, data, ack))
+        finally:
+            if tr:
+                tr.end("send_async", tid=self.ue, cat="rcce")
 
     def recv(
         self,
@@ -195,35 +235,59 @@ class RCCEComm:
         should always bound their receives (lint rule RCCE130).
         """
         mailbox = self._rt.mailboxes[self.ue]
-        ev = mailbox.receive(source, tag)
-        if timeout is None:
-            env: Envelope = yield ev
-        else:
-            if timeout < 0:
-                raise ValueError(f"timeout must be >= 0, got {timeout}")
-            sim = self._rt.sim
-            timer = sim.timeout(timeout)
-            yield any_of(sim, [ev, timer], name=f"recv-race:ue{self.ue}")
-            if not ev.triggered:
-                mailbox.cancel_wait(ev)
-                raise RCCETimeoutError(self.ue, source, tag, timeout, sim.now)
-            env = ev.value
-        env.ack.succeed()
-        return env.payload
+        tr = self._tracer()
+        if tr:
+            tr.begin(
+                "recv",
+                tid=self.ue,
+                cat="rcce",
+                source=-1 if source is None else source,
+                tag=-1 if tag is None else tag,
+            )
+        try:
+            ev = mailbox.receive(source, tag)
+            if timeout is None:
+                env: Envelope = yield ev
+            else:
+                if timeout < 0:
+                    raise ValueError(f"timeout must be >= 0, got {timeout}")
+                sim = self._rt.sim
+                timer = sim.timeout(timeout)
+                yield any_of(sim, [ev, timer], name=f"recv-race:ue{self.ue}")
+                if not ev.triggered:
+                    mailbox.cancel_wait(ev)
+                    if tr:
+                        tr.instant("recv.timeout", tid=self.ue, cat="rcce", timeout=timeout)
+                    raise RCCETimeoutError(self.ue, source, tag, timeout, sim.now)
+                env = ev.value
+            env.ack.succeed()
+            return env.payload
+        finally:
+            if tr:
+                tr.end("recv", tid=self.ue, cat="rcce")
 
     # -- collectives (delegated; kept as methods for API ergonomics) -----------
+
+    def _record_mesh_transfer(self, dest: int, nbytes: int) -> None:
+        """Account a traced message on the mesh's per-link counters."""
+        topo = self._rt.topology
+        src_tile = topo.tile_of_core(self.core)
+        dst_tile = topo.tile_of_core(self._rt.core_map[dest])
+        self._rt.mesh.record_transfer(
+            (src_tile.x, src_tile.y), (dst_tile.x, dst_tile.y), nbytes
+        )
 
     def barrier(self) -> CommGen:
         """RCCE_barrier: synchronize all UEs (yield from it)."""
         from .collectives import barrier
 
-        return barrier(self)
+        return self._traced(barrier(self), "barrier")
 
     def bcast(self, data: Any, root: int = 0) -> CommGen:
         """RCCE_bcast: broadcast ``data`` from ``root`` to every UE."""
         from .collectives import bcast
 
-        return bcast(self, data, root)
+        return self._traced(bcast(self, data, root), "bcast", root=root)
 
     def reduce(
         self, value: Any, op: Optional[Callable[[Any, Any], Any]] = None, root: int = 0
@@ -231,19 +295,19 @@ class RCCEComm:
         """RCCE_reduce: fold values onto ``root`` (None elsewhere)."""
         from .collectives import reduce as _reduce
 
-        return _reduce(self, value, op, root)
+        return self._traced(_reduce(self, value, op, root), "reduce", root=root)
 
     def allreduce(self, value: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> CommGen:
         """Reduce then broadcast: every UE gets the folded value."""
         from .collectives import allreduce
 
-        return allreduce(self, value, op)
+        return self._traced(allreduce(self, value, op), "allreduce")
 
     def gather(self, value: Any, root: int = 0) -> CommGen:
         """Collect one value per UE into a rank-ordered list on ``root``."""
         from .collectives import gather
 
-        return gather(self, value, root)
+        return self._traced(gather(self, value, root), "gather", root=root)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RCCEComm ue={self.ue}/{self.num_ues} core={self.core}>"

@@ -87,12 +87,16 @@ class Mailbox:
         n_peers: Optional[int] = None,
         checker: Optional[Any] = None,
         injector: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.owner = owner
         self.n_peers = n_peers
         self.checker = checker
         self.injector = injector
+        #: optional :class:`repro.obs.Tracer`: queued-envelope occupancy
+        #: (the model's MPB pressure signal) is sampled on every change.
+        self.tracer = tracer
         #: simulated time at which the owning core died (None = alive).
         self.failed_at: Optional[float] = None
         #: observer invoked with every envelope that is actually queued
@@ -157,9 +161,19 @@ class Mailbox:
                 return
         self._deliver_one(env)
 
+    def _occupancy_changed(self) -> None:
+        tr = self.tracer
+        if tr:
+            depth = len(self._pending)
+            tr.counter("mpb.pending", depth, tid=self.owner)
+            tr.metrics.gauge("mpb.pending", ue=self.owner).set(depth)
+
     def _deliver_one(self, env: Envelope) -> None:
         if self.on_deliver is not None:
             self.on_deliver(env)
+        tr = self.tracer
+        if tr:
+            tr.metrics.counter("mpb.delivered", ue=self.owner).inc()
         for i, (src, tag, ev) in enumerate(self._waiting):
             if self._matches(env, src, tag):
                 del self._waiting[i]
@@ -173,6 +187,7 @@ class Mailbox:
                     )
                     break
         self._pending.append(env)
+        self._occupancy_changed()
 
     def receive(self, source: Optional[int] = None, tag: Optional[int] = None) -> SimEvent:
         """Event that triggers with the next (source, tag)-matching envelope."""
@@ -181,6 +196,7 @@ class Mailbox:
         for i, env in enumerate(self._pending):
             if self._matches(env, source, tag):
                 del self._pending[i]
+                self._occupancy_changed()
                 ev.succeed(env)
                 return ev
         self._waiting.append((source, tag, ev))

@@ -68,6 +68,7 @@ class RCCERuntime:
         checker: Optional[Any] = None,
         record_trace: bool = False,
         fault_plan: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         core_list = list(core_map)
         if not core_list:
@@ -81,8 +82,13 @@ class RCCERuntime:
         self.n_ues = len(core_list)
         self.config = config
         self.topology = topology or SCCTopology()
-        self.sim = Simulator(record_trace=record_trace)
-        self.mesh = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz)
+        #: optional :class:`repro.obs.Tracer` shared by every layer of
+        #: this job (simulator, mesh, mailboxes, fault injector).
+        self.tracer = tracer if tracer else None
+        self.sim = Simulator(record_trace=record_trace, tracer=self.tracer)
+        if self.tracer is not None:
+            self.tracer.bind_clock(lambda: self.sim.now)
+        self.mesh = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz, tracer=self.tracer)
         self.power = PowerManager(config, self.topology)
         if checker is None and (checks if checks is not None else checks_enabled_by_default()):
             from ..analysis.runtime_checks import RuntimeChecker
@@ -96,7 +102,9 @@ class RCCERuntime:
         if fault_plan is not None:
             from ..faults.injector import FaultInjector  # lazy: avoids a cycle
 
-            self.fault_injector = FaultInjector(fault_plan, self.n_ues, self.sim)
+            self.fault_injector = FaultInjector(
+                fault_plan, self.n_ues, self.sim, tracer=self.tracer
+            )
             for src_tile, dst_tile, factor in self.fault_injector.link_degradations():
                 self.mesh.set_link_degradation(src_tile, dst_tile, factor)
         #: crashed ranks and their simulated failure time.
@@ -110,6 +118,7 @@ class RCCERuntime:
                 n_peers=self.n_ues,
                 checker=checker,
                 injector=self.fault_injector,
+                tracer=self.tracer,
             )
             for ue in range(self.n_ues)
         ]
@@ -128,14 +137,19 @@ class RCCERuntime:
         """
         finish_times = [0.0] * self.n_ues
 
+        tr = self.tracer
         procs: List[Process] = []
         for ue in range(self.n_ues):
             comm = self.comms[ue]
             gen = fn(comm, *args)
             proc = Process(self.sim, gen, name=f"ue{ue}")
+            if tr:
+                tr.begin("ue.run", tid=ue, cat="rcce", core=self.core_map[ue])
 
             def _stamp(_value: Any, ue: int = ue) -> None:
                 finish_times[ue] = self.sim.now
+                if tr:
+                    tr.end("ue.run", tid=ue, cat="rcce")
 
             proc.done.add_callback(_stamp)
             procs.append(proc)
@@ -176,6 +190,10 @@ class RCCERuntime:
             return
         now = self.sim.now
         self.failed_ues[ue] = now
+        if self.tracer:
+            self.tracer.instant(
+                "core.failure", tid=ue, cat="fault", core=self.core_map[ue]
+            )
         self.mailboxes[ue].failed_at = now
         proc.kill(None)
         if self.fault_injector is not None:

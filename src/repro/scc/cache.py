@@ -47,6 +47,21 @@ class CacheStats:
         """Zero all counters."""
         self.hits = self.misses = self.evictions = self.writebacks = 0
 
+    def publish(self, registry, level: str, **labels) -> None:
+        """Export these counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Metric names are ``cache.<field>`` with a ``level`` label (plus
+        any caller labels, typically ``core=``); publishing twice adds,
+        so publish once per finished replay.
+        """
+        for field_name, value in (
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("evictions", self.evictions),
+            ("writebacks", self.writebacks),
+        ):
+            registry.counter(f"cache.{field_name}", level=level, **labels).inc(value)
+
 
 class _PLRUTree:
     """Tree pseudo-LRU state for one set of a power-of-two-way cache.
@@ -244,3 +259,15 @@ class CacheHierarchy:
         self.l1.flush()
         if self.l2 is not None:
             self.l2.flush()
+
+    def publish_metrics(self, tracer, core: int = 0) -> None:
+        """Export per-level hit/miss counters to a tracer's registry.
+
+        The observability layer's view of this private hierarchy:
+        ``cache.{hits,misses,evictions,writebacks}{level=L1D|L2,core=n}``.
+        """
+        if not tracer:
+            return
+        self.l1.stats.publish(tracer.metrics, "L1D", core=core)
+        if self.l2 is not None:
+            self.l2.stats.publish(tracer.metrics, "L2", core=core)

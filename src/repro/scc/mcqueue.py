@@ -17,7 +17,7 @@ workloads is what licenses using the closed form everywhere else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..sim import Process, Resource, Simulator
 
@@ -78,13 +78,24 @@ def _core_process(
     out: List[float],
     idx: int,
     bursts: Optional[Sequence[StallBurst]] = None,
+    tracer: Optional[Any] = None,
 ):
     gap = wl.compute_time / wl.n_lines if wl.n_lines else 0.0
     for _ in range(wl.n_lines):
         yield sim.timeout(gap)
         arrival = sim.now
+        if tracer:
+            tracer.counter("mc.queue_depth", mc.queue_length, tid=idx)
         yield mc.request()
-        yield sim.timeout(service * _burst_factor(bursts, sim.now))
+        if tracer:
+            # Queueing delay in front of the controller: >0 only when
+            # the FIFO was busy on arrival (the MC-saturation signal).
+            tracer.metrics.histogram("mc.wait_s", core=idx).observe(sim.now - arrival)
+        factor = _burst_factor(bursts, sim.now)
+        if tracer and factor > 1.0:
+            tracer.instant("mc.stall_burst", tid=idx, cat="mc", factor=factor)
+            tracer.metrics.counter("mc.stalled_lines", core=idx).inc()
+        yield sim.timeout(service * factor)
         mc.release()
         # The DDR round trip is a latency floor: even an idle controller
         # cannot answer faster than Eq. 1.
@@ -99,6 +110,7 @@ def simulate_controller(
     capacity_lines_per_sec: float,
     line_pipeline_fraction: float = 1.0,
     stall_bursts: Optional[Sequence[StallBurst]] = None,
+    tracer: Optional[Any] = None,
 ) -> List[float]:
     """Per-core completion times under FIFO service.
 
@@ -107,6 +119,8 @@ def simulate_controller(
     closed form also assumes).  ``stall_bursts`` injects windows of
     degraded service (see :class:`StallBurst`) — fault plans use this to
     model flaky memory controllers; the default is a healthy controller.
+    ``tracer`` (a :class:`repro.obs.Tracer`) additionally records queue
+    depth samples plus wait-time and stall histograms per core.
     """
     if capacity_lines_per_sec <= 0:
         raise ValueError("capacity must be positive")
@@ -115,14 +129,16 @@ def simulate_controller(
     if not workloads:
         raise ValueError("need at least one workload")
     bursts: Optional[Tuple[StallBurst, ...]] = tuple(stall_bursts) if stall_bursts else None
-    sim = Simulator()
+    sim = Simulator(tracer=tracer if tracer else None)
+    if tracer:
+        tracer.bind_clock(lambda: sim.now)
     mc = Resource(sim, capacity=1, name="mc")
     service = line_pipeline_fraction / capacity_lines_per_sec
     out = [0.0] * len(workloads)
     for i, wl in enumerate(workloads):
         Process(
             sim,
-            _core_process(sim, mc, wl, service, out, i, bursts),
+            _core_process(sim, mc, wl, service, out, i, bursts, tracer),
             name=f"core{i}",
         )
     sim.run()

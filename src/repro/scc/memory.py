@@ -17,7 +17,7 @@ Two effects dominate the paper's results and both live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from .params import (
     CACHE_LINE_BYTES,
@@ -79,12 +79,16 @@ class MemorySystem:
         topology: SCCTopology | None = None,
         mem_mhz: float = 800.0,
         line_bytes: int = CACHE_LINE_BYTES,
+        tracer: Optional[Any] = None,
     ) -> None:
         if mem_mhz <= 0:
             raise ValueError(f"mem_mhz must be positive, got {mem_mhz}")
         self.topology = topology or SCCTopology()
         self.mem_mhz = mem_mhz
         self.line_bytes = line_bytes
+        #: optional :class:`repro.obs.Tracer`: effective line-time
+        #: solutions are recorded as per-controller histograms.
+        self.tracer = tracer
         self.controllers = tuple(
             MemoryController(index=i, coord=coord, mem_mhz=mem_mhz)
             for i, coord in enumerate(self.topology.mc_coords)
@@ -130,15 +134,17 @@ class MemorySystem:
             for other, rate in demand_lines_per_sec.items()
             if self.topology.mc_index_of_core(other) == mc.index
         )
-        if total_demand <= 0:
-            return latency
-        oversubscription = total_demand / mc_line_rate
-        if oversubscription <= 1.0:
-            return latency
-        # Saturated: each line effectively takes its fair-share service
-        # time; latency still bounds from below.
+        result = latency
         my_rate = demand_lines_per_sec.get(core, 0.0)
-        if my_rate <= 0:
-            return latency
-        share = mc_line_rate * (my_rate / total_demand)
-        return max(latency, 1.0 / share)
+        if total_demand > 0 and total_demand > mc_line_rate and my_rate > 0:
+            # Saturated: each line effectively takes its fair-share
+            # service time; latency still bounds from below.
+            share = mc_line_rate * (my_rate / total_demand)
+            result = max(latency, 1.0 / share)
+        tr = self.tracer
+        if tr:
+            tr.metrics.histogram("mem.effective_line_time_s", mc=mc.index).observe(result)
+            tr.metrics.gauge("mem.mc_oversubscription", mc=mc.index).set(
+                total_demand / mc_line_rate
+            )
+        return result

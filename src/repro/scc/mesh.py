@@ -13,7 +13,7 @@ with the 4-cycle router crossing from the SCC EAS.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .topology import GRID_X, GRID_Y, SCCTopology
 
@@ -54,7 +54,12 @@ def xy_route(src: Coord, dst: Coord) -> List[Coord]:
 class MeshNetwork:
     """Link-load accounting and message timing over the SCC mesh."""
 
-    def __init__(self, topology: SCCTopology | None = None, mesh_mhz: float = 800.0) -> None:
+    def __init__(
+        self,
+        topology: SCCTopology | None = None,
+        mesh_mhz: float = 800.0,
+        tracer: Optional[Any] = None,
+    ) -> None:
         if mesh_mhz <= 0:
             raise ValueError(f"mesh_mhz must be positive, got {mesh_mhz}")
         self.topology = topology or SCCTopology()
@@ -63,6 +68,9 @@ class MeshNetwork:
         #: per-link serialization slowdown factor (>= 1.0) for degraded
         #: links — the fault model's flaky-mesh knob.
         self._degraded: Dict[Link, float] = {}
+        #: optional :class:`repro.obs.Tracer`: transfers additionally
+        #: feed per-link byte/flit counters in its metrics registry.
+        self.tracer = tracer
 
     @property
     def cycle_time(self) -> float:
@@ -86,6 +94,15 @@ class MeshNetwork:
         links = self.links_of(xy_route(src, dst))
         for link in links:
             self._link_loads[link] += size_bytes
+        tr = self.tracer
+        if tr:
+            # One flit = one link-width beat (16 bytes); a 0-byte control
+            # message still occupies the route for its header flit.
+            flits = max(1, -(-size_bytes // LINK_BYTES_PER_CYCLE))
+            for (ax, ay), (bx, by) in links:
+                label = f"{ax},{ay}->{bx},{by}"
+                tr.metrics.counter("mesh.link_bytes", link=label).inc(size_bytes)
+                tr.metrics.counter("mesh.link_flits", link=label).inc(flits)
         return links
 
     def link_loads(self) -> Dict[Link, int]:

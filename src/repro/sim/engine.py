@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..obs.tracer import TID_SIM
+
 __all__ = ["SimEvent", "Simulator", "SimulationError", "any_of"]
 
 
@@ -99,7 +101,7 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, record_trace: bool = False) -> None:
+    def __init__(self, record_trace: bool = False, tracer: Optional[Any] = None) -> None:
         self._now = 0.0
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
@@ -109,6 +111,10 @@ class Simulator:
         #: ``record_trace`` is on — the determinism verifier replays a
         #: run and diffs two of these schedules.
         self.trace: list[tuple[float, int, str]] = []
+        #: optional :class:`repro.obs.Tracer`; when attached (and
+        #: enabled) every dispatched event is recorded as an instant on
+        #: the simulator lane.  ``None`` costs one branch per step.
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -150,6 +156,9 @@ class Simulator:
         ev = entry.event
         if self._record_trace:
             self.trace.append((entry.time, entry.seq, ev.name))
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(ev.name or "event", tid=TID_SIM, cat="sim", seq=entry.seq)
         if not ev.triggered:
             ev.succeed(ev._pending_value)
 

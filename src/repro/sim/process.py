@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..obs.tracer import TID_SCHED
 from .engine import SimEvent, SimulationError, Simulator
 
 __all__ = ["Process", "ProcessFailure"]
@@ -64,6 +65,9 @@ class Process:
             return False
         self.killed = True
         self._gen.close()
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("proc.kill", tid=TID_SCHED, cat="sched", process=self.name)
         self.done.succeed(value)
         return True
 
@@ -72,9 +76,16 @@ class Process:
             return  # a pending event fired after the core died
         if self.done.triggered:
             raise SimulationError(f"process {self.name!r} resumed after completion")
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            # Context switch: the scheduler hands the (single) simulated
+            # CPU to this process for one step.
+            tr.instant("proc.resume", tid=TID_SCHED, cat="sched", process=self.name)
         try:
             target = self._gen.send(value)
         except StopIteration as stop:
+            if tr is not None and tr.enabled:
+                tr.instant("proc.exit", tid=TID_SCHED, cat="sched", process=self.name)
             self.done.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - surfaced as ProcessFailure

@@ -6,7 +6,7 @@ import io
 
 import pytest
 
-from repro.cli import ARTIFACTS, build_parser, main
+from repro.cli import ARTIFACTS, COMMANDS, build_parser, main
 
 FAST = ["--scale", "0.04", "--ids", "24,30", "--iterations", "2"]
 
@@ -20,16 +20,53 @@ def run_cli(*argv):
 class TestParser:
     def test_artifact_choices(self):
         p = build_parser()
-        args = p.parse_args(["fig5"])
+        args = p.parse_args(["run", "fig5"])
+        assert args.command == "run"
         assert args.artifact == "fig5"
         with pytest.raises(SystemExit):
-            p.parse_args(["fig99"])
+            p.parse_args(["run", "fig99"])
 
     def test_defaults(self):
-        args = build_parser().parse_args(["table1"])
+        args = build_parser().parse_args(["run", "table1"])
         assert args.scale == 0.25
         assert args.iterations == 16
         assert args.ids == ""
+
+    def test_all_commands_are_subparsers(self):
+        p = build_parser()
+        for cmd in COMMANDS:
+            # every first-class command parses its own --help
+            with pytest.raises(SystemExit) as exc:
+                p.parse_args([cmd, "--help"])
+            assert exc.value.code == 0
+
+
+class TestLegacyShim:
+    """`repro fig5` (pre-subcommand syntax) must keep working."""
+
+    def test_bare_artifact_aliases_to_run(self):
+        code, text = run_cli("table1", *FAST)
+        assert code == 0
+        assert "Table I" in text
+
+    def test_bare_validate_aliases_to_run(self):
+        code, text = run_cli("validate")
+        assert code == 0
+        assert "all checks passed" in text
+
+
+class TestUnknownCommand:
+    def test_unknown_command_exits_nonzero_with_hint(self, capsys):
+        code = main(["frobnicate"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'frobnicate'" in err
+        assert "run" in err and "lint" in err and "trace" in err
+
+    def test_no_arguments_exits_nonzero(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().err
 
 
 class TestValidation:

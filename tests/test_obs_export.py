@@ -1,0 +1,150 @@
+"""Tests for repro.obs exporters: Chrome trace JSON (schema + determinism,
+the ISSUE acceptance criteria), the terminal timeline, and the schema
+validator's negative cases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_json,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_run(n_cores=4, matrix_id=24, scale=0.04, iterations=2):
+    from repro.core.experiment import SpMVExperiment
+    from repro.sparse.suite import build_matrix, entry_by_id
+
+    tracer = Tracer()
+    exp = SpMVExperiment(
+        build_matrix(matrix_id, scale=scale), name=entry_by_id(matrix_id).name
+    )
+    result = exp.run(n_cores=n_cores, iterations=iterations, tracer=tracer)
+    return tracer, result
+
+
+class TestChromeExport:
+    def test_four_core_trace_is_schema_valid(self):
+        tracer, _ = _traced_run(n_cores=4)
+        assert tracer.events, "traced run recorded no events"
+        trace = to_chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == []
+
+    def test_same_seed_runs_are_byte_identical(self):
+        a = chrome_trace_json(_traced_run(n_cores=4)[0])
+        b = chrome_trace_json(_traced_run(n_cores=4)[0])
+        assert a == b
+
+    def test_round_trips_through_json(self):
+        tracer, _ = _traced_run(n_cores=2)
+        parsed = json.loads(chrome_trace_json(tracer))
+        assert validate_chrome_trace(parsed) == []
+
+    def test_lane_metadata_present(self):
+        tracer, _ = _traced_run(n_cores=2)
+        trace = to_chrome_trace(tracer, process_name="unit-test")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {"process_name": "unit-test"}
+        thread_names = {
+            e["tid"]: e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names.get(0) == "ue 0"
+        assert "simulator" in thread_names.values()
+
+    def test_timestamps_are_microseconds(self):
+        tr = Tracer(clock=lambda: 0.5)
+        tr.instant("x")
+        trace = to_chrome_trace(tr)
+        inst = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert inst[0]["ts"] == 500000.0
+        assert inst[0]["s"] == "t"
+
+    def test_metrics_ride_in_other_data(self):
+        tr = Tracer()
+        tr.metrics.counter("c").inc(2)
+        trace = to_chrome_trace(tr)
+        assert trace["otherData"]["metrics"]["counters"] == {"c": 2}
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer, _ = _traced_run(n_cores=2)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestTimeline:
+    def test_nested_detail_is_visible(self):
+        tracer, _ = _traced_run(n_cores=4)
+        text = render_timeline(tracer)
+        # communication/compute detail must overpaint the outer ue.run span
+        assert "= ue.run" in text
+        assert any(f"= {name}" in text for name in ("send", "recv", "compute", "barrier"))
+        assert "ue 0" in text and "ue 3" in text
+
+    def test_empty_tracer(self):
+        assert render_timeline(Tracer()) == "(no spans recorded)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(Tracer(), width=4)
+
+
+class TestSchemaValidatorNegatives:
+    @staticmethod
+    def _trace(events):
+        return {"traceEvents": events}
+
+    @staticmethod
+    def _ev(**kw):
+        base = {"name": "x", "ph": "i", "ts": 0, "pid": 0, "tid": 0}
+        base.update(kw)
+        return base
+
+    def test_not_a_dict(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_missing_required_field(self):
+        ev = self._ev()
+        del ev["ts"]
+        assert any("ts" in p for p in validate_chrome_trace(self._trace([ev])))
+
+    def test_bool_is_not_a_valid_tid(self):
+        problems = validate_chrome_trace(self._trace([self._ev(tid=True)]))
+        assert problems != []
+
+    def test_unsupported_phase(self):
+        assert validate_chrome_trace(self._trace([self._ev(ph="X")])) != []
+
+    def test_negative_timestamp(self):
+        assert validate_chrome_trace(self._trace([self._ev(ts=-1.0)])) != []
+
+    def test_unclosed_span_reported(self):
+        problems = validate_chrome_trace(self._trace([self._ev(ph="B")]))
+        assert any("unclosed" in p for p in problems)
+
+    def test_end_without_begin(self):
+        assert validate_chrome_trace(self._trace([self._ev(ph="E")])) != []
+
+    def test_backwards_timestamps_in_lane(self):
+        events = [self._ev(ts=2.0), self._ev(ts=1.0)]
+        assert validate_chrome_trace(self._trace(events)) != []
+
+    def test_counter_needs_numeric_args(self):
+        bad = self._ev(ph="C", args={"value": "high"})
+        assert validate_chrome_trace(self._trace([bad])) != []
+
+    def test_valid_minimal_trace(self):
+        events = [
+            self._ev(ph="B", ts=0.0),
+            self._ev(ph="E", ts=1.0),
+            self._ev(ph="C", ts=1.0, args={"value": 3}),
+        ]
+        assert validate_chrome_trace(self._trace(events)) == []

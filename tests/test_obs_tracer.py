@@ -1,0 +1,149 @@
+"""Tests for repro.obs: the Tracer and the MetricsRegistry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, metric_key
+
+
+class TestTracer:
+    def test_records_span_pairs(self):
+        tr = Tracer()
+        tr.begin("work", tid=3, cat="rcce", bytes=64)
+        tr.end("work", tid=3, cat="rcce")
+        assert [e.ph for e in tr.events] == ["B", "E"]
+        assert tr.events[0].args == {"bytes": 64}
+        assert tr.events[0].tid == 3
+
+    def test_span_context_manager_closes_on_error(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("risky", tid=1):
+                raise RuntimeError("boom")
+        assert [e.ph for e in tr.events] == ["B", "E"]
+
+    def test_clock_binding(self):
+        t = [0.0]
+        tr = Tracer(clock=lambda: t[0])
+        tr.instant("a")
+        t[0] = 2.5
+        tr.instant("b")
+        assert [e.ts for e in tr.events] == [0.0, 2.5]
+        tr.bind_clock(lambda: 9.0)
+        tr.instant("c")
+        assert tr.events[-1].ts == 9.0
+
+    def test_category_filter(self):
+        tr = Tracer(categories=("fault",))
+        tr.instant("kept", cat="fault")
+        tr.instant("dropped", cat="rcce")
+        tr.counter("also-dropped", 1)
+        assert [e.name for e in tr.events] == ["kept"]
+        assert tr.wants("fault") and not tr.wants("rcce")
+
+    def test_counter_event(self):
+        tr = Tracer()
+        tr.counter("depth", 7, tid=2)
+        ev = tr.events[0]
+        assert ev.ph == "C" and ev.args == {"value": 7}
+
+    def test_truthiness_contract(self):
+        assert Tracer()
+        assert not NullTracer()
+        assert not NULL_TRACER
+        assert not None  # the other disabled spelling components accept
+
+    def test_null_tracer_records_nothing(self):
+        nt = NullTracer()
+        nt.begin("x")
+        nt.instant("y")
+        nt.counter("z", 1)
+        assert nt.events == []
+
+    def test_clear_keeps_metrics(self):
+        tr = Tracer()
+        tr.instant("a")
+        tr.metrics.counter("kept").inc()
+        tr.clear()
+        assert tr.events == []
+        assert tr.metrics.counter("kept").value == 1
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        c = Counter("c", ())
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_high_water(self):
+        g = Gauge("g", ())
+        g.set(4)
+        g.set(2)
+        assert g.value == 2 and g.high_water == 4
+
+    def test_histogram_buckets_and_summary(self):
+        h = Histogram("h", (), bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, overflow
+        s = h.summary()
+        assert s["count"] == 3 and s["min"] == 0.5 and s["max"] == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_empty_histogram_summary(self):
+        assert Histogram("h", ()).summary() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        }
+
+    def test_default_buckets_are_decades(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-9)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(1e3)
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n", core=1) is reg.counter("n", core=1)
+        assert reg.counter("n", core=1) is not reg.counter("n", core=2)
+        assert len(reg) == 2
+
+    def test_registry_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_metric_key_sorts_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", b=2, a=1)
+        assert metric_key(c.name, c.labels) == "m{a=1,b=2}"
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", core=0).inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c{core=0}": 3}
+        assert snap["gauges"]["g"] == {"value": 1.5, "high_water": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_flat_summary(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(1.0)
+        flat = reg.flat_summary()
+        assert flat["c"] == 1 and flat["g"] == 2
+        assert flat["h"]["count"] == 1

@@ -1,0 +1,153 @@
+"""Wiring tests: components publish trace events and metrics when given
+a tracer, and the unified Result/Campaign API carries them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import Campaign, fault_tolerant_record, result_record
+from repro.core.experiment import ResultBase, SpMVExperiment
+from repro.core.metrics import parallel_efficiency
+from repro.faults.plan import FaultPlan
+from repro.obs import TID_SCHED, TID_SIM, Tracer
+from repro.scc.cache import CacheHierarchy
+from repro.sparse.suite import build_matrix, entry_by_id
+
+MID = 24  # rajat09
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return SpMVExperiment(build_matrix(MID, scale=0.04), name=entry_by_id(MID).name)
+
+
+@pytest.fixture(scope="module")
+def traced(experiment):
+    tracer = Tracer()
+    result = experiment.run(n_cores=4, iterations=2, tracer=tracer)
+    return tracer, result
+
+
+class TestExperimentWiring:
+    def test_rcce_spans_per_ue(self, traced):
+        tracer, _ = traced
+        begins = {(e.name, e.tid) for e in tracer.events if e.ph == "B"}
+        for ue in range(4):
+            assert ("ue.run", ue) in begins
+
+    def test_sim_and_sched_lanes(self, traced):
+        tracer, _ = traced
+        tids = {e.tid for e in tracer.events}
+        assert TID_SIM in tids and TID_SCHED in tids
+
+    def test_communication_metrics(self, traced):
+        tracer, _ = traced
+        flat = tracer.metrics.flat_summary()
+        assert any(k.startswith("mesh.link_bytes") for k in flat)
+        assert any(k.startswith("mpb.delivered") for k in flat)
+
+    def test_model_metrics(self, traced):
+        tracer, _ = traced
+        flat = tracer.metrics.flat_summary()
+        # keyed by physical core id (mapping-dependent), one per UE
+        mem_lines = [v for k, v in flat.items() if k.startswith("model.mem_lines{")]
+        core_times = [v for k, v in flat.items() if k.startswith("model.core_time_s{")]
+        assert len(mem_lines) == 4 and all(v > 0 for v in mem_lines)
+        assert len(core_times) == 4 and all(v > 0 for v in core_times)
+        assert flat["model.mem_stall_fraction"]["count"] == 4
+
+    def test_untraced_run_matches_traced(self, experiment, traced):
+        _, with_tracer = traced
+        without = experiment.run(n_cores=4, iterations=2)
+        assert without.makespan == with_tracer.makespan
+
+    def test_fault_events_recorded(self, experiment):
+        tracer = Tracer()
+        plan = FaultPlan(seed=7, drop_rate=0.2)
+        result = experiment.run_fault_tolerant(
+            n_cores=4, plan=plan, iterations=2, time_budget=60.0, tracer=tracer
+        )
+        assert result.verified
+        names = {e.name for e in tracer.events if e.cat == "fault"}
+        assert any(n.startswith("fault.") for n in names)
+        flat = tracer.metrics.flat_summary()
+        assert any(k.startswith("faults.injected") for k in flat)
+
+
+class TestCacheWiring:
+    def test_publish_metrics(self):
+        hier = CacheHierarchy()
+        for addr in range(0, 4096, 32):
+            hier.access(addr)
+        tracer = Tracer()
+        hier.publish_metrics(tracer, core=3)
+        snap = tracer.metrics.snapshot()["counters"]
+        assert snap["cache.misses{core=3,level=L1D}"] > 0
+        assert any(k.startswith("cache.hits{") for k in snap)
+
+    def test_publish_is_noop_without_tracer(self):
+        CacheHierarchy().publish_metrics(None)  # must not raise
+
+
+class TestResultAPI:
+    def test_result_record_alias_matches_to_record(self, traced):
+        _, result = traced
+        assert isinstance(result, ResultBase)
+        rec = result.to_record()
+        assert result_record(result) == rec
+        # legacy shape: key order and content preserved
+        assert list(rec)[:4] == ["status", "matrix", "n", "nnz"]
+        assert rec["status"] == "ok"
+        assert rec["kernel"] == "csr"
+        assert rec["mflops"] == pytest.approx(result.mflops)
+        assert "mflops_per_watt" in rec
+
+    def test_fault_tolerant_record_alias(self, experiment):
+        r = experiment.run_fault_tolerant(n_cores=2, plan=None, iterations=2)
+        rec = fault_tolerant_record(r)
+        assert rec == r.to_record()
+        assert rec["kernel"] == "csr"  # filled even without a kernel field
+        assert rec["verified"] is True
+        assert "fault_counters" in rec
+
+
+class TestCampaignMetrics:
+    def test_collect_metrics_adds_metrics_key(self, tmp_path):
+        camp = Campaign(
+            "obswire", tmp_path, scale=0.04, iterations=2, collect_metrics=True
+        )
+        # 4 UEs span two tiles, so mesh links actually carry traffic
+        camp.run(Campaign.grid([MID], [4]))
+        (rec,) = camp.load()
+        assert rec["status"] == "ok"
+        assert any(k.startswith("mesh.link_bytes") for k in rec["metrics"])
+
+    def test_default_campaign_has_no_metrics_key(self, tmp_path):
+        camp = Campaign("plain", tmp_path, scale=0.04, iterations=2)
+        camp.run(Campaign.grid([MID], [2]))
+        (rec,) = camp.load()
+        assert "metrics" not in rec
+
+
+class TestSweepAndEfficiency:
+    def test_sweep_cores(self, experiment):
+        results = experiment.sweep_cores([1, 2, 4], iterations=2)
+        assert [r.n_cores for r in results] == [1, 2, 4]
+        # more cores never slows the model down on this matrix
+        assert results[0].makespan >= results[-1].makespan
+
+    def test_parallel_efficiency(self, experiment):
+        results = {n: experiment.run(n_cores=n, iterations=2) for n in (1, 2, 4)}
+        eff = parallel_efficiency(results)
+        assert set(eff) == {1, 2, 4}
+        assert eff[1] == pytest.approx(1.0)
+        assert all(0 < e <= 1.5 for e in eff.values())
+
+    def test_parallel_efficiency_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            parallel_efficiency({})
+
+    def test_parallel_efficiency_missing_baseline(self, experiment):
+        results = {2: experiment.run(n_cores=2, iterations=2)}
+        with pytest.raises(ValueError, match="1-core"):
+            parallel_efficiency(results)
