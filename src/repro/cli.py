@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 from .cliutil import add_output_flag, open_output
 from .core.figures import (
+    DEFAULT_MODE,
     FIG3_HOPS,
     FIG5_CORE_COUNTS,
     FIG6_CORE_COUNTS,
@@ -90,6 +91,19 @@ def _configure_run_parser(p: argparse.ArgumentParser) -> None:
         type=int,
         default=16,
         help="SpMV repetitions per timed run (default 16)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the sweep over (default 1 = serial)",
+    )
+    p.add_argument(
+        "--exact",
+        action="store_true",
+        help="replay every run on the event-driven simulator instead of "
+        "the analytic fast path (same numbers, much slower; see "
+        "docs/PERFORMANCE.md)",
     )
     add_output_flag(p)
 
@@ -156,7 +170,7 @@ def _parse_ids(raw: str) -> Optional[List[int]]:
         raise SystemExit(f"--ids must be comma-separated integers: {exc}") from exc
 
 
-def _render(artifact: str, exps, iterations: int, out) -> None:
+def _render(artifact: str, exps, iterations: int, out, mode: str = "model", workers: int = 1) -> None:
     if artifact == "table1":
         rows = table1_data(exps)
         print(banner("Table I: matrix benchmark suite"), file=out)
@@ -168,7 +182,7 @@ def _render(artifact: str, exps, iterations: int, out) -> None:
             file=out,
         )
     elif artifact == "fig3":
-        data = fig3_data(exps, iterations)
+        data = fig3_data(exps, iterations, mode=mode, workers=workers)
         series = [data[h] for h in FIG3_HOPS]
         rel = [100 * (1 - v / series[0]) for v in series]
         print(banner("Fig. 3: single-core performance vs hops to MC"), file=out)
@@ -179,7 +193,7 @@ def _render(artifact: str, exps, iterations: int, out) -> None:
             file=out,
         )
     elif artifact == "fig5":
-        std, dr = fig5_data(exps, iterations)
+        std, dr = fig5_data(exps, iterations, mode=mode, workers=workers)
         print(banner("Fig. 5: standard vs distance-reduction mapping"), file=out)
         print(
             format_series(
@@ -194,14 +208,14 @@ def _render(artifact: str, exps, iterations: int, out) -> None:
             file=out,
         )
     elif artifact == "fig6":
-        rows = fig6_data(exps, iterations)
+        rows = fig6_data(exps, iterations, mode=mode, workers=workers)
         cols = ["id", "name"]
         for n in FIG6_CORE_COUNTS:
             cols += [f"wsKB/core@{n}", f"MFLOPS@{n}"]
         print(banner("Fig. 6: performance vs working set"), file=out)
         print(format_table(rows, cols, floatfmt=".1f"), file=out)
     elif artifact == "fig7":
-        with_l2, without_l2 = fig7_data(exps, iterations)
+        with_l2, without_l2 = fig7_data(exps, iterations, mode=mode, workers=workers)
         on = [average_gflops(with_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
         off = [average_gflops(without_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
         print(banner("Fig. 7: L2 caches disabled"), file=out)
@@ -219,12 +233,12 @@ def _render(artifact: str, exps, iterations: int, out) -> None:
             file=out,
         )
     elif artifact == "fig8":
-        rows = fig8_data(exps, iterations)
+        rows = fig8_data(exps, iterations, mode=mode, workers=workers)
         cols = ["id", "name"] + [f"speedup@{n}" for n in FIG6_CORE_COUNTS]
         print(banner("Fig. 8: no-x-miss kernel speedup"), file=out)
         print(format_table(rows, cols), file=out)
     elif artifact == "fig9":
-        results = fig9_data(exps, iterations)
+        results = fig9_data(exps, iterations, mode=mode, workers=workers)
         perf, eff = fig9_summary(results)
         print(banner("Fig. 9(a): performance per configuration"), file=out)
         print(
@@ -252,7 +266,7 @@ def _render(artifact: str, exps, iterations: int, out) -> None:
             file=out,
         )
     elif artifact == "fig10":
-        rows = sorted(fig10_data(exps, iterations), key=lambda r: r["gflops"])
+        rows = sorted(fig10_data(exps, iterations, mode=mode, workers=workers), key=lambda r: r["gflops"])
         print(banner("Fig. 10: architectural comparison"), file=out)
         print(
             format_table(
@@ -343,15 +357,18 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
         raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
     if args.iterations < 1:
         raise SystemExit(f"--iterations must be >= 1, got {args.iterations}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     with open_output(args, out) as stream:
         if args.artifact == "validate":
             return _render_validation(stream)
         exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))
         if not exps:
             raise SystemExit("no matrices selected; check --ids")
+        mode = "sim" if args.exact else DEFAULT_MODE
         artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
         for artifact in artifacts:
-            _render(artifact, exps, args.iterations, stream)
+            _render(artifact, exps, args.iterations, stream, mode=mode, workers=args.workers)
     return 0
 
 

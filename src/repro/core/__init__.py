@@ -10,12 +10,21 @@
 - :mod:`~repro.core.figures` — scriptable generation of every paper artifact.
 - :mod:`~repro.core.roofline` — the SCC's own roofline model.
 - :mod:`~repro.core.campaign` — persistent, resumable experiment sweeps.
+- :mod:`~repro.core.parallel` — process-pool sharding for sweeps.
 - :mod:`~repro.core.diagrams` — ASCII renderings of Figs. 1/2/4.
 - :mod:`~repro.core.blocked` — BCSR timing on the SCC model.
 """
 
 from .blocked import BCSRTimingResult, run_bcsr_timing
-from .campaign import Campaign, CampaignPoint, fault_tolerant_record, result_record
+from .campaign import (
+    Campaign,
+    CampaignContext,
+    CampaignPoint,
+    fault_tolerant_record,
+    result_record,
+    run_campaign_point,
+)
+from .parallel import CampaignWorkerCrash, iter_ordered, parallel_map
 from .diagrams import chip_diagram, csr_example, mapping_diagram
 from .comparison import COMPARISON_SYSTEMS, ArchitectureModel, comparison_table
 from .experiment import (
@@ -25,7 +34,7 @@ from .experiment import (
     ResultBase,
     SpMVExperiment,
 )
-from .figures import suite_experiments
+from .figures import DEFAULT_MODE, suite_experiments
 from .roofline import MatrixPoint, SCCRoofline, locate_matrix
 from .sensitivity import EffectSet, measure_effects, sensitivity_sweep
 from .mapping import (
@@ -44,16 +53,29 @@ from .metrics import (
     speedup_series,
 )
 from .report import banner, format_series, format_table
-from .timing import CoreTiming, solve_core_times
+from .timing import (
+    CoreTiming,
+    barrier_exit_times,
+    barrier_schedule,
+    resolve_barrier_schedule,
+    solve_core_times,
+    solve_core_times_batched,
+)
 from .trace import UETrace, access_summary, characterize_partition
 
 __all__ = [
     "BCSRTimingResult",
     "run_bcsr_timing",
     "Campaign",
+    "CampaignContext",
     "CampaignPoint",
+    "CampaignWorkerCrash",
     "result_record",
     "fault_tolerant_record",
+    "run_campaign_point",
+    "iter_ordered",
+    "parallel_map",
+    "DEFAULT_MODE",
     "chip_diagram",
     "csr_example",
     "mapping_diagram",
@@ -87,7 +109,11 @@ __all__ = [
     "format_series",
     "format_table",
     "CoreTiming",
+    "barrier_exit_times",
+    "barrier_schedule",
+    "resolve_barrier_schedule",
     "solve_core_times",
+    "solve_core_times_batched",
     "UETrace",
     "access_summary",
     "characterize_partition",

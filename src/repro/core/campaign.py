@@ -32,6 +32,7 @@ import json
 import os
 import warnings
 from dataclasses import dataclass
+from functools import partial
 from itertools import product
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -42,17 +43,22 @@ from ..sim import ProcessFailure, SimulationError
 from ..sparse.suite import build_matrix, entry_by_id
 from .experiment import (
     DEFAULT_ITERATIONS,
+    MODES,
     ExperimentResult,
     FaultTolerantResult,
     SpMVExperiment,
 )
+from .parallel import CampaignWorkerCrash, iter_ordered, maybe_crash
 
 __all__ = [
     "result_record",
     "fault_tolerant_record",
     "CampaignPoint",
+    "CampaignContext",
     "Campaign",
     "CampaignIntegrityError",
+    "CampaignWorkerCrash",
+    "run_campaign_point",
 ]
 
 
@@ -97,6 +103,110 @@ class CampaignPoint:
     def key(self) -> str:
         """Stable string identity used for resume bookkeeping."""
         return f"{self.mid}:{self.n_cores}:{self.config}:{self.mapping}:{self.kernel}"
+
+
+@dataclass(frozen=True)
+class CampaignContext:
+    """Everything a worker process needs to execute one point.
+
+    A picklable snapshot of the :class:`Campaign` knobs that affect a
+    point's *result* (never its persistence), shipped to pool workers so
+    :func:`run_campaign_point` computes identical records in any
+    process.
+    """
+
+    scale: float
+    iterations: int
+    mode: str = "sim"
+    point_budget: Optional[float] = None
+    collect_metrics: bool = False
+    fault_plan: Optional[object] = None
+
+
+def run_campaign_point(
+    pt: CampaignPoint,
+    ctx: CampaignContext,
+    cache: Dict[Tuple[int, float], SpMVExperiment],
+) -> dict:
+    """Execute one grid point, mapping failures to structured records.
+
+    Pure in ``(pt, ctx)`` — the ``cache`` only memoizes matrix builds
+    within one process — so serial and parallel execution produce
+    bitwise-identical records.
+    """
+    exp = cache.get((pt.mid, ctx.scale))
+    if exp is None:
+        entry = entry_by_id(pt.mid)
+        exp = cache[(pt.mid, ctx.scale)] = SpMVExperiment(
+            build_matrix(pt.mid, scale=ctx.scale), name=entry.name
+        )
+    tracer = None
+    if ctx.collect_metrics:
+        # categories=() drops every trace event but leaves the
+        # metrics registry live: summaries without event overhead.
+        from ..obs import Tracer
+
+        tracer = Tracer(categories=())
+    try:
+        if ctx.fault_plan is not None:
+            result = exp.run_fault_tolerant(
+                n_cores=pt.n_cores,
+                config=PRESETS[pt.config],
+                mapping=pt.mapping,
+                plan=ctx.fault_plan,
+                iterations=ctx.iterations,
+                time_budget=ctx.point_budget,
+                tracer=tracer,
+            )
+        else:
+            result = exp.run(
+                n_cores=pt.n_cores,
+                config=PRESETS[pt.config],
+                mapping=pt.mapping,
+                kernel=pt.kernel,
+                iterations=ctx.iterations,
+                time_budget=ctx.point_budget,
+                tracer=tracer,
+                mode=ctx.mode,
+            )
+        rec = result.to_record()
+        if tracer is not None:
+            rec["metrics"] = tracer.metrics.flat_summary()
+        return rec
+    except RCCEBudgetExceededError as exc:
+        return {
+            "status": "timeout",
+            "matrix": entry_by_id(pt.mid).name,
+            "n_cores": pt.n_cores,
+            "config": pt.config,
+            "mapping": pt.mapping,
+            "kernel": pt.kernel,
+            "budget_s": exc.budget,
+            "stuck_ues": list(exc.running_ues),
+            "error": str(exc),
+        }
+    except (RCCEError, ProcessFailure, SimulationError) as exc:
+        return {
+            "status": "failed",
+            "matrix": entry_by_id(pt.mid).name,
+            "n_cores": pt.n_cores,
+            "config": pt.config,
+            "mapping": pt.mapping,
+            "kernel": pt.kernel,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        }
+
+
+#: per-worker-process experiment memo for :func:`_point_task` (inherited
+#: empty at fork, filled as the worker sees matrices).
+_WORKER_EXPERIMENTS: Dict[Tuple[int, float], SpMVExperiment] = {}
+
+
+def _point_task(ctx: CampaignContext, pt: CampaignPoint) -> dict:
+    """Pool-worker task: one point against the per-process memo."""
+    maybe_crash(pt.key())
+    return run_campaign_point(pt, ctx, _WORKER_EXPERIMENTS)
 
 
 def _iter_jsonl(path: Path, tolerate_trailing: bool = True):
@@ -148,6 +258,7 @@ class Campaign:
         fault_plan: Optional[object] = None,
         point_budget: Optional[float] = None,
         collect_metrics: bool = False,
+        mode: str = "sim",
     ) -> None:
         if not name or "/" in name:
             raise ValueError(f"campaign name must be a simple identifier, got {name!r}")
@@ -155,6 +266,13 @@ class Campaign:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         if point_budget is not None and point_budget <= 0:
             raise ValueError(f"point_budget must be > 0, got {point_budget}")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode != "sim" and fault_plan is not None:
+            raise ValueError(
+                "fault_plan requires mode='sim': fault injection lives in the "
+                "event-driven runtime, which the analytic model does not run"
+            )
         self.name = name
         self.output_dir = Path(output_dir)
         self.output_dir.mkdir(parents=True, exist_ok=True)
@@ -168,7 +286,11 @@ class Campaign:
         #: attach a metrics-only tracer per point and append its flat
         #: summary to the record under ``"metrics"``.
         self.collect_metrics = collect_metrics
-        self._experiments: Dict[int, SpMVExperiment] = {}
+        #: how points are timed: the event-driven simulator (``sim``) or
+        #: the analytic fast path (``model``, same numbers to the
+        #: tolerance in ``docs/PERFORMANCE.md``).
+        self.mode = mode
+        self._experiments: Dict[Tuple[int, float], SpMVExperiment] = {}
 
     # -- persistence ----------------------------------------------------
 
@@ -242,13 +364,25 @@ class Campaign:
 
     # -- execution ----------------------------------------------------------
 
+    def _context(self) -> CampaignContext:
+        """The picklable execution context shipped to pool workers."""
+        return CampaignContext(
+            scale=self.scale,
+            iterations=self.iterations,
+            mode=self.mode,
+            point_budget=self.point_budget,
+            collect_metrics=self.collect_metrics,
+            fault_plan=self.fault_plan,
+        )
+
     def _experiment(self, mid: int) -> SpMVExperiment:
-        if mid not in self._experiments:
+        key = (mid, self.scale)
+        if key not in self._experiments:
             entry = entry_by_id(mid)
-            self._experiments[mid] = SpMVExperiment(
+            self._experiments[key] = SpMVExperiment(
                 build_matrix(mid, scale=self.scale), name=entry.name
             )
-        return self._experiments[mid]
+        return self._experiments[key]
 
     @staticmethod
     def grid(
@@ -267,88 +401,55 @@ class Campaign:
         ]
 
     def _run_point(self, pt: CampaignPoint) -> dict:
-        """Execute one point, mapping failures to structured records."""
-        exp = self._experiment(pt.mid)
-        tracer = None
-        if self.collect_metrics:
-            # categories=() drops every trace event but leaves the
-            # metrics registry live: summaries without event overhead.
-            from ..obs import Tracer
+        """Execute one point in-process (thin wrapper for the serial path)."""
+        return run_campaign_point(pt, self._context(), self._experiments)
 
-            tracer = Tracer(categories=())
-        try:
-            if self.fault_plan is not None:
-                result = exp.run_fault_tolerant(
-                    n_cores=pt.n_cores,
-                    config=PRESETS[pt.config],
-                    mapping=pt.mapping,
-                    plan=self.fault_plan,
-                    iterations=self.iterations,
-                    time_budget=self.point_budget,
-                    tracer=tracer,
-                )
-            else:
-                result = exp.run(
-                    n_cores=pt.n_cores,
-                    config=PRESETS[pt.config],
-                    mapping=pt.mapping,
-                    kernel=pt.kernel,
-                    iterations=self.iterations,
-                    time_budget=self.point_budget,
-                    tracer=tracer,
-                )
-            rec = result.to_record()
-            if tracer is not None:
-                rec["metrics"] = tracer.metrics.flat_summary()
-            return rec
-        except RCCEBudgetExceededError as exc:
-            return {
-                "status": "timeout",
-                "matrix": entry_by_id(pt.mid).name,
-                "n_cores": pt.n_cores,
-                "config": pt.config,
-                "mapping": pt.mapping,
-                "kernel": pt.kernel,
-                "budget_s": exc.budget,
-                "stuck_ues": list(exc.running_ues),
-                "error": str(exc),
-            }
-        except (RCCEError, ProcessFailure, SimulationError) as exc:
-            return {
-                "status": "failed",
-                "matrix": entry_by_id(pt.mid).name,
-                "n_cores": pt.n_cores,
-                "config": pt.config,
-                "mapping": pt.mapping,
-                "kernel": pt.kernel,
-                "error_type": type(exc).__name__,
-                "error": str(exc),
-            }
-
-    def run(self, points: Iterable[CampaignPoint]) -> Tuple[int, int]:
+    def run(
+        self, points: Iterable[CampaignPoint], workers: int = 1
+    ) -> Tuple[int, int]:
         """Execute all points not yet on disk; returns (ran, skipped).
 
         A point that times out or fails is recorded with its status and
         the sweep continues — one pathological point cannot take the
         campaign down.
+
+        ``workers > 1`` shards the pending points over that many forked
+        processes (:mod:`repro.core.parallel`).  Records are appended in
+        submission order regardless of completion order, so a parallel
+        run's file is bitwise-identical to the serial one; a worker
+        crash persists the completed prefix, raises
+        :class:`CampaignWorkerCrash`, and a rerun resumes the remainder
+        with no duplicates or gaps.  Duplicate points in ``points``
+        count as skipped, same as points already on disk.
         """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         done = self.completed_keys()
-        ran = skipped = 0
+        pending: List[CampaignPoint] = []
+        skipped = 0
+        for pt in points:
+            if pt.config not in PRESETS:
+                raise ValueError(
+                    f"unknown config {pt.config!r}; choose from {sorted(PRESETS)}"
+                )
+            if pt.key() in done:
+                skipped += 1
+                continue
+            done.add(pt.key())
+            pending.append(pt)
+        ctx = self._context()
+        if workers == 1:
+            runner = ((pt, run_campaign_point(pt, ctx, self._experiments))
+                      for pt in pending)
+        else:
+            runner = iter_ordered(partial(_point_task, ctx), pending, workers)
+        ran = 0
         with open(self.path, "a", encoding="utf-8") as fh:
-            for pt in points:
-                if pt.key() in done:
-                    skipped += 1
-                    continue
-                if pt.config not in PRESETS:
-                    raise ValueError(
-                        f"unknown config {pt.config!r}; choose from {sorted(PRESETS)}"
-                    )
-                rec = self._run_point(pt)
+            for pt, rec in runner:
                 rec["_key"] = pt.key()
                 rec["scale"] = self.scale
                 self._append(fh, rec)
                 ran += 1
-                done.add(pt.key())
         return ran, skipped
 
     # -- analysis --------------------------------------------------------------
@@ -365,6 +466,20 @@ class Campaign:
                 continue
             groups.setdefault(rec[group_by], []).append(rec["mflops"])
         return {k: sum(v) / len(v) for k, v in sorted(groups.items())}
+
+    def metrics_summary(self) -> Dict[str, object]:
+        """Campaign-wide merge of every record's ``"metrics"`` block.
+
+        Only meaningful with ``collect_metrics=True``; records without a
+        metrics block (failures, runs before the flag) are skipped.
+        Per-worker summaries merge exactly like serial ones — the merge
+        is associative — so parallel campaigns aggregate identically.
+        """
+        from ..obs.metrics import merge_flat_summaries
+
+        return merge_flat_summaries(
+            [rec["metrics"] for rec in self.load() if isinstance(rec.get("metrics"), dict)]
+        )
 
     def status_counts(self) -> Dict[str, int]:
         """How many records ended in each status (ok/timeout/failed)."""

@@ -28,13 +28,15 @@ from typing import Any, Counter as TCounter, Dict, List, Optional, Sequence, Tup
 
 import numpy as np
 
-from ..rcce.errors import RCCETimeoutError
+from ..rcce.errors import RCCEBudgetExceededError, RCCETimeoutError
 from ..rcce.runtime import RCCERuntime
 from ..scc.chip import CONF0, SCCConfig
 from ..scc.memory import MemorySystem
+from ..scc.mesh import MeshNetwork
 from ..scc.params import DEFAULT_TIMING, L2_BYTES, P54CTimingParams
 from ..scc.topology import SCCTopology
 from ..sparse.csr import CSRMatrix
+from ..sparse.fastpath import BatchedTraces, batch_access_summaries, batch_traces
 from ..sparse.partition import (
     RowPartition,
     partition_rows_balanced,
@@ -43,7 +45,13 @@ from ..sparse.partition import (
 from ..sparse.spmv import spmv_no_x_miss, spmv_row_range
 from ..sparse.stats import working_set_per_core
 from .mapping import get_mapping
-from .timing import CoreTiming, solve_core_times
+from .timing import (
+    CoreTiming,
+    barrier_exit_times,
+    resolve_barrier_schedule,
+    solve_core_times,
+    solve_core_times_batched,
+)
 from .trace import DEFAULT_X_CAPACITY_FRACTION, UETrace, access_summary, characterize_partition
 
 __all__ = [
@@ -52,6 +60,7 @@ __all__ = [
     "FaultTolerantResult",
     "SpMVExperiment",
     "DEFAULT_ITERATIONS",
+    "MODES",
     "FT_WORK_TAG",
     "FT_RESULT_TAG",
 ]
@@ -60,6 +69,11 @@ __all__ = [
 DEFAULT_ITERATIONS = 16
 
 KERNELS = ("csr", "no_x_miss")
+
+#: how a run is timed: ``sim`` replays the job on the event-driven RCCE
+#: runtime; ``model`` composes the same per-core times and an analytic
+#: barrier critical path without scheduling events (the fast path).
+MODES = ("sim", "model")
 
 
 class ResultBase:
@@ -423,6 +437,26 @@ class SpMVExperiment:
         self.partitioner = partitioner
         self._trace_cache: Dict[int, List[UETrace]] = {}
         self._partition_cache: Dict[int, RowPartition] = {}
+        self._batch_cache: Dict[int, BatchedTraces] = {}
+        self._summary_cache: Dict[Tuple, Any] = {}
+        self._ws_cache: Dict[int, float] = {}
+
+    #: set by :func:`repro.core.figures.suite_experiments` to the
+    #: ``(matrix_id, scale)`` that rebuilds this experiment's matrix —
+    #: worker processes reconstruct from this instead of pickling CSR data.
+    suite_ref: Optional[Tuple[int, float]] = None
+
+    # Model-mode caches shared across experiments (class-level): barrier
+    # schedules, solver arrays, chip power and the stateless chip
+    # substrates depend on mapping/config/topology geometry — never on
+    # the matrix — and SCCTopology instances are interchangeable.  Keys
+    # include the topology class so exotic subclasses never alias.
+    _shared_mapping_cache: Dict[Tuple, Tuple[int, ...]] = {}
+    _shared_schedule_cache: Dict[Tuple, List[Tuple[int, int, float]]] = {}
+    _shared_solver_cache: Dict = {}
+    _shared_power_cache: Dict[SCCConfig, float] = {}
+    _shared_memsys_cache: Dict[Tuple, MemorySystem] = {}
+    _shared_mesh_cache: Dict[Tuple, MeshNetwork] = {}
 
     # -- cached analyses ---------------------------------------------------
 
@@ -443,6 +477,79 @@ class SpMVExperiment:
             )
         return self._trace_cache[n_ues]
 
+    def batched_traces(self, n_ues: int) -> BatchedTraces:
+        """The (cached) columnized form of :meth:`traces` for the fast path."""
+        if n_ues not in self._batch_cache:
+            self._batch_cache[n_ues] = batch_traces(self.traces(n_ues))
+        return self._batch_cache[n_ues]
+
+    def _batched_summaries(self, n_ues, iterations, l2_enabled, no_x_miss):
+        """Memoized batched access summaries (reused across configs that
+        share an L2 switch — e.g. all three frequency presets)."""
+        key = (n_ues, iterations, l2_enabled, no_x_miss)
+        summ = self._summary_cache.get(key)
+        if summ is None:
+            summ = batch_access_summaries(
+                self.batched_traces(n_ues),
+                iterations=iterations,
+                l2_enabled=l2_enabled,
+                no_x_miss=no_x_miss,
+                l2_bytes=L2_BYTES,
+            )
+            self._summary_cache[key] = summ
+        return summ
+
+    def _resolve_mapping(self, mapping: str, n_cores: int) -> Tuple[int, ...]:
+        """Memoized policy-name mapping resolution (pure in its inputs)."""
+        key = (mapping, n_cores, self.topology.__class__)
+        cache = SpMVExperiment._shared_mapping_cache
+        cores = cache.get(key)
+        if cores is None:
+            cores = cache[key] = tuple(get_mapping(mapping)(n_cores, self.topology))
+        return cores
+
+    def _chip_power(self, config: SCCConfig) -> float:
+        """Memoized full-chip power of a configuration."""
+        cache = SpMVExperiment._shared_power_cache
+        p = cache.get(config)
+        if p is None:
+            p = cache[config] = config.full_chip_power()
+        return p
+
+    def _ws_per_core(self, n_cores: int) -> float:
+        """Memoized per-core working set of this matrix."""
+        ws = self._ws_cache.get(n_cores)
+        if ws is None:
+            ws = self._ws_cache[n_cores] = working_set_per_core(self.a, n_cores)
+        return ws
+
+    def _model_memory(self, config: SCCConfig) -> MemorySystem:
+        """Shared untraced memory system for the fast path (stateless reads)."""
+        key = (self.topology.__class__, config.mem_mhz)
+        cache = SpMVExperiment._shared_memsys_cache
+        mem = cache.get(key)
+        if mem is None:
+            mem = cache[key] = MemorySystem(self.topology, mem_mhz=config.mem_mhz)
+        return mem
+
+    def _model_mesh(self, config: SCCConfig) -> MeshNetwork:
+        """Shared untraced, undegraded mesh for the fast path."""
+        key = (self.topology.__class__, config.mesh_mhz)
+        cache = SpMVExperiment._shared_mesh_cache
+        mesh = cache.get(key)
+        if mesh is None:
+            mesh = cache[key] = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz)
+        return mesh
+
+    def _barrier_schedule(self, core_map: List[int], mesh: MeshNetwork):
+        """Memoized resolved barrier schedule for one mapping."""
+        key = (tuple(core_map), mesh.mesh_mhz, self.topology.__class__)
+        cache = SpMVExperiment._shared_schedule_cache
+        sched = cache.get(key)
+        if sched is None:
+            sched = cache[key] = resolve_barrier_schedule(core_map, mesh)
+        return sched
+
     # -- the runner ---------------------------------------------------------
 
     def run(
@@ -456,13 +563,15 @@ class SpMVExperiment:
         x: Optional[np.ndarray] = None,
         time_budget: Optional[float] = None,
         tracer: Optional[Any] = None,
+        mode: str = "sim",
     ) -> ExperimentResult:
         """Execute one configuration and return its result.
 
         ``mapping`` is a policy name from :mod:`repro.core.mapping` or an
         explicit core list (e.g. from ``single_core_at_distance``).
-        ``verify=True`` additionally runs the real kernel on the RCCE
-        runtime and attaches the gathered ``y`` to the result.
+        ``verify=True`` additionally runs the real kernel and attaches
+        ``y`` to the result (on the RCCE runtime in ``sim`` mode; computed
+        directly, outside the timed region, in ``model`` mode).
         ``time_budget`` bounds the run in *simulated* seconds: a job that
         has not finished by then raises
         :class:`~repro.rcce.errors.RCCEBudgetExceededError` — campaigns
@@ -470,11 +579,23 @@ class SpMVExperiment:
         of a hung sweep.  ``tracer`` (a :class:`repro.obs.Tracer`)
         observes the whole stack: runtime spans, mesh counters, memory
         histograms and per-core model summaries.
+
+        ``mode="sim"`` replays the job on the event-driven runtime;
+        ``mode="model"`` computes the identical per-core times in one
+        vectorized pass (:mod:`repro.sparse.fastpath`) and propagates the
+        barrier critical path analytically
+        (:func:`repro.core.timing.barrier_exit_times`) — same numbers to
+        the tolerance stated in ``docs/PERFORMANCE.md``, orders of
+        magnitude faster.  The model times the standard barrier/compute/
+        barrier loop; runtime-only effects (fault injection, per-event
+        tracer spans, the verify gather) exist only in ``sim`` mode.
         """
         if kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if isinstance(mapping, str):
-            core_map = get_mapping(mapping)(n_cores, self.topology)
+            core_map = list(self._resolve_mapping(mapping, n_cores))
             mapping_name = mapping
         else:
             core_map = list(mapping)
@@ -483,6 +604,20 @@ class SpMVExperiment:
                 raise ValueError(
                     f"explicit mapping names {len(core_map)} cores but n_cores={n_cores}"
                 )
+
+        if mode == "model":
+            return self._run_model(
+                n_cores=n_cores,
+                core_map=core_map,
+                mapping_name=mapping_name,
+                config=config,
+                kernel=kernel,
+                iterations=iterations,
+                verify=verify,
+                x=x,
+                time_budget=time_budget,
+                tracer=tracer,
+            )
 
         traces = self.traces(n_cores)
         summaries = [
@@ -527,8 +662,74 @@ class SpMVExperiment:
             iterations=iterations,
             makespan=makespan,
             per_core=timings,
-            power_watts=config.full_chip_power(),
-            ws_per_core_bytes=working_set_per_core(self.a, n_cores),
+            power_watts=self._chip_power(config),
+            ws_per_core_bytes=self._ws_per_core(n_cores),
+            y=y,
+        )
+
+    def _run_model(
+        self,
+        n_cores: int,
+        core_map: List[int],
+        mapping_name: str,
+        config: SCCConfig,
+        kernel: str,
+        iterations: int,
+        verify: bool,
+        x: Optional[np.ndarray],
+        time_budget: Optional[float],
+        tracer: Optional[Any],
+    ) -> ExperimentResult:
+        """The analytic fast path: batched solve + barrier recurrence."""
+        summaries = self._batched_summaries(
+            n_cores, iterations, config.l2_enabled, kernel == "no_x_miss"
+        )
+        mem = self._model_memory(config)
+        timings = solve_core_times_batched(
+            summaries,
+            core_map,
+            config,
+            mem,
+            self.timing,
+            cache=SpMVExperiment._shared_solver_cache,
+        )
+
+        schedule = self._barrier_schedule(core_map, self._model_mesh(config))
+        entered = barrier_exit_times([0.0] * n_cores, core_map, schedule=schedule)
+        computed = [e + t.time for e, t in zip(entered, timings)]
+        exited = barrier_exit_times(computed, core_map, schedule=schedule)
+        makespan = max(exited)
+        if time_budget is not None and makespan > time_budget:
+            stuck = [ue for ue, done in enumerate(exited) if done > time_budget]
+            raise RCCEBudgetExceededError(time_budget, stuck, time_budget)
+
+        y = None
+        if verify:
+            x_vec = x if x is not None else np.ones(self.a.n_cols)
+            kernel_fn = spmv_no_x_miss if kernel == "no_x_miss" else spmv_row_range
+            y = np.concatenate(
+                [kernel_fn(self.a, x_vec, r0, r1) for r0, r1 in self.partition(n_cores).ranges()]
+            )
+        if tracer:
+            for t in timings:
+                m = tracer.metrics
+                m.counter("model.mem_lines", core=t.core).inc(int(t.mem_lines))
+                m.gauge("model.core_time_s", core=t.core).set(t.time)
+                m.histogram("model.mem_stall_fraction").observe(t.mem_stall_fraction)
+
+        return ExperimentResult(
+            matrix_name=self.name,
+            n=self.a.n_rows,
+            nnz=self.a.nnz,
+            n_cores=n_cores,
+            config_name=config.name,
+            mapping=mapping_name,
+            kernel=kernel,
+            iterations=iterations,
+            makespan=makespan,
+            per_core=timings,
+            power_watts=self._chip_power(config),
+            ws_per_core_bytes=self._ws_per_core(n_cores),
             y=y,
         )
 

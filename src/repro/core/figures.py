@@ -9,10 +9,17 @@ benchmark files — makes the reproduction scriptable:
     from repro.core.figures import suite_experiments, fig5_data
     exps = suite_experiments(scale=0.2)
     std, dr = fig5_data(exps)
+
+Figure sweeps default to the analytic fast path
+(``mode="model"``, see ``docs/PERFORMANCE.md``); pass ``mode="sim"`` —
+or ``repro run --exact`` — to replay every point on the event-driven
+runtime instead, and ``workers=N`` to shard a sweep's runs over forked
+worker processes (results are identical either way).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..scc.chip import CONF0, CONF1, CONF2, SCCConfig
@@ -22,9 +29,11 @@ from .comparison import comparison_table
 from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
 from .mapping import single_core_at_distance
 from .metrics import average_gflops, average_mflops_per_watt
+from .parallel import parallel_map
 
 __all__ = [
     "suite_experiments",
+    "run_suite_batch",
     "table1_data",
     "fig3_data",
     "fig5_data",
@@ -33,11 +42,15 @@ __all__ = [
     "fig8_data",
     "fig9_data",
     "fig10_data",
+    "DEFAULT_MODE",
     "FIG5_CORE_COUNTS",
     "FIG6_CORE_COUNTS",
     "FIG7_CORE_COUNTS",
     "FIG9_CORE_COUNTS",
 ]
+
+#: figure sweeps run on the analytic fast path unless told otherwise.
+DEFAULT_MODE = "model"
 
 FIG3_HOPS = [0, 1, 2, 3]
 FIG5_CORE_COUNTS = [1, 2, 4, 8, 16, 24, 32, 48]
@@ -52,12 +65,86 @@ def suite_experiments(
     scale: float = 1.0,
     ids: Optional[Sequence[int]] = None,
 ) -> List[Tuple[int, SpMVExperiment]]:
-    """(matrix id, experiment) pairs over the Table I suite."""
+    """(matrix id, experiment) pairs over the Table I suite.
+
+    Each experiment carries its ``suite_ref`` (matrix id, scale) so
+    worker processes can rebuild it deterministically for parallel
+    sweeps.
+    """
     out = []
     for e in SUITE:
         if ids is not None and e.mid not in ids:
             continue
-        out.append((e.mid, SpMVExperiment(build_matrix(e.mid, scale=scale), name=e.name)))
+        exp = SpMVExperiment(build_matrix(e.mid, scale=scale), name=e.name)
+        exp.suite_ref = (e.mid, scale)
+        out.append((e.mid, exp))
+    return out
+
+
+#: per-worker-process experiment memo for :func:`run_suite_batch`.
+_WORKER_SUITE: Dict[Tuple[int, float], SpMVExperiment] = {}
+
+
+def run_suite_batch(task: Tuple[int, float, str, List[dict]]) -> List[ExperimentResult]:
+    """Pool-worker task: one suite experiment, several runs.
+
+    ``task`` is ``(matrix id, scale, name, [run kwargs, ...])``; the
+    experiment is rebuilt (and memoized) in the worker process and each
+    kwargs dict goes straight to :meth:`SpMVExperiment.run`, results in
+    order.
+    """
+    mid, scale, name, specs = task
+    exp = _WORKER_SUITE.get((mid, scale))
+    if exp is None:
+        exp = _WORKER_SUITE[(mid, scale)] = SpMVExperiment(
+            build_matrix(mid, scale=scale), name=name
+        )
+    return [exp.run(**spec) for spec in specs]
+
+
+def _batch_run(
+    experiments: Experiments,
+    jobs: Sequence[Tuple[int, dict]],
+    mode: str,
+    workers: int,
+) -> List[ExperimentResult]:
+    """Run ``jobs`` — ``(experiment index, run kwargs)`` — preserving order.
+
+    The workhorse behind every ``figN_data``: serial execution runs each
+    job in place; ``workers > 1`` groups the jobs by experiment (one
+    task per matrix, the natural shard — workers then reuse their
+    partition/trace caches across that matrix's runs) and fans the
+    groups out via :func:`repro.core.parallel.parallel_map`.  Results
+    come back aligned with ``jobs`` and identical to serial execution.
+    Experiments lacking a ``suite_ref`` (built outside
+    :func:`suite_experiments`) cannot be rebuilt in a worker; they fall
+    back to serial with a warning.
+    """
+    if workers > 1 and any(
+        experiments[i][1].suite_ref is None for i, _kw in jobs
+    ):
+        warnings.warn(
+            "parallel figure sweep needs experiments from "
+            "suite_experiments() (suite_ref is unset); running serially",
+            stacklevel=3,
+        )
+        workers = 1
+    if workers <= 1:
+        return [experiments[i][1].run(mode=mode, **kw) for i, kw in jobs]
+    by_exp: Dict[int, List[int]] = {}
+    for j, (i, _kw) in enumerate(jobs):
+        by_exp.setdefault(i, []).append(j)
+    tasks = []
+    for i, job_ids in by_exp.items():
+        _mid, exp = experiments[i]
+        mid, scale = exp.suite_ref  # type: ignore[misc]
+        tasks.append(
+            (mid, scale, exp.name, [dict(jobs[j][1], mode=mode) for j in job_ids])
+        )
+    out: List[ExperimentResult] = [None] * len(jobs)  # type: ignore[list-item]
+    for job_ids, batch in zip(by_exp.values(), parallel_map(run_suite_batch, tasks, workers)):
+        for j, result in zip(job_ids, batch):
+            out[j] = result
     return out
 
 
@@ -84,14 +171,20 @@ def table1_data(experiments: Experiments) -> List[dict]:
 def fig3_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> Dict[int, float]:
     """Suite-average MFLOPS/s of one core at each hop distance."""
-    perf: Dict[int, List[ExperimentResult]] = {h: [] for h in FIG3_HOPS}
-    for _mid, exp in experiments:
+    jobs, hops = [], []
+    for i, _ in enumerate(experiments):
         for h in FIG3_HOPS:
-            perf[h].append(
-                exp.run(n_cores=1, mapping=single_core_at_distance(h), iterations=iterations)
+            jobs.append(
+                (i, dict(n_cores=1, mapping=single_core_at_distance(h), iterations=iterations))
             )
+            hops.append(h)
+    perf: Dict[int, List[ExperimentResult]] = {h: [] for h in FIG3_HOPS}
+    for h, r in zip(hops, _batch_run(experiments, jobs, mode, workers)):
+        perf[h].append(r)
     return {h: average_gflops(rs) * 1000 for h, rs in perf.items()}
 
 
@@ -99,16 +192,20 @@ def fig5_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG5_CORE_COUNTS),
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> Tuple[List[float], List[float]]:
     """(standard, distance-reduction) suite-average MFLOPS/s per count."""
-    std = {n: [] for n in core_counts}
-    dr = {n: [] for n in core_counts}
-    for _mid, exp in experiments:
+    jobs, slots = [], []
+    std: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
+    dr: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
+    for i, _ in enumerate(experiments):
         for n in core_counts:
-            std[n].append(exp.run(n_cores=n, mapping="standard", iterations=iterations))
-            dr[n].append(
-                exp.run(n_cores=n, mapping="distance_reduction", iterations=iterations)
-            )
+            for mapping, dest in (("standard", std), ("distance_reduction", dr)):
+                jobs.append((i, dict(n_cores=n, mapping=mapping, iterations=iterations)))
+                slots.append(dest[n])
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+        dest.append(r)
     return (
         [average_gflops(std[n]) * 1000 for n in core_counts],
         [average_gflops(dr[n]) * 1000 for n in core_counts],
@@ -119,13 +216,21 @@ def fig6_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> List[dict]:
     """Per-matrix performance and per-core working set at each count."""
+    jobs = [
+        (i, dict(n_cores=n, iterations=iterations))
+        for i, _ in enumerate(experiments)
+        for n in core_counts
+    ]
+    results = iter(_batch_run(experiments, jobs, mode, workers))
     rows = []
     for mid, exp in experiments:
         row: dict = {"id": mid, "name": exp.name}
         for n in core_counts:
-            r = exp.run(n_cores=n, iterations=iterations)
+            r = next(results)
             row[f"MFLOPS@{n}"] = r.mflops
             row[f"wsKB/core@{n}"] = r.ws_per_core_bytes / 1024
         rows.append(row)
@@ -136,15 +241,22 @@ def fig7_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG7_CORE_COUNTS),
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> Tuple[Dict[int, List[ExperimentResult]], Dict[int, List[ExperimentResult]]]:
     """Per-count result lists with L2 enabled and disabled."""
     no_l2 = CONF0.with_l2(False)
     with_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
     without_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
-    for _mid, exp in experiments:
+    jobs, slots = [], []
+    for i, _ in enumerate(experiments):
         for n in core_counts:
-            with_l2[n].append(exp.run(n_cores=n, iterations=iterations))
-            without_l2[n].append(exp.run(n_cores=n, config=no_l2, iterations=iterations))
+            jobs.append((i, dict(n_cores=n, iterations=iterations)))
+            slots.append(with_l2[n])
+            jobs.append((i, dict(n_cores=n, config=no_l2, iterations=iterations)))
+            slots.append(without_l2[n])
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+        dest.append(r)
     return with_l2, without_l2
 
 
@@ -152,14 +264,22 @@ def fig8_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> List[dict]:
     """Per-matrix no-x-miss speedups at each core count."""
+    jobs = []
+    for i, _ in enumerate(experiments):
+        for n in core_counts:
+            jobs.append((i, dict(n_cores=n, iterations=iterations)))
+            jobs.append((i, dict(n_cores=n, kernel="no_x_miss", iterations=iterations)))
+    results = iter(_batch_run(experiments, jobs, mode, workers))
     rows = []
     for mid, exp in experiments:
         row: dict = {"id": mid, "name": exp.name}
         for n in core_counts:
-            base = exp.run(n_cores=n, iterations=iterations)
-            nox = exp.run(n_cores=n, kernel="no_x_miss", iterations=iterations)
+            base = next(results)
+            nox = next(results)
             row[f"speedup@{n}"] = base.makespan / nox.makespan
             row[f"MFLOPS@{n}"] = base.mflops
         rows.append(row)
@@ -171,17 +291,21 @@ def fig9_data(
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG9_CORE_COUNTS),
     configs: Sequence[SCCConfig] = (CONF0, CONF1, CONF2),
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> Dict[str, Dict[int, List[ExperimentResult]]]:
     """Per-config, per-count result lists."""
     results: Dict[str, Dict[int, List[ExperimentResult]]] = {
         cfg.name: {n: [] for n in core_counts} for cfg in configs
     }
-    for _mid, exp in experiments:
+    jobs, slots = [], []
+    for i, _ in enumerate(experiments):
         for cfg in configs:
             for n in core_counts:
-                results[cfg.name][n].append(
-                    exp.run(n_cores=n, config=cfg, iterations=iterations)
-                )
+                jobs.append((i, dict(n_cores=n, config=cfg, iterations=iterations)))
+                slots.append(results[cfg.name][n])
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+        dest.append(r)
     return results
 
 
@@ -204,12 +328,16 @@ def fig9_summary(
 def fig10_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
+    mode: str = DEFAULT_MODE,
+    workers: int = 1,
 ) -> List[dict]:
     """The Fig. 10 comparison table with measured SCC entries."""
-    scc0, scc1 = [], []
-    for _mid, exp in experiments:
-        scc0.append(exp.run(n_cores=48, config=CONF0, iterations=iterations))
-        scc1.append(exp.run(n_cores=48, config=CONF1, iterations=iterations))
+    jobs = []
+    for i, _ in enumerate(experiments):
+        jobs.append((i, dict(n_cores=48, config=CONF0, iterations=iterations)))
+        jobs.append((i, dict(n_cores=48, config=CONF1, iterations=iterations)))
+    results = _batch_run(experiments, jobs, mode, workers)
+    scc0, scc1 = results[0::2], results[1::2]
     return comparison_table(
         {
             "SCC conf0": (average_gflops(scc0), CONF0.full_chip_power()),

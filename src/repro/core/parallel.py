@@ -1,0 +1,144 @@
+"""Process-pool execution primitives for campaigns and figure sweeps.
+
+The paper's artifacts are embarrassingly parallel across grid points —
+every (matrix, cores, config, mapping, kernel) point is an independent
+deterministic computation — so the only work this module does is
+*sharding without changing the answers*:
+
+- results come back in **submission order**, whatever order workers
+  finish in, so a parallel sweep appends records byte-identical to the
+  serial one (``tests/test_golden.py`` pins this);
+- the pool uses the ``fork`` start method — workers inherit the parent's
+  loaded suite/caches for free and task functions only need picklable
+  *arguments*.  Platforms without ``fork`` (Windows, some macOS
+  configurations) degrade gracefully to the serial path with a warning;
+- a worker that dies mid-task (OOM-killed, segfault, the deterministic
+  :data:`CRASH_ENV` test hook) surfaces as :class:`CampaignWorkerCrash`
+  *after* every already-finished in-order result has been handed to the
+  caller, so a crashed campaign keeps its completed prefix on disk and
+  resume reruns exactly the remainder — no duplicates, no gaps.
+
+Task functions must be module-level (picklable) and take one argument;
+bind fixed context with :func:`functools.partial`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "CRASH_ENV",
+    "CampaignWorkerCrash",
+    "available_parallelism",
+    "fork_context",
+    "in_worker",
+    "iter_ordered",
+    "parallel_map",
+]
+
+#: environment variable for deterministic worker-crash injection: set it
+#: to a task's identity string (a :meth:`CampaignPoint.key`) and the
+#: worker that picks that task up dies with ``os._exit`` before running
+#: it — the same abrupt death a kernel OOM kill produces.  Only honoured
+#: inside pool workers, never in the parent process.
+CRASH_ENV = "REPRO_FAULT_WORKER_CRASH"
+
+
+class CampaignWorkerCrash(RuntimeError):
+    """A pool worker died abruptly; completed prefix already delivered.
+
+    ``done`` results were yielded (and, for campaigns, persisted) before
+    the crash; ``remaining`` tasks were never handed out or were lost
+    with the pool.  Rerunning the same sweep resumes the remainder.
+    """
+
+    def __init__(self, done: int, remaining: int) -> None:
+        self.done = done
+        self.remaining = remaining
+        super().__init__(
+            f"worker process died abruptly after {done} completed task(s); "
+            f"{remaining} task(s) not run — rerun to resume the remainder"
+        )
+
+
+def fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` start-method context, or None where unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        return None
+
+
+def in_worker() -> bool:
+    """True when running inside a multiprocessing child process."""
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_crash(identity: str) -> None:
+    """Die abruptly if :data:`CRASH_ENV` names this task (workers only).
+
+    ``os._exit`` skips every handler and finalizer — the parent sees the
+    same broken pipe a SIGKILL would produce, which is exactly what the
+    crash-resume tests need to exercise.
+    """
+    if os.environ.get(CRASH_ENV) == identity and in_worker():
+        os._exit(17)
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+_T = TypeVar("_T")
+
+
+def iter_ordered(
+    func: Callable[[_T], Any],
+    items: Iterable[_T],
+    workers: int,
+) -> Iterator[Tuple[_T, Any]]:
+    """Yield ``(item, func(item))`` in submission order, ``workers`` wide.
+
+    ``workers <= 1``, a single item, or a platform without ``fork`` all
+    take the in-process serial path (the latter with a warning), so
+    callers never need their own fallback.  On an abrupt worker death
+    the already-completed in-order prefix is yielded first, then
+    :class:`CampaignWorkerCrash` is raised.
+    """
+    items = list(items)
+    ctx = fork_context() if workers > 1 and len(items) > 1 else None
+    if workers > 1 and len(items) > 1 and ctx is None:  # pragma: no cover
+        warnings.warn(
+            "multiprocessing 'fork' start method unavailable on this "
+            "platform; running serially",
+            stacklevel=2,
+        )
+    if ctx is None:
+        for item in items:
+            yield item, func(item)
+        return
+    n_workers = min(workers, len(items), available_parallelism())
+    done = 0
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+        futures = [pool.submit(func, item) for item in items]
+        try:
+            for item, fut in zip(items, futures):
+                yield item, fut.result()
+                done += 1
+        except BrokenProcessPool as exc:
+            raise CampaignWorkerCrash(done, len(items) - done) from exc
+
+
+def parallel_map(
+    func: Callable[[_T], Any],
+    items: Iterable[_T],
+    workers: int,
+) -> List[Any]:
+    """Order-preserving map over a worker pool (serial when ``workers<=1``)."""
+    return [result for _item, result in iter_ordered(func, items, workers)]

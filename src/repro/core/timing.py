@@ -21,20 +21,50 @@ bisection; each core then sees ``max(T*, latency_c)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from functools import lru_cache
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..rcce.mpb import chunked_transfer_time
 from ..scc.chip import SCCConfig
 from ..scc.core_model import AccessSummary, core_time
 from ..scc.memory import MemorySystem
-from ..scc.params import DEFAULT_TIMING, P54CTimingParams
+from ..scc.params import (
+    DEFAULT_TIMING,
+    LAT_CORE_CYCLES,
+    LAT_MEM_CYCLES,
+    LAT_MESH_CYCLES_PER_HOP,
+    P54CTimingParams,
+)
+from ..sparse.fastpath import (
+    BatchedSummaries,
+    base_compute_times,
+    equilibrium_line_times,
+    memory_latencies,
+)
 
-__all__ = ["CoreTiming", "solve_core_times"]
+__all__ = [
+    "CoreTiming",
+    "solve_core_times",
+    "solve_core_times_batched",
+    "barrier_schedule",
+    "resolve_barrier_schedule",
+    "barrier_exit_times",
+]
+
+#: every collective payload in the barrier is one Python int (8 bytes on
+#: the wire, matching :func:`repro.rcce.api.payload_bytes`).
+BARRIER_TOKEN_BYTES = 8
 
 
-@dataclass(frozen=True)
-class CoreTiming:
-    """Solved execution time of one UE on one core."""
+class CoreTiming(NamedTuple):
+    """Solved execution time of one UE on one core.
+
+    A ``NamedTuple`` rather than a dataclass: sweeps materialize one per
+    UE per run, and tuple construction keeps the fast path fast.  The
+    field API (and field order) is unchanged.
+    """
 
     ue: int
     core: int
@@ -140,3 +170,179 @@ def solve_core_times(
         CoreTiming(ue=i, core=c, time=t, line_time=lt, mem_lines=m)
         for i, (c, t, lt, m) in enumerate(zip(cores, times, line_time, mem_lines))
     ]
+
+
+def _chip_arrays(
+    core_map: Sequence[int],
+    config: SCCConfig,
+    mem: MemorySystem,
+    cache: Optional[Dict] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float], List[Tuple]]:
+    """(freqs, latencies, mc_index, capacities, groups) for one mapping+config.
+
+    ``groups`` pairs each occupied controller's member indices with its
+    line capacity, precomputed for
+    :func:`repro.sparse.fastpath.equilibrium_line_times`.  All five are
+    pure functions of the mapping, the config and the memory geometry —
+    the expensive per-core topology lookups are memoized in ``cache``
+    (keyed so distinct configs/mappings never collide) when callers
+    sweep many runs.
+    """
+    key = (tuple(core_map), config, mem.line_bytes)
+    if cache is not None and key in cache:
+        return cache[key]
+    cores = list(core_map)
+    topo = mem.topology
+    freqs = np.array([config.core_mhz_of_core(c) for c in cores], dtype=np.float64)
+    hops = np.array([topo.hops_to_mc(c) for c in cores], dtype=np.float64)
+    mc_index = np.array([topo.mc_index_of_core(c) for c in cores], dtype=np.int64)
+    capacities = [mc.bandwidth / mem.line_bytes for mc in mem.controllers]
+    latencies = memory_latencies(
+        hops,
+        freqs,
+        config.mesh_mhz,
+        mem.mem_mhz,
+        LAT_CORE_CYCLES,
+        LAT_MESH_CYCLES_PER_HOP,
+        LAT_MEM_CYCLES,
+    )
+    by_mc: Dict[int, List[int]] = {}
+    for i, mc_i in enumerate(mc_index.tolist()):
+        by_mc.setdefault(mc_i, []).append(i)
+    groups = [(idx, float(capacities[mc_i])) for mc_i, idx in by_mc.items()]
+    out = (freqs, latencies, mc_index, capacities, groups)
+    if cache is not None:
+        cache[key] = out
+    return out
+
+
+def solve_core_times_batched(
+    batch: BatchedSummaries,
+    core_map: Sequence[int],
+    config: SCCConfig,
+    mem: MemorySystem,
+    timing: P54CTimingParams = DEFAULT_TIMING,
+    cache: Optional[Dict] = None,
+) -> List[CoreTiming]:
+    """Vectorized :func:`solve_core_times` over batched access summaries.
+
+    Same demand model, same per-controller equilibrium, but the per-core
+    arithmetic runs as array expressions (:mod:`repro.sparse.fastpath`)
+    instead of a Python loop per UE.  The scalar and batched solvers
+    agree bitwise (the differential tests pin the whole fast path against
+    the simulator).  ``cache`` memoizes the mapping/config-derived arrays
+    across calls; pass a dict owned by the sweep.
+    """
+    if batch.n_ues != len(core_map):
+        raise ValueError(
+            f"{batch.n_ues} summaries for {len(core_map)} cores — must match"
+        )
+    if mem.mem_mhz != config.mem_mhz:
+        raise ValueError(
+            f"memory system clocked at {mem.mem_mhz} MHz but config says {config.mem_mhz}"
+        )
+    freqs, latencies, mc_index, capacities, groups = _chip_arrays(
+        core_map, config, mem, cache
+    )
+    base_times = base_compute_times(batch, freqs, timing)
+    mem_lines = batch.l2_misses.astype(np.float64)
+    line_time = equilibrium_line_times(
+        base_times, mem_lines, latencies, mc_index, capacities, groups=groups
+    )
+    times = base_times + mem_lines * line_time
+    return [
+        CoreTiming(ue=i, core=c, time=t, line_time=lt, mem_lines=m)
+        for i, (c, t, lt, m) in enumerate(
+            zip(core_map, times.tolist(), line_time.tolist(), mem_lines.tolist())
+        )
+    ]
+
+
+@lru_cache(maxsize=None)
+def barrier_schedule(n: int) -> Tuple[Tuple[int, int], ...]:
+    """The (sender, receiver) rank pairs of one barrier, in execution order.
+
+    A barrier is a binomial reduce to rank 0 followed by a binomial bcast
+    (:mod:`repro.rcce.collectives`); which ranks exchange, and in what
+    order, depends only on the UE count.  The reduce phase walks masks
+    upward (each rank sends once, at its lowest set bit); the bcast phase
+    is the root's depth-first fan-out in decreasing mask order.  Any
+    sequentialization that respects each rank's own exchange order yields
+    the same critical path, since an exchange touches only its two ranks.
+    """
+    pairs: List[Tuple[int, int]] = []
+    mask = 1
+    while mask < n:
+        for rel in range(mask, n, 2 * mask):
+            # rel = (2k+1)*mask, so its lowest set bit is exactly `mask`.
+            pairs.append((rel, rel & ~mask))
+        mask <<= 1
+
+    top = 1
+    while top < n:
+        top <<= 1
+    top >>= 1
+
+    def fan(rel: int, start_mask: int) -> None:
+        m = start_mask
+        while m > 0:
+            child = rel + m
+            if child < n:
+                pairs.append((rel, child))
+                fan(child, m >> 1)
+            m >>= 1
+
+    fan(0, top)
+    return tuple(pairs)
+
+
+def resolve_barrier_schedule(
+    core_map: Sequence[int], mesh
+) -> List[Tuple[int, int, float]]:
+    """:func:`barrier_schedule` with each pair's token transfer time.
+
+    Returns ``(sender, receiver, seconds)`` triples; callers sweeping
+    many runs over a fixed mapping cache the result.
+    """
+    cores = list(core_map)
+    return [
+        (s, r, chunked_transfer_time(mesh, cores[s], cores[r], BARRIER_TOKEN_BYTES))
+        for s, r in barrier_schedule(len(cores))
+    ]
+
+
+def barrier_exit_times(
+    entry_times: Sequence[float],
+    core_map: Sequence[int],
+    mesh=None,
+    schedule: Optional[Sequence[Tuple[int, int, float]]] = None,
+) -> List[float]:
+    """When each UE leaves an RCCE barrier entered at ``entry_times``.
+
+    Propagates the critical path of the barrier's binomial reduce+bcast
+    analytically.  Every exchange is a rendezvous of one 8-byte token:
+    with the sender arriving at ``t_s`` and the receiver at ``t_r``,
+    both resume at ``max(t_s + transfer, t_r)`` — exactly the
+    simulator's send/ack semantics — so this recurrence reproduces the
+    event-driven barrier timing without scheduling a single event.
+
+    Pass a precomputed ``schedule`` (:func:`resolve_barrier_schedule`)
+    to amortize transfer-time lookups across runs; otherwise ``mesh``
+    is required and the schedule is resolved on the fly.
+    """
+    n = len(entry_times)
+    if n != len(core_map):
+        raise ValueError(f"{n} entry times for {len(core_map)} cores — must match")
+    t = [float(v) for v in entry_times]
+    if n <= 1:
+        return t
+    if schedule is None:
+        if mesh is None:
+            raise ValueError("barrier_exit_times needs a mesh or a resolved schedule")
+        schedule = resolve_barrier_schedule(core_map, mesh)
+    for s, r, tt in schedule:
+        done = t[s] + tt
+        if t[r] > done:
+            done = t[r]
+        t[s] = t[r] = done
+    return t

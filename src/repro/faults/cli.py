@@ -66,6 +66,12 @@ def configure_faults_parser(p: argparse.ArgumentParser) -> None:
         help="simulated-time budget per run in seconds (default 10.0)",
     )
     p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the matrices over (default 1 = serial)",
+    )
+    p.add_argument(
         "--repair",
         type=str,
         default="",
@@ -77,6 +83,33 @@ def configure_faults_parser(p: argparse.ArgumentParser) -> None:
     )
     add_json_flag(p)
     add_output_flag(p)
+
+
+def _fault_run_task(opts: tuple, mid: int) -> dict:
+    """One fault-tolerant run (module-level so worker pools can pickle it)."""
+    plan, cores, scale, iterations, budget = opts
+    from ..core.experiment import SpMVExperiment
+    from ..sparse.suite import build_matrix, entry_by_id
+
+    entry = entry_by_id(mid)
+    exp = SpMVExperiment(build_matrix(mid, scale=scale), name=entry.name)
+    result = exp.run_fault_tolerant(
+        n_cores=cores, plan=plan, iterations=iterations, time_budget=budget
+    )
+    c = result.counters
+    return {
+        "matrix": result.matrix_name,
+        "cores": result.n_cores,
+        "plan": f"{result.plan_name}/{result.plan_seed}",
+        "makespan_s": result.makespan,
+        "mflops": result.mflops,
+        "drops": c.get("drop", 0),
+        "corrupt": c.get("corrupt", 0),
+        "retries": c.get("retries", 0),
+        "deaths": len(result.failed_ues),
+        "repartitions": c.get("repartitions", 0),
+        "verified": result.verified,
+    }
 
 
 def build_faults_parser() -> argparse.ArgumentParser:
@@ -152,9 +185,10 @@ def run_faults(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
             return _repair(args.repair, fmt, stream)
 
         # Heavy imports deferred so --list-plans / --repair stay snappy.
+        from functools import partial
+
+        from ..core.parallel import parallel_map
         from ..core.report import banner, format_table
-        from ..core.experiment import SpMVExperiment
-        from ..sparse.suite import build_matrix, entry_by_id
 
         try:
             plan = load_plan(args.plan)
@@ -166,6 +200,9 @@ def run_faults(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
             raise SystemExit(f"--cores must be >= 1, got {args.cores}")
         if not 0 < args.scale <= 1.0:
             raise SystemExit(f"--scale must be in (0, 1], got {args.scale}")
+        workers = getattr(args, "workers", 1)
+        if workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {workers}")
         try:
             ids = [int(tok) for tok in args.ids.split(",") if tok.strip()]
         except ValueError as exc:
@@ -173,34 +210,11 @@ def run_faults(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
         if not ids:
             raise SystemExit("no matrices selected; check --ids")
 
-        rows = []
-        all_verified = True
-        for mid in ids:
-            entry = entry_by_id(mid)
-            exp = SpMVExperiment(build_matrix(mid, scale=args.scale), name=entry.name)
-            result = exp.run_fault_tolerant(
-                n_cores=args.cores,
-                plan=plan,
-                iterations=args.iterations,
-                time_budget=args.budget,
-            )
-            all_verified &= result.verified
-            c = result.counters
-            rows.append(
-                {
-                    "matrix": result.matrix_name,
-                    "cores": result.n_cores,
-                    "plan": f"{result.plan_name}/{result.plan_seed}",
-                    "makespan_s": result.makespan,
-                    "mflops": result.mflops,
-                    "drops": c.get("drop", 0),
-                    "corrupt": c.get("corrupt", 0),
-                    "retries": c.get("retries", 0),
-                    "deaths": len(result.failed_ues),
-                    "repartitions": c.get("repartitions", 0),
-                    "verified": "yes" if result.verified else "NO",
-                }
-            )
+        opts = (plan, args.cores, args.scale, args.iterations, args.budget)
+        rows = parallel_map(partial(_fault_run_task, opts), ids, workers)
+        all_verified = all(row["verified"] for row in rows)
+        for row in rows:
+            row["verified"] = "yes" if row["verified"] else "NO"
 
         if fmt == "json":
             print(json.dumps(rows), file=stream)

@@ -23,7 +23,7 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_flat_summaries
 from .schema import validate_chrome_trace
 from .tracer import NULL_TRACER, NullTracer, TID_SCHED, TID_SIM, TraceEvent, Tracer
 
@@ -38,6 +38,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_flat_summaries",
     "to_chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",

@@ -8,13 +8,18 @@ runs with the same arguments produce byte-identical exports.
 
 ``bench snapshot`` records the model's throughput plus the tracer's
 wall-clock overhead to ``BENCH_spmv.json`` so perf regressions in the
-observability layer are visible in review.
+observability layer are visible in review; wall-clock numbers are
+medians of warmed repeats so the snapshot reports overhead, not noise.
+``bench gate`` re-measures the *simulated* throughput (deterministic,
+CI-stable) and fails when it regressed more than ``--max-regression``
+against a committed baseline snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import time
 from typing import Optional, TextIO
 
@@ -93,6 +98,12 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return p
 
 
+#: experiment memo for repeated timing runs — rebuilding the matrix per
+#: repeat would swamp the timed region with construction cost and turn
+#: ``tracer_overhead_pct`` into scheduler noise.
+_BENCH_EXPERIMENTS: dict = {}
+
+
 def _traced_run(args: argparse.Namespace, tracer: Optional[Tracer]):
     from ..core.experiment import SpMVExperiment
     from ..sparse.suite import build_matrix, entry_by_id
@@ -107,13 +118,20 @@ def _traced_run(args: argparse.Namespace, tracer: Optional[Tracer]):
         entry = entry_by_id(args.matrix_id)
     except KeyError as exc:
         raise SystemExit(f"repro trace: {exc}") from exc
-    exp = SpMVExperiment(build_matrix(args.matrix_id, scale=args.scale), name=entry.name)
+    exp = _BENCH_EXPERIMENTS.get((args.matrix_id, args.scale))
+    if exp is None:
+        exp = _BENCH_EXPERIMENTS[(args.matrix_id, args.scale)] = SpMVExperiment(
+            build_matrix(args.matrix_id, scale=args.scale), name=entry.name
+        )
     result = exp.run(
         n_cores=args.cores,
         mapping=args.mapping,
         kernel=args.kernel,
         iterations=args.iterations,
         tracer=tracer,
+        # ``repro trace`` has no --mode: trace events only exist on the
+        # event-driven path, so it always runs ``sim``.
+        mode=getattr(args, "mode", "sim"),
     )
     return result
 
@@ -149,8 +167,10 @@ def configure_bench_parser(p: argparse.ArgumentParser) -> None:
     """Add the ``repro bench`` arguments to an existing parser."""
     p.add_argument(
         "action",
-        choices=("snapshot",),
-        help="'snapshot' measures model throughput and tracer overhead",
+        choices=("snapshot", "gate"),
+        help="'snapshot' measures model throughput and tracer overhead; "
+        "'gate' compares a fresh measurement against --baseline and "
+        "exits non-zero on regression",
     )
     p.add_argument(
         "--matrix-id",
@@ -182,8 +202,35 @@ def configure_bench_parser(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--repeats",
         type=int,
-        default=3,
-        help="wall-clock reps per variant; the minimum is reported (default 3)",
+        default=5,
+        help="wall-clock reps per variant after one untimed warmup; the "
+        "median is reported (default 5, min 5 enforced)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("sim", "model"),
+        default="model",
+        help="timing path to benchmark: the analytic fast path (model, "
+        "default) or the event-driven simulator (sim)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep measurement (default 1)",
+    )
+    p.add_argument(
+        "--baseline",
+        type=str,
+        default="BENCH_spmv.json",
+        help="baseline snapshot for 'gate' (default BENCH_spmv.json)",
+    )
+    p.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="'gate' fails when model throughput drops by more than this "
+        "fraction vs the baseline (default 0.30)",
     )
     add_json_flag(p)
     add_output_flag(p)
@@ -198,34 +245,122 @@ def build_bench_parser() -> argparse.ArgumentParser:
     return p
 
 
+#: core counts of the snapshot's sweep measurement.
+BENCH_SWEEP_COUNTS = (1, 2, 4, 8)
+
+
 def _time_run(args: argparse.Namespace, traced: bool) -> float:
-    """Best-of-N wall-clock seconds of one experiment run."""
-    best = float("inf")
-    for _ in range(max(1, args.repeats)):
-        tracer = Tracer() if traced else None
+    """Median-of-N wall-clock seconds of one experiment run.
+
+    One untimed warmup populates every cache (matrix build, partition,
+    traces, fast-path schedules) before the timed repeats, and the
+    median of at least five repeats is reported — without both, the
+    first-run build cost and scheduler noise used to show up as bogus
+    tracer overhead in the snapshot.
+    """
+    repeats = max(5, args.repeats)
+    t0 = time.perf_counter()
+    _traced_run(args, Tracer() if traced else None)  # warmup, untimed
+    warm_s = time.perf_counter() - t0
+    # timeit-style batching: sub-millisecond runs are timed in batches
+    # so one sample spans >= ~5 ms and scheduler jitter averages out.
+    # A fresh tracer per run keeps every batched run's work identical.
+    batch = max(1, min(200, int(0.005 / max(warm_s, 1e-6))))
+    samples = []
+    for _ in range(repeats):
         t0 = time.perf_counter()
-        _traced_run(args, tracer)
-        best = min(best, time.perf_counter() - t0)
-    return best
+        for _ in range(batch):
+            _traced_run(args, Tracer() if traced else None)
+        samples.append((time.perf_counter() - t0) / batch)
+    return statistics.median(samples)
 
 
-def run_bench(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
-    """Execute ``repro bench``; writes the snapshot JSON."""
+def _time_sweep(args: argparse.Namespace) -> float:
+    """Wall-clock seconds of a core-count sweep sharded over --workers."""
+    from ..core.figures import run_suite_batch
+    from ..core.parallel import parallel_map
+    from ..sparse.suite import entry_by_id
+
+    name = entry_by_id(args.matrix_id).name
+    spec = dict(
+        mapping=args.mapping,
+        kernel=args.kernel,
+        iterations=args.iterations,
+        mode=args.mode,
+    )
+    tasks = [
+        (args.matrix_id, args.scale, name, [dict(spec, n_cores=n)])
+        for n in BENCH_SWEEP_COUNTS
+    ]
+    parallel_map(run_suite_batch, tasks, args.workers)  # warmup
+    t0 = time.perf_counter()
+    parallel_map(run_suite_batch, tasks, args.workers)
+    return time.perf_counter() - t0
+
+
+def _measure_snapshot(args: argparse.Namespace) -> dict:
+    """The full ``bench snapshot`` measurement as a dict."""
     result = _traced_run(args, None)
     untraced_s = _time_run(args, traced=False)
     traced_s = _time_run(args, traced=True)
-    snapshot = {
+    return {
         "benchmark": "spmv_model",
         "matrix": result.matrix_name,
         "n_cores": result.n_cores,
         "iterations": result.iterations,
         "scale": args.scale,
+        "mode": args.mode,
+        "workers": args.workers,
         "model_makespan_s": result.makespan,
         "model_mflops": result.mflops,
         "wallclock_untraced_s": untraced_s,
         "wallclock_traced_s": traced_s,
         "tracer_overhead_pct": 100.0 * (traced_s - untraced_s) / untraced_s,
+        "sweep_core_counts": list(BENCH_SWEEP_COUNTS),
+        "sweep_wallclock_s": _time_sweep(args),
     }
+
+
+def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
+    """``bench gate``: fail on model-throughput regression vs baseline.
+
+    The compared quantity is ``model_mflops`` — *simulated* throughput,
+    which is deterministic for fixed arguments — so the gate is immune
+    to CI machine noise: it only trips when a model change shifted the
+    numbers without the baseline being regenerated in the same commit.
+    """
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"repro bench gate: cannot read baseline: {exc}") from exc
+    snapshot = _measure_snapshot(args)
+    base_mflops = float(baseline.get("model_mflops", 0.0))
+    fresh_mflops = snapshot["model_mflops"]
+    regression = (base_mflops - fresh_mflops) / base_mflops if base_mflops else 0.0
+    verdict = {
+        "baseline": args.baseline,
+        "baseline_mflops": base_mflops,
+        "measured_mflops": fresh_mflops,
+        "regression_pct": 100.0 * regression,
+        "max_regression_pct": 100.0 * args.max_regression,
+        "status": "fail" if regression > args.max_regression else "ok",
+        "snapshot": snapshot,
+    }
+    if not getattr(args, "output", ""):
+        args.output = "BENCH_gate.json"
+    with open_output(args, out) as stream:
+        stream.write(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+    return 1 if verdict["status"] == "fail" else 0
+
+
+def run_bench(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro bench``; writes the snapshot (or gate verdict) JSON."""
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.action == "gate":
+        return _run_gate(args, out)
+    snapshot = _measure_snapshot(args)
     if not getattr(args, "output", ""):
         args.output = "BENCH_spmv.json"
     with open_output(args, out) as stream:

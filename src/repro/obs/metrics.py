@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "metric_key",
+    "merge_flat_summaries",
 ]
 
 #: default histogram bounds: decades from 1 ns to 1000 s, which brackets
@@ -219,3 +220,42 @@ class MetricsRegistry:
             else:
                 out[key] = metric.summary()
         return out
+
+
+def merge_flat_summaries(
+    summaries: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Combine per-point :meth:`MetricsRegistry.flat_summary` dicts.
+
+    Campaigns record one flat summary per point — whichever process ran
+    it — and this folds them into one campaign-wide view: numeric values
+    (counters and gauges) are summed as totals, histogram summaries are
+    merged exactly (count-weighted mean, global min/max; empty summaries
+    are skipped so they cannot drag min/max to zero).  Keys are sorted,
+    so merging the same records always yields the same dict.
+    """
+    merged: Dict[str, object] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            if isinstance(value, dict):
+                if not value.get("count", 0):
+                    merged.setdefault(
+                        key, {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+                    )
+                    continue
+                cur = merged.get(key)
+                if not isinstance(cur, dict) or not cur.get("count", 0):
+                    merged[key] = dict(value)
+                    continue
+                count = cur["count"] + value["count"]
+                merged[key] = {
+                    "count": count,
+                    "mean": (
+                        cur["mean"] * cur["count"] + value["mean"] * value["count"]
+                    ) / count,
+                    "min": min(cur["min"], value["min"]),
+                    "max": max(cur["max"], value["max"]),
+                }
+            else:
+                merged[key] = float(merged.get(key, 0.0)) + float(value)  # type: ignore[arg-type]
+    return dict(sorted(merged.items()))

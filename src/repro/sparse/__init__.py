@@ -11,9 +11,16 @@
 - :mod:`~repro.sparse.bcsr` — register-blocked BCSR format.
 - :mod:`~repro.sparse.reorder` — Cuthill-McKee locality reordering.
 - :mod:`~repro.sparse.ell` — ELL/HYB (the Fig. 10 GPUs' format).
+- :mod:`~repro.sparse.fastpath` — vectorized analytic timing batch ops.
 """
 
 from .bcsr import BCSRMatrix, bcsr_traffic_bytes, csr_traffic_bytes
+from .fastpath import (
+    BatchedSummaries,
+    BatchedTraces,
+    batch_access_summaries,
+    batch_traces,
+)
 from .coo import COOMatrix
 from .csr import CSRMatrix
 from .ell import ELLMatrix, ell_efficiency
@@ -47,6 +54,10 @@ from .stats import (
 from .suite import SUITE, SuiteEntry, build_matrix, entry_by_id, iter_suite, suite_table
 
 __all__ = [
+    "BatchedSummaries",
+    "BatchedTraces",
+    "batch_access_summaries",
+    "batch_traces",
     "BCSRMatrix",
     "bcsr_traffic_bytes",
     "csr_traffic_bytes",

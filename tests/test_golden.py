@@ -12,14 +12,18 @@ the same commit and note the change in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from repro.core import SpMVExperiment, single_core_at_distance
+from repro.core import Campaign, SpMVExperiment, single_core_at_distance
 from repro.scc import CONF0, CONF1, CONF2, memory_read_latency
 from repro.sparse import build_matrix
 
 SCALE = 0.25
 REL = 5e-3
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +74,36 @@ class TestGoldenThroughput:
         a = sme3dc.run(n_cores=16)
         b = SpMVExperiment(build_matrix(7, scale=SCALE), name="sme3Dc").run(n_cores=16)
         assert a.makespan == b.makespan  # not approx: bit-identical
+
+
+class TestGoldenCampaign:
+    """The checked-in campaign file is reproducible byte-for-byte.
+
+    ``tests/fixtures/golden_campaign.jsonl`` was produced by the exact
+    run below; both the serial and the ``workers=4`` executor must
+    regenerate it bitwise — this is the determinism guarantee that lets
+    parallel sweeps share resume files with serial ones.  Records hold
+    no wall-clock or host-dependent fields, so byte equality is fair.
+    """
+
+    GOLDEN = FIXTURES / "golden_campaign.jsonl"
+
+    def _run(self, tmp_path, workers):
+        campaign = Campaign(
+            "golden_campaign", tmp_path, scale=0.05, iterations=2, mode="model"
+        )
+        points = Campaign.grid(
+            ids=(24, 30), core_counts=(1, 4), configs=("conf0", "conf1")
+        )
+        ran, skipped = campaign.run(points, workers=workers)
+        assert (ran, skipped) == (len(points), 0)
+        return campaign.path.read_bytes()
+
+    def test_serial_reproduces_fixture_bitwise(self, tmp_path):
+        assert self._run(tmp_path, workers=1) == self.GOLDEN.read_bytes()
+
+    def test_workers4_reproduces_fixture_bitwise(self, tmp_path):
+        assert self._run(tmp_path, workers=4) == self.GOLDEN.read_bytes()
 
 
 class TestGoldenSuiteStats:
