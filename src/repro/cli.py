@@ -5,6 +5,7 @@ Usage::
     python -m repro run table1 --scale 0.2
     python -m repro run fig5 --scale 0.2 --ids 7,14,24
     python -m repro run all --scale 0.1
+    python -m repro run --validate-exact --scale 0.25
     python -m repro lint examples/ src/repro/apps/
     python -m repro check --program myprog.py:ue_main --ues 4
     python -m repro faults --plan crash --ids 2,7 --cores 8
@@ -71,8 +72,10 @@ FAULTS_COMMANDS = ("faults",)
 def _configure_run_parser(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "artifact",
+        nargs="?",
         choices=ARTIFACTS + ("all", "validate"),
-        help="which paper artifact to regenerate ('validate' runs model self-checks)",
+        help="which paper artifact to regenerate ('validate' runs model "
+        "self-checks); optional when --validate-exact is given",
     )
     p.add_argument(
         "--scale",
@@ -104,6 +107,14 @@ def _configure_run_parser(p: argparse.ArgumentParser) -> None:
         help="replay every run on the event-driven simulator instead of "
         "the analytic fast path (same numbers, much slower; see "
         "docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--validate-exact",
+        action="store_true",
+        help="compare the analytic cache model's miss ratios against "
+        "bitwise-exact vectorized trace replay over the suite, one row "
+        "per matrix (honours --scale/--ids/--iterations; see "
+        "docs/MODEL.md)",
     )
     add_output_flag(p)
 
@@ -351,6 +362,67 @@ def _render_validation(out) -> int:
     return failures
 
 
+def _render_exact_validation(args: argparse.Namespace, out) -> int:
+    """``repro run --validate-exact``: analytic model vs exact replay.
+
+    For every selected suite matrix, the analytic stream model's memory
+    misses (:func:`repro.core.trace.access_summary`) are compared with
+    bitwise-exact trace replay on the vectorized engine at the same
+    scale and iteration count.  Both are expressed as miss ratios over
+    the kernel's ``(3n + 3nnz) * iterations`` accesses; the table shows
+    the per-matrix delta in percentage points.  This is the full-suite
+    version of the spot checks in ``repro run validate``, made feasible
+    by the set-parallel engine (scalar replay at this scale would take
+    hours; see docs/PERFORMANCE.md).
+    """
+    from .core.trace import access_summary, characterize_partition
+    from .scc.tracegen import replay_trace
+    from .sparse import partition_rows_balanced
+    from .sparse.suite import iter_suite
+
+    rows = []
+    deltas = []
+    for e, a in iter_suite(scale=args.scale, ids=_parse_ids(args.ids)):
+        [trace] = characterize_partition(a, partition_rows_balanced(a, 1))
+        model_misses = access_summary(trace, iterations=args.iterations).l2_misses
+        exact = replay_trace(
+            a, iterations=args.iterations, engine="vectorized"
+        )
+        accesses = (3 * a.n_rows + 3 * a.nnz) * args.iterations
+        model_pct = 100.0 * model_misses / accesses
+        exact_pct = 100.0 * exact.mem_misses / accesses
+        delta = model_pct - exact_pct
+        deltas.append(abs(delta))
+        rows.append(
+            {
+                "id": e.mid,
+                "name": e.name,
+                "accesses": accesses,
+                "model miss %": model_pct,
+                "exact miss %": exact_pct,
+                "delta pp": delta,
+            }
+        )
+    if not rows:
+        raise SystemExit("no matrices selected; check --ids")
+    print(banner("Exact-replay validation: analytic model vs trace-exact misses"), file=out)
+    print(
+        format_table(
+            rows,
+            ["id", "name", "accesses", "model miss %", "exact miss %", "delta pp"],
+            floatfmt=".3f",
+        ),
+        file=out,
+    )
+    print(
+        f"\nmean |delta| = {sum(deltas) / len(deltas):.3f} pp "
+        f"over {len(rows)} matrices "
+        f"(scale {args.scale}, {args.iterations} iterations)",
+        file=out,
+    )
+    return 0
+
+
 def _run_artifacts(args: argparse.Namespace, out=None) -> int:
     """Handler of ``repro run``: render the requested artifact(s)."""
     if not 0 < args.scale <= 1.0:
@@ -360,6 +432,12 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     with open_output(args, out) as stream:
+        if args.validate_exact:
+            return _render_exact_validation(args, stream)
+        if args.artifact is None:
+            raise SystemExit(
+                "repro run: an artifact (or --validate-exact) is required"
+            )
         if args.artifact == "validate":
             return _render_validation(stream)
         exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))

@@ -31,6 +31,7 @@ import numpy as np
 from ..rcce.errors import RCCEBudgetExceededError, RCCETimeoutError
 from ..rcce.runtime import RCCERuntime
 from ..scc.chip import CONF0, SCCConfig
+from ..scc.core_model import AccessSummary
 from ..scc.memory import MemorySystem
 from ..scc.mesh import MeshNetwork
 from ..scc.params import DEFAULT_TIMING, L2_BYTES, P54CTimingParams
@@ -72,8 +73,12 @@ KERNELS = ("csr", "no_x_miss")
 
 #: how a run is timed: ``sim`` replays the job on the event-driven RCCE
 #: runtime; ``model`` composes the same per-core times and an analytic
-#: barrier critical path without scheduling events (the fast path).
-MODES = ("sim", "model")
+#: barrier critical path without scheduling events (the fast path);
+#: ``exact-trace`` replaces the analytic cache characterization with
+#: trace-exact per-UE hit/miss counts from the vectorized replay engine
+#: (:mod:`repro.scc.vecreplay`) — the validation path, now viable at
+#: full Table-I scale.
+MODES = ("sim", "model", "exact-trace")
 
 
 class ResultBase:
@@ -499,6 +504,52 @@ class SpMVExperiment:
             self._summary_cache[key] = summ
         return summ
 
+    def exact_summaries(
+        self,
+        n_ues: int,
+        iterations: int,
+        l2_enabled: bool = True,
+        no_x_miss: bool = False,
+        tracer: Optional[Any] = None,
+    ) -> List[AccessSummary]:
+        """Trace-exact per-UE access summaries via vectorized replay.
+
+        Each UE's row block is replayed through the set-parallel exact
+        engine (``engine="vectorized"`` of
+        :func:`repro.scc.tracegen.replay_trace`): ``l2_hits`` and
+        ``l2_misses`` are the simulated hierarchy's actual counts, not
+        the HOTL locality estimate.  Memoized in process and — via the
+        replay disk cache — across processes.
+        """
+        key = ("exact", n_ues, iterations, l2_enabled, no_x_miss)
+        summ = self._summary_cache.get(key)
+        if summ is None:
+            from ..scc.tracegen import replay_trace
+
+            summ = []
+            for r0, r1 in self.partition(n_ues).ranges():
+                counts = replay_trace(
+                    self.a,
+                    r0,
+                    r1,
+                    iterations=iterations,
+                    no_x_miss=no_x_miss,
+                    l2_enabled=l2_enabled,
+                    engine="vectorized",
+                    tracer=tracer,
+                )
+                summ.append(
+                    AccessSummary(
+                        nnz=int(self.a.ptr[r1] - self.a.ptr[r0]),
+                        rows=r1 - r0,
+                        iterations=iterations,
+                        l2_hits=float(counts.l2_hits),
+                        l2_misses=float(counts.mem_misses),
+                    )
+                )
+            self._summary_cache[key] = summ
+        return summ
+
     def _resolve_mapping(self, mapping: str, n_cores: int) -> Tuple[int, ...]:
         """Memoized policy-name mapping resolution (pure in its inputs)."""
         key = (mapping, n_cores, self.topology.__class__)
@@ -589,6 +640,10 @@ class SpMVExperiment:
         magnitude faster.  The model times the standard barrier/compute/
         barrier loop; runtime-only effects (fault injection, per-event
         tracer spans, the verify gather) exist only in ``sim`` mode.
+        ``mode="exact-trace"`` runs the same analytic composition but
+        replaces the HOTL cache characterization with trace-exact
+        per-UE counts from the vectorized replay engine — the
+        ground-truth validation path (``repro run --validate-exact``).
         """
         if kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -605,8 +660,8 @@ class SpMVExperiment:
                     f"explicit mapping names {len(core_map)} cores but n_cores={n_cores}"
                 )
 
-        if mode == "model":
-            return self._run_model(
+        if mode in ("model", "exact-trace"):
+            return self._run_analytic(
                 n_cores=n_cores,
                 core_map=core_map,
                 mapping_name=mapping_name,
@@ -617,6 +672,7 @@ class SpMVExperiment:
                 x=x,
                 time_budget=time_budget,
                 tracer=tracer,
+                exact=(mode == "exact-trace"),
             )
 
         traces = self.traces(n_cores)
@@ -667,7 +723,7 @@ class SpMVExperiment:
             y=y,
         )
 
-    def _run_model(
+    def _run_analytic(
         self,
         n_cores: int,
         core_map: List[int],
@@ -679,20 +735,43 @@ class SpMVExperiment:
         x: Optional[np.ndarray],
         time_budget: Optional[float],
         tracer: Optional[Any],
+        exact: bool = False,
     ) -> ExperimentResult:
-        """The analytic fast path: batched solve + barrier recurrence."""
-        summaries = self._batched_summaries(
-            n_cores, iterations, config.l2_enabled, kernel == "no_x_miss"
-        )
+        """The analytic path: per-core solve + barrier recurrence.
+
+        ``exact=False`` is ``mode="model"`` (batched HOTL summaries);
+        ``exact=True`` is ``mode="exact-trace"`` (the same timing
+        composition fed trace-exact per-UE cache counts) — the two
+        differ only in where ``l2_hits``/``l2_misses`` come from, which
+        is precisely what ``repro run --validate-exact`` compares.
+        """
         mem = self._model_memory(config)
-        timings = solve_core_times_batched(
-            summaries,
-            core_map,
-            config,
-            mem,
-            self.timing,
-            cache=SpMVExperiment._shared_solver_cache,
-        )
+        if exact:
+            timings = solve_core_times(
+                self.exact_summaries(
+                    n_cores,
+                    iterations,
+                    l2_enabled=config.l2_enabled,
+                    no_x_miss=(kernel == "no_x_miss"),
+                    tracer=tracer,
+                ),
+                core_map,
+                config,
+                mem,
+                self.timing,
+            )
+        else:
+            summaries = self._batched_summaries(
+                n_cores, iterations, config.l2_enabled, kernel == "no_x_miss"
+            )
+            timings = solve_core_times_batched(
+                summaries,
+                core_map,
+                config,
+                mem,
+                self.timing,
+                cache=SpMVExperiment._shared_solver_cache,
+            )
 
         schedule = self._barrier_schedule(core_map, self._model_mesh(config))
         entered = barrier_exit_times([0.0] * n_cores, core_map, schedule=schedule)

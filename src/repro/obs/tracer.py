@@ -24,7 +24,7 @@ Wall-clock time is never consulted.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional
 
 from .metrics import MetricsRegistry
 
@@ -51,30 +51,22 @@ def jsonable(value: Any) -> Any:
     return repr(value)
 
 
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One recorded event (phases follow the Chrome ``trace_event`` names).
 
     ``ph`` is ``"B"`` (span begin), ``"E"`` (span end), ``"i"``
     (instant) or ``"C"`` (counter sample); ``ts`` is simulated seconds.
+    A named tuple: construction happens in C, which matters because the
+    recording hooks sit on the simulator's per-event hot path (the
+    ``tracer_overhead_pct`` line of ``BENCH_spmv.json``).
     """
 
-    __slots__ = ("name", "ph", "ts", "tid", "cat", "args")
-
-    def __init__(
-        self,
-        name: str,
-        ph: str,
-        ts: float,
-        tid: int,
-        cat: str,
-        args: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        self.name = name
-        self.ph = ph
-        self.ts = ts
-        self.tid = tid
-        self.cat = cat
-        self.args = args
+    name: str
+    ph: str
+    ts: float
+    tid: int
+    cat: str
+    args: Optional[Dict[str, Any]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<TraceEvent {self.ph} {self.name!r} t={self.ts:.9f} tid={self.tid}>"
@@ -99,6 +91,11 @@ class Tracer:
         self._clock: Callable[[], float] = clock or _zero_clock
         self.categories = frozenset(categories) if categories is not None else None
         self.events: List[TraceEvent] = []
+        # Hot-path bindings: the recording hooks run once per simulator
+        # event, so the list-append bound method is looked up here, not
+        # per call.  ``clear()`` empties the list in place, keeping the
+        # binding valid.
+        self._append = self.events.append
         self.metrics = MetricsRegistry()
 
     def __bool__(self) -> bool:
@@ -122,29 +119,47 @@ class Tracer:
         self.events.clear()
 
     # -- recording ---------------------------------------------------------
+    #
+    # begin/end/instant/counter are the per-event hot path; each inlines
+    # the category filter and appends through the pre-bound
+    # ``self._append`` rather than funnelling through an indirection.
+    # ``args or None`` keeps empty-kwargs events from retaining a dict.
 
     def _record(
         self, name: str, ph: str, tid: int, cat: str, args: Optional[Dict[str, Any]]
     ) -> None:
+        """Out-of-line recording entry (kept for subclasses/tools)."""
         if self.categories is not None and cat not in self.categories:
             return
-        self.events.append(TraceEvent(name, ph, self._clock(), tid, cat, args))
+        self._append(TraceEvent(name, ph, self._clock(), tid, cat, args))
 
     def begin(self, name: str, tid: int = 0, cat: str = "", **args: Any) -> None:
         """Open a span on lane ``tid`` (close it with :meth:`end`)."""
-        self._record(name, "B", tid, cat, args or None)
+        cats = self.categories
+        if cats is not None and cat not in cats:
+            return
+        self._append(TraceEvent(name, "B", self._clock(), tid, cat, args or None))
 
     def end(self, name: str, tid: int = 0, cat: str = "") -> None:
         """Close the innermost open span named ``name`` on lane ``tid``."""
-        self._record(name, "E", tid, cat, None)
+        cats = self.categories
+        if cats is not None and cat not in cats:
+            return
+        self._append(TraceEvent(name, "E", self._clock(), tid, cat, None))
 
     def instant(self, name: str, tid: int = 0, cat: str = "", **args: Any) -> None:
         """Record a point-in-time event."""
-        self._record(name, "i", tid, cat, args or None)
+        cats = self.categories
+        if cats is not None and cat not in cats:
+            return
+        self._append(TraceEvent(name, "i", self._clock(), tid, cat, args or None))
 
     def counter(self, name: str, value: float, tid: int = 0, cat: str = "metric") -> None:
         """Record a counter sample (renders as a track in Perfetto)."""
-        self._record(name, "C", tid, cat, {"value": value})
+        cats = self.categories
+        if cats is not None and cat not in cats:
+            return
+        self._append(TraceEvent(name, "C", self._clock(), tid, cat, {"value": value}))
 
     @contextmanager
     def span(self, name: str, tid: int = 0, cat: str = "", **args: Any) -> Iterator[None]:
@@ -169,9 +184,25 @@ class NullTracer(Tracer):
     def __bool__(self) -> bool:
         return False
 
+    # Every recording entry point is overridden (not just _record): the
+    # hooks no longer funnel through one indirection, so each must be a
+    # no-op in its own right.
+
     def _record(
         self, name: str, ph: str, tid: int, cat: str, args: Optional[Dict[str, Any]]
     ) -> None:
+        pass
+
+    def begin(self, name: str, tid: int = 0, cat: str = "", **args: Any) -> None:
+        pass
+
+    def end(self, name: str, tid: int = 0, cat: str = "") -> None:
+        pass
+
+    def instant(self, name: str, tid: int = 0, cat: str = "", **args: Any) -> None:
+        pass
+
+    def counter(self, name: str, value: float, tid: int = 0, cat: str = "metric") -> None:
         pass
 
 

@@ -6,6 +6,8 @@ Subpackages model the pieces of the chip the paper's study exercises:
   controllers, hop distances.
 - :mod:`~repro.scc.mesh` — XY routing, link loads, message timing.
 - :mod:`~repro.scc.cache` — exact 4-way pseudo-LRU write-back caches.
+- :mod:`~repro.scc.vecreplay` — set-parallel vectorized exact replay,
+  bitwise-identical to :mod:`~repro.scc.cache` at full Table-I scale.
 - :mod:`~repro.scc.locality` — vectorized reuse/footprint/miss models.
 - :mod:`~repro.scc.memory` — Eq. 1 latency and controller bandwidth.
 - :mod:`~repro.scc.core_model` — P54C in-order timing composition.
@@ -42,7 +44,17 @@ from .params import (
     P54CTimingParams,
 )
 from .power import chip_power, core_voltage, mesh_voltage
-from .tracegen import DEFAULT_LAYOUT, TraceCounts, TraceLayout, replay_trace, spmv_address_trace
+from .tracegen import (
+    CHUNK_ACCESSES,
+    DEFAULT_LAYOUT,
+    REPLAY_ENGINES,
+    TraceCounts,
+    TraceLayout,
+    replay_trace,
+    spmv_address_trace,
+    spmv_address_trace_chunks,
+)
+from .vecreplay import TraceSchedule, VectorCache, VectorCacheHierarchy, compile_schedule
 from .topology import CORES_PER_TILE, GRID_X, GRID_Y, N_CORES, N_TILES, SCCTopology, Tile
 
 __all__ = [
@@ -93,9 +105,16 @@ __all__ = [
     "N_TILES",
     "SCCTopology",
     "Tile",
+    "CHUNK_ACCESSES",
     "DEFAULT_LAYOUT",
+    "REPLAY_ENGINES",
     "TraceCounts",
     "TraceLayout",
     "replay_trace",
     "spmv_address_trace",
+    "spmv_address_trace_chunks",
+    "TraceSchedule",
+    "VectorCache",
+    "VectorCacheHierarchy",
+    "compile_schedule",
 ]

@@ -249,8 +249,12 @@ class CacheHierarchy:
         addrs = np.asarray(addrs, dtype=np.int64)
         if writes is None:
             writes = np.zeros(addrs.shape, dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != addrs.shape:
+                raise ValueError("writes must match addrs shape")
         counts = {"l1": 0, "l2": 0, "mem": 0}
-        for a, w in zip(addrs.tolist(), np.asarray(writes, dtype=bool).tolist()):
+        for a, w in zip(addrs.tolist(), writes.tolist()):
             counts[self.access(int(a), bool(w))] += 1
         return counts
 

@@ -13,9 +13,27 @@ These traces feed the exact cache hierarchy
 (:class:`~repro.scc.cache.CacheHierarchy`) to produce *trace-exact*
 hit/miss counts — the ground truth that the fast analytical
 characterization of :mod:`repro.core.trace` is validated against (see
-``tests/test_scc_tracegen.py`` and ablation bench A2).  Trace replay is
-O(N) Python per access, so it is reserved for validation-scale
-matrices.
+``tests/test_scc_tracegen.py`` and ablation bench A2).
+
+:func:`replay_trace` offers two engines.  ``engine="scalar"`` walks the
+hierarchy one address per Python iteration — the oracle, reserved for
+validation-scale traces.  ``engine="vectorized"`` replays through the
+set-parallel engine (:mod:`repro.scc.vecreplay`), bitwise-identical by
+the differential contract, and adds two levers of its own:
+
+* **iteration cycling** — the per-pass trace is identical, so the
+  hierarchy state (a finite, deterministic machine) eventually cycles;
+  once a state digest repeats, every remaining iteration's counts are
+  the recorded cycle deltas, summed without simulating; and
+* a **content-addressed disk cache** (:mod:`repro.store`, namespace
+  ``replay``) keyed by the matrix pattern digest, row range, layout,
+  cache geometry and iteration count, so campaigns and the differential
+  harness never replay the same block twice.
+
+:func:`spmv_address_trace_chunks` streams the same trace in bounded
+row-block chunks (O(chunk) memory); feeding the chunks through one
+persistent hierarchy is exactly equivalent to one concatenated trace,
+so the vectorized path scales to traces that never fit in memory.
 
 The arrays are laid out at disjoint, page-aligned virtual bases; with a
 modulo-indexed cache only the relative offsets matter.
@@ -23,21 +41,39 @@ modulo-indexed cache only the relative offsets matter.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
+from ..store import ContentStore, digest_parts
 from .cache import CacheHierarchy
+from .params import CACHE_ASSOC, CACHE_LINE_BYTES, L1D_BYTES, L2_BYTES
+from .vecreplay import VectorCacheHierarchy, compile_schedule, fingerprints_equal
 
 __all__ = [
     "TraceLayout",
     "DEFAULT_LAYOUT",
     "spmv_address_trace",
+    "spmv_address_trace_chunks",
     "replay_trace",
     "TraceCounts",
+    "REPLAY_ENGINES",
+    "CHUNK_ACCESSES",
+    "REPLAY_SCHEMA_VERSION",
 ]
+
+REPLAY_ENGINES = ("scalar", "vectorized")
+
+#: default chunk bound for streaming trace generation: ~50 MB of
+#: address+write arrays per chunk, far below full-suite trace sizes.
+CHUNK_ACCESSES = 4_000_000
+
+#: bump when the replay algorithm or the cached payload shape changes;
+#: old disk entries are orphaned rather than reinterpreted.
+REPLAY_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -126,6 +162,43 @@ def spmv_address_trace(
     return addrs, writes
 
 
+def spmv_address_trace_chunks(
+    a: CSRMatrix,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+    no_x_miss: bool = False,
+    layout: TraceLayout = DEFAULT_LAYOUT,
+    max_accesses: int = CHUNK_ACCESSES,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream the trace of rows [row_start, row_stop) in row-block chunks.
+
+    Yields ``(addrs, writes)`` pairs covering consecutive row blocks;
+    concatenating them reproduces :func:`spmv_address_trace` exactly,
+    so replaying chunks through one persistent hierarchy is equivalent
+    to replaying the full trace while memory stays O(``max_accesses``).
+    Each chunk holds at most ``max_accesses`` accesses, except that a
+    single row whose own trace exceeds the bound is emitted alone
+    (rows are never split).
+    """
+    stop = a.n_rows if row_stop is None else row_stop
+    if not (0 <= row_start <= stop <= a.n_rows):
+        raise ValueError(f"bad row range [{row_start}, {stop})")
+    if max_accesses < 1:
+        raise ValueError(f"max_accesses must be >= 1, got {max_accesses}")
+
+    def chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        # Cumulative access count up to row i: g[i] = 3*i + 3*ptr[i].
+        g = 3 * np.arange(a.n_rows + 1, dtype=np.int64) + 3 * a.ptr
+        r = row_start
+        while r < stop:
+            r2 = int(np.searchsorted(g, g[r] + max_accesses, side="right")) - 1
+            r2 = max(r + 1, min(r2, stop))
+            yield spmv_address_trace(a, r, r2, no_x_miss, layout)
+            r = r2
+
+    return chunks()
+
+
 @dataclass(frozen=True)
 class TraceCounts:
     """Hit/miss totals from replaying a trace through the hierarchy."""
@@ -140,6 +213,165 @@ class TraceCounts:
         return self.l1_hits + self.l2_hits + self.mem_misses
 
 
+def _replay_cache_key(
+    a: CSRMatrix,
+    row_start: int,
+    row_stop: int,
+    iterations: int,
+    no_x_miss: bool,
+    l2_enabled: bool,
+    layout: TraceLayout,
+) -> str:
+    """Disk-cache key: every input the replay result depends on.
+
+    The matrix enters via its sparsity-pattern digest (values never
+    affect the trace); the cache geometry constants are included so a
+    parameter change can never resurface a stale count.
+    """
+    return digest_parts(
+        "replay",
+        REPLAY_SCHEMA_VERSION,
+        a.pattern_digest(),
+        row_start,
+        row_stop,
+        iterations,
+        no_x_miss,
+        l2_enabled,
+        layout.ptr_base,
+        layout.index_base,
+        layout.da_base,
+        layout.x_base,
+        layout.y_base,
+        L1D_BYTES,
+        L2_BYTES,
+        CACHE_ASSOC,
+        CACHE_LINE_BYTES,
+    )
+
+
+def _hierarchy_stats(h: VectorCacheHierarchy) -> Tuple[Tuple[int, int, int, int], ...]:
+    """Per-level (hits, misses, evictions, writebacks) snapshot."""
+    levels = [h.l1] + ([h.l2] if h.l2 is not None else [])
+    return tuple(
+        (lv.stats.hits, lv.stats.misses, lv.stats.evictions, lv.stats.writebacks)
+        for lv in levels
+    )
+
+
+def _state_digest(h: VectorCacheHierarchy) -> str:
+    """Hash of the full hierarchy state (tags, dirty, PLRU, both levels)."""
+    hasher = hashlib.sha256()
+    for arr in h.state_fingerprint():
+        hasher.update(arr.tobytes())
+    return hasher.hexdigest()
+
+
+def _replay_vectorized(
+    a: CSRMatrix,
+    row_start: int,
+    row_stop: int,
+    iterations: int,
+    no_x_miss: bool,
+    layout: TraceLayout,
+    h: VectorCacheHierarchy,
+    chunk_accesses: int,
+) -> Tuple[TraceCounts, Dict[str, int]]:
+    """Set-parallel replay with exact iteration-cycle fast-forward.
+
+    The per-iteration trace is identical, and the hierarchy is a finite
+    deterministic state machine driven by it — so the sequence of
+    post-iteration states must eventually enter a cycle.  Once a state
+    recurs (digest match confirmed by exact fingerprint comparison),
+    iteration k reproduces the counts of iteration k - period for every
+    remaining k, and the tail is summed from the recorded per-iteration
+    deltas.  Counts and per-level stats stay bitwise-identical to
+    simulating every iteration.
+    """
+    n_total = 3 * (row_stop - row_start) + 3 * int(a.ptr[row_stop] - a.ptr[row_start])
+    single_chunk = n_total <= chunk_accesses
+    steps_before = h.steps_run
+    collapsed_before = h.collapsed_hits
+    tail_before = h.tail_accesses
+
+    if single_chunk:
+        addrs, writes = spmv_address_trace(a, row_start, row_stop, no_x_miss, layout)
+        lines = addrs // h.line_bytes
+        # The L1 schedule depends only on the stream: compile once,
+        # replay every iteration.
+        l1_sched = compile_schedule(lines, writes, h.l1.n_sets)
+
+        def run_pass() -> Dict[str, int]:
+            return h.access_lines(lines, writes, l1_schedule=l1_sched)
+
+    else:
+
+        def run_pass() -> Dict[str, int]:
+            counts = {"l1": 0, "l2": 0, "mem": 0}
+            for addrs, writes in spmv_address_trace_chunks(
+                a, row_start, row_stop, no_x_miss, layout, max_accesses=chunk_accesses
+            ):
+                chunk = h.access_trace(addrs, writes)
+                for key in counts:
+                    counts[key] += chunk[key]
+            return counts
+
+    totals = {"l1": 0, "l2": 0, "mem": 0}
+    seen: Dict[str, Tuple[int, Tuple[np.ndarray, ...]]] = {}
+    count_deltas: List[Dict[str, int]] = []
+    stats_deltas: List[Tuple[Tuple[int, int, int, int], ...]] = []
+    simulated = 0
+    fast_forwarded = 0
+    while simulated < iterations:
+        stats_before = _hierarchy_stats(h)
+        counts = run_pass()
+        simulated += 1
+        for key in totals:
+            totals[key] += counts[key]
+        count_deltas.append(counts)
+        stats_after = _hierarchy_stats(h)
+        stats_deltas.append(
+            tuple(
+                tuple(after - before for after, before in zip(lvl_a, lvl_b))
+                for lvl_a, lvl_b in zip(stats_after, stats_before)
+            )
+        )
+        if simulated == iterations:
+            break
+        digest = _state_digest(h)
+        hit = seen.get(digest)
+        if hit is not None and fingerprints_equal(hit[1], h.state_fingerprint()):
+            start = hit[0]  # state after `start` iterations == state now
+            period = simulated - start
+            remaining = iterations - simulated
+            fast_forwarded = remaining
+            # Iteration start+1+r (r >= 0) repeats delta index start + r % period.
+            level_sums = [[0, 0, 0, 0] for _ in stats_deltas[0]]
+            for r in range(remaining):
+                cyc_counts = count_deltas[start + r % period]
+                for key in totals:
+                    totals[key] += cyc_counts[key]
+                for lvl, delta in zip(level_sums, stats_deltas[start + r % period]):
+                    for i in range(4):
+                        lvl[i] += delta[i]
+            levels = [h.l1] + ([h.l2] if h.l2 is not None else [])
+            for lv, (d_hits, d_misses, d_ev, d_wb) in zip(levels, level_sums):
+                lv.stats.hits += d_hits
+                lv.stats.misses += d_misses
+                lv.stats.evictions += d_ev
+                lv.stats.writebacks += d_wb
+            break
+        seen[digest] = (simulated, h.state_fingerprint())
+    detail = {
+        "accesses": n_total * iterations,
+        "simulated_iterations": simulated,
+        "fastforward_iterations": fast_forwarded,
+        "steps": h.steps_run - steps_before,
+        "collapsed_hits": h.collapsed_hits - collapsed_before,
+        "tail_accesses": h.tail_accesses - tail_before,
+    }
+    return TraceCounts(totals["l1"], totals["l2"], totals["mem"]), detail
+
+
 def replay_trace(
     a: CSRMatrix,
     row_start: int = 0,
@@ -148,21 +380,88 @@ def replay_trace(
     no_x_miss: bool = False,
     l2_enabled: bool = True,
     layout: TraceLayout = DEFAULT_LAYOUT,
-    hierarchy: Optional[CacheHierarchy] = None,
+    hierarchy: Optional[Union[CacheHierarchy, VectorCacheHierarchy]] = None,
+    engine: str = "scalar",
+    chunk_accesses: int = CHUNK_ACCESSES,
+    use_disk_cache: Optional[bool] = None,
+    tracer=None,
 ) -> TraceCounts:
     """Run ``iterations`` SpMV passes through an exact cache hierarchy.
 
     A fresh SCC-geometry hierarchy is used unless one is supplied
     (supplying one lets callers observe warm-cache behaviour across
     calls).  Returns cumulative counts over all iterations.
+
+    ``engine="scalar"`` is the per-access oracle; ``engine="vectorized"``
+    produces bitwise-identical counts via :mod:`repro.scc.vecreplay`,
+    streams the trace in ``chunk_accesses`` chunks, fast-forwards
+    repeated iterations once the cache state cycles, and memoizes
+    results in the content-addressed disk store (cold-hierarchy runs
+    only; disable with ``use_disk_cache=False`` or globally via
+    ``REPRO_NO_DISK_CACHE=1``).  A ``tracer`` records replay-throughput
+    counters under ``replay.*``.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    h = hierarchy if hierarchy is not None else CacheHierarchy(l2_enabled=l2_enabled)
-    addrs, writes = spmv_address_trace(a, row_start, row_stop, no_x_miss, layout)
-    totals = {"l1": 0, "l2": 0, "mem": 0}
-    for _ in range(iterations):
-        counts = h.access_trace(addrs, writes)
-        for k in totals:
-            totals[k] += counts[k]
-    return TraceCounts(totals["l1"], totals["l2"], totals["mem"])
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
+    stop = a.n_rows if row_stop is None else row_stop
+
+    if engine == "scalar":
+        h = hierarchy if hierarchy is not None else CacheHierarchy(l2_enabled=l2_enabled)
+        addrs, writes = spmv_address_trace(a, row_start, stop, no_x_miss, layout)
+        totals = {"l1": 0, "l2": 0, "mem": 0}
+        for _ in range(iterations):
+            counts = h.access_trace(addrs, writes)
+            for k in totals:
+                totals[k] += counts[k]
+        return TraceCounts(totals["l1"], totals["l2"], totals["mem"])
+
+    # Disk memoization only applies to cold-hierarchy replays: a warm
+    # hierarchy makes the result depend on state the key cannot see.
+    memoize = hierarchy is None if use_disk_cache is None else (
+        use_disk_cache and hierarchy is None
+    )
+    store = ContentStore(namespace="replay") if memoize else None
+    key = ""
+    if store is not None:
+        key = _replay_cache_key(
+            a, row_start, stop, iterations, no_x_miss, l2_enabled, layout
+        )
+        entry = store.get_json(key)
+        if entry is not None:
+            if tracer:
+                tracer.metrics.counter("replay.disk.hits").inc()
+            return TraceCounts(
+                int(entry["l1_hits"]), int(entry["l2_hits"]), int(entry["mem_misses"])
+            )
+
+    if hierarchy is not None and not isinstance(hierarchy, VectorCacheHierarchy):
+        raise TypeError(
+            "engine='vectorized' requires a VectorCacheHierarchy, got "
+            f"{type(hierarchy).__name__}"
+        )
+    vh = hierarchy if hierarchy is not None else VectorCacheHierarchy(l2_enabled=l2_enabled)
+    counts, detail = _replay_vectorized(
+        a, row_start, stop, iterations, no_x_miss, layout, vh, chunk_accesses
+    )
+    if tracer:
+        m = tracer.metrics
+        if store is not None:
+            m.counter("replay.disk.misses").inc()
+        m.counter("replay.accesses").inc(detail["accesses"])
+        m.counter("replay.simulated_iterations").inc(detail["simulated_iterations"])
+        m.counter("replay.fastforward_iterations").inc(detail["fastforward_iterations"])
+        m.counter("replay.steps").inc(detail["steps"])
+        m.counter("replay.collapsed_hits").inc(detail["collapsed_hits"])
+        m.counter("replay.tail_accesses").inc(detail["tail_accesses"])
+    if store is not None:
+        store.put_json(
+            key,
+            {
+                "l1_hits": counts.l1_hits,
+                "l2_hits": counts.l2_hits,
+                "mem_misses": counts.mem_misses,
+            },
+        )
+    return counts

@@ -144,6 +144,20 @@ class CSRMatrix:
             n_cols=self.n_cols,
         )
 
+    # -- content addressing ---------------------------------------------------
+
+    def pattern_digest(self) -> str:
+        """SHA-256 over the sparsity pattern (``ptr``, ``index``, shape).
+
+        The SpMV address trace — and therefore every exact-replay
+        result — depends only on the pattern, never on ``da`` values,
+        so this is the matrix component of replay cache keys (see
+        :mod:`repro.store`).
+        """
+        from ..store import digest_arrays
+
+        return digest_arrays(self.ptr, self.index, extra=f"{self.n_rows}x{self.n_cols}")
+
     # -- equality (for tests) -------------------------------------------------
 
     def allclose(self, other: "CSRMatrix", rtol: float = 1e-12) -> bool:

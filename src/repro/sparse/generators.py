@@ -32,6 +32,7 @@ from .coo import COOMatrix
 from .csr import CSRMatrix
 
 __all__ = [
+    "GENERATOR_VERSION",
     "banded",
     "block_diagonal",
     "fem_blocks",
@@ -40,6 +41,12 @@ __all__ = [
     "power_law",
     "with_dense_rows",
 ]
+
+#: bump whenever any generator's output for a given (params, seed)
+#: changes — it keys the on-disk matrix cache (see
+#: :func:`repro.sparse.suite.build_matrix`), so stale builds are
+#: orphaned instead of silently reused.
+GENERATOR_VERSION = 1
 
 
 def _rng(seed: Optional[int]) -> np.random.Generator:

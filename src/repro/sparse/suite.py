@@ -25,8 +25,12 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from ..store import ContentStore, digest_parts
 from .csr import CSRMatrix
 from .generators import (
+    GENERATOR_VERSION,
     banded,
     fem_blocks,
     power_law,
@@ -123,10 +127,42 @@ def entry_by_id(mid: int) -> SuiteEntry:
 def build_matrix(mid: int, scale: float = 1.0, seed: int = 20120101) -> CSRMatrix:
     """Generate the synthetic stand-in for suite matrix ``mid``.
 
-    Deterministic in (mid, scale, seed).  Results are memoized because
-    the benchmarks revisit the same matrices across experiments.
+    Deterministic in (mid, scale, seed).  Results are memoized in
+    process (benchmarks revisit the same matrices across experiments)
+    and content-addressed on disk (:mod:`repro.store`), so parallel
+    campaign workers — which fork fresh processes with empty in-memory
+    caches — stop regenerating identical matrices.  The disk key
+    includes :data:`~repro.sparse.generators.GENERATOR_VERSION`; bump
+    it when generator output changes.
     """
-    e = entry_by_id(mid)
+    e = entry_by_id(mid)  # validate the id before touching the store
+    store = ContentStore(namespace="matrix")
+    key = digest_parts("matrix", GENERATOR_VERSION, mid, scale, seed)
+    bundle = store.get_arrays(key)
+    if bundle is not None:
+        try:
+            return CSRMatrix(
+                bundle["ptr"],
+                bundle["index"],
+                bundle["da"],
+                n_cols=int(bundle["n_cols"][0]),
+            )
+        except (KeyError, IndexError, ValueError):
+            pass  # malformed entry: fall through and regenerate
+    a = _generate_matrix(e, scale, seed)
+    store.put_arrays(
+        key,
+        ptr=a.ptr,
+        index=a.index,
+        da=a.da,
+        n_cols=np.array([a.n_cols], dtype=np.int64),
+    )
+    return a
+
+
+def _generate_matrix(e: SuiteEntry, scale: float, seed: int) -> CSRMatrix:
+    """The actual per-family generation behind :func:`build_matrix`."""
+    mid = e.mid
     n, npr = e.scaled(scale)
     s = seed + mid  # distinct but reproducible stream per matrix
     if e.family == "banded":

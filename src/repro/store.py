@@ -1,0 +1,161 @@
+"""Content-addressed on-disk artifact store.
+
+Expensive, deterministic artifacts — suite matrix builds
+(:mod:`repro.sparse.suite`) and exact cache-replay results
+(:mod:`repro.scc.tracegen`) — are pure functions of their inputs.  This
+module gives them a shared disk cache keyed by a SHA-256 digest of
+those inputs, so parallel campaign workers and repeated differential
+runs never recompute the same artifact twice.
+
+Keying rules (the invalidation contract, see ``docs/MODEL.md``):
+
+- every key starts with a *namespace* and a *schema version*; bumping
+  the producer's version constant orphans all old entries rather than
+  risking a stale read;
+- array inputs are digested over dtype, shape and raw bytes
+  (:func:`digest_arrays`), scalar inputs over their repr — two inputs
+  collide only if they are byte-identical;
+- entries are written atomically (temp file + ``os.replace``), so
+  concurrent writers — fork-pool campaign workers — race benignly: the
+  last rename wins and every reader sees a complete file.
+
+The store lives under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``); set ``REPRO_NO_DISK_CACHE=1`` to disable it
+entirely (every ``get`` misses, every ``put`` is dropped).  A corrupt
+or truncated entry is treated as a miss and deleted, never raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "cache_enabled",
+    "default_cache_dir",
+    "digest_arrays",
+    "digest_parts",
+    "ContentStore",
+]
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_DISK_CACHE`` is set to a non-empty value."""
+    return not os.environ.get("REPRO_NO_DISK_CACHE")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def digest_arrays(*arrays: np.ndarray, extra: str = "") -> str:
+    """SHA-256 over the dtype, shape and bytes of each array (plus ``extra``)."""
+    h = hashlib.sha256()
+    h.update(extra.encode())
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def digest_parts(*parts: Any) -> str:
+    """SHA-256 over the reprs of scalar key parts, ``/``-joined.
+
+    Use for (namespace, version, ints, floats, bools, strings) key
+    tuples; floats are digested via ``repr`` so distinct values never
+    alias.
+    """
+    h = hashlib.sha256()
+    h.update("/".join(repr(p) for p in parts).encode())
+    return h.hexdigest()
+
+
+class ContentStore:
+    """A flat directory of content-addressed JSON / array-bundle entries."""
+
+    def __init__(self, root: Optional[Path] = None, namespace: str = "store") -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.namespace = namespace
+        self._dir = self.root / namespace
+
+    def path_for(self, key: str, ext: str) -> Path:
+        """On-disk path of an entry (two-level fan-out keeps dirs small)."""
+        return self._dir / key[:2] / f"{key}.{ext}"
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _drop(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- JSON entries ------------------------------------------------------
+
+    def get_json(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored dict, or None on miss/corruption (corrupt files die)."""
+        if not cache_enabled():
+            return None
+        path = self.path_for(key, "json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                obj = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            if path.exists():
+                self._drop(path)
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    def put_json(self, key: str, obj: Dict[str, Any]) -> None:
+        """Store a JSON-serializable dict atomically (no-op when disabled)."""
+        if not cache_enabled():
+            return
+        payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+        self._write_atomic(self.path_for(key, "json"), payload)
+
+    # -- array-bundle entries ----------------------------------------------
+
+    def get_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The stored array bundle, or None on miss/corruption."""
+        if not cache_enabled():
+            return None
+        path = self.path_for(key, "npz")
+        try:
+            with np.load(path) as npz:
+                return {name: npz[name] for name in npz.files}
+        except (OSError, ValueError, EOFError, KeyError):
+            if path.exists():
+                self._drop(path)
+            return None
+
+    def put_arrays(self, key: str, **arrays: np.ndarray) -> None:
+        """Store named arrays atomically as one uncompressed ``.npz``."""
+        if not cache_enabled():
+            return
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        self._write_atomic(self.path_for(key, "npz"), buf.getvalue())

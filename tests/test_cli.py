@@ -153,3 +153,27 @@ class TestArtifacts:
         code = main(["table1", *FAST, "--output", str(path)])
         assert code == 0
         assert "Table I" in path.read_text()
+
+
+class TestValidateExact:
+    def test_parser_accepts_flag_without_artifact(self):
+        args = build_parser().parse_args(["run", "--validate-exact"])
+        assert args.validate_exact
+        assert args.artifact is None
+
+    def test_bare_run_without_artifact_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_exact_validation_table(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, text = run_cli("run", "--validate-exact", *FAST)
+        assert code == 0
+        assert "Exact-replay validation" in text
+        assert "model miss %" in text and "exact miss %" in text
+        assert "mean |delta|" in text
+
+    def test_artifact_still_renders_with_run(self):
+        code, text = run_cli("run", "table1", *FAST)
+        assert code == 0
+        assert "Table I" in text

@@ -160,6 +160,45 @@ class TestCacheBehaviour:
         assert misses == 16
 
 
+class TestCacheEdgeCases:
+    def test_empty_trace_is_a_noop(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        assert c.access_trace(np.empty(0, dtype=np.int64)) == 0
+        assert c.stats.accesses == 0
+
+    def test_store_miss_write_allocates_dirty(self):
+        # A write miss allocates the line dirty: evicting it later must
+        # count a writeback even though it was never re-written.
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)  # 1 set
+        c.access(0, write=True)  # miss + allocate dirty
+        assert c.stats.writebacks == 0
+        for i in range(1, 5):
+            c.access(i * 32)
+        assert c.stats.evictions == 1
+        assert c.stats.writebacks == 1
+
+    def test_read_after_write_keeps_line_dirty(self):
+        c = Cache(size_bytes=128, assoc=4, line_bytes=32)
+        c.access(0, write=True)
+        c.access(0)  # read hit must not clean the line
+        for i in range(1, 5):
+            c.access(i * 32)
+        assert c.stats.writebacks == 1
+
+    def test_flush_twice_writes_back_once(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        c.access(0, write=True)
+        assert c.flush() == 1
+        assert c.flush() == 0  # already clean and invalid
+
+    def test_stats_after_flush_keep_accumulating(self):
+        c = Cache(size_bytes=1024, assoc=4, line_bytes=32)
+        c.access(0)
+        c.flush()
+        c.access(0)
+        assert c.stats.misses == 2
+
+
 class TestCacheHierarchy:
     def test_levels_reported(self):
         h = CacheHierarchy(l1_bytes=128, l2_bytes=512, assoc=4, line_bytes=32)
@@ -192,3 +231,13 @@ class TestCacheHierarchy:
         h.access(0)
         h.flush()
         assert h.access(0) == "mem"
+
+    def test_access_trace_write_shape_mismatch(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=512, assoc=4, line_bytes=32)
+        with pytest.raises(ValueError):
+            h.access_trace(np.array([0, 32]), writes=np.array([True]))
+
+    def test_access_trace_empty(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=512, assoc=4, line_bytes=32)
+        counts = h.access_trace(np.empty(0, dtype=np.int64))
+        assert counts == {"l1": 0, "l2": 0, "mem": 0}

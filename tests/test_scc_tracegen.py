@@ -14,10 +14,13 @@ from repro.core import access_summary, characterize_partition
 from repro.scc import CacheHierarchy
 from repro.scc.tracegen import (
     DEFAULT_LAYOUT,
+    REPLAY_ENGINES,
     TraceLayout,
     replay_trace,
     spmv_address_trace,
+    spmv_address_trace_chunks,
 )
+from repro.scc.vecreplay import VectorCacheHierarchy
 from repro.sparse import banded, partition_rows_balanced, random_uniform
 
 
@@ -130,6 +133,163 @@ class TestReplay:
         replay_trace(small_banded, hierarchy=h)
         warm = replay_trace(small_banded, hierarchy=h)
         assert warm.mem_misses <= small_banded.nnz  # mostly warm now
+
+
+class TestChunkedTraceGeneration:
+    def test_concatenated_chunks_equal_full_trace(self, small_banded):
+        full_addrs, full_writes = spmv_address_trace(small_banded)
+        parts = list(spmv_address_trace_chunks(small_banded, max_accesses=97))
+        assert len(parts) > 1  # the bound actually forced chunking
+        np.testing.assert_array_equal(
+            np.concatenate([a for a, _ in parts]), full_addrs
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([w for _, w in parts]), full_writes
+        )
+
+    def test_chunks_respect_bound_except_single_rows(self, small_banded):
+        bound = 97
+        for addrs, writes in spmv_address_trace_chunks(
+            small_banded, max_accesses=bound
+        ):
+            # One y store per row: an over-bound chunk must be a single
+            # row that could not be split.
+            assert addrs.size <= bound or int(writes.sum()) == 1
+
+    def test_oversized_single_row_emitted_alone(self):
+        from repro.sparse import CSRMatrix
+
+        dense = np.zeros((3, 50))
+        dense[1, :] = 1.0  # one row with 50 nonzeros: 153 accesses alone
+        m = CSRMatrix.from_dense(dense)
+        parts = list(spmv_address_trace_chunks(m, max_accesses=10))
+        sizes = [a.size for a, _ in parts]
+        assert sum(sizes) == 3 * 3 + 3 * 50
+        assert max(sizes) > 10  # the fat row could not be split
+
+    def test_row_range_subsets(self, small_banded):
+        sub_addrs, _ = spmv_address_trace(small_banded, 5, 50)
+        parts = list(
+            spmv_address_trace_chunks(small_banded, 5, 50, max_accesses=64)
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([a for a, _ in parts]), sub_addrs
+        )
+
+    def test_bad_arguments(self, small_banded):
+        with pytest.raises(ValueError):
+            list(spmv_address_trace_chunks(small_banded, 4, 2))
+        with pytest.raises(ValueError):
+            spmv_address_trace_chunks(small_banded, max_accesses=0)
+
+
+class TestVectorizedEngine:
+    """``engine='vectorized'`` must be bitwise-identical to the scalar."""
+
+    @pytest.mark.parametrize("iterations", [1, 3])
+    @pytest.mark.parametrize("no_x_miss", [False, True])
+    def test_counts_match_scalar(self, small_banded, iterations, no_x_miss):
+        scalar = replay_trace(
+            small_banded, iterations=iterations, no_x_miss=no_x_miss
+        )
+        vec = replay_trace(
+            small_banded,
+            iterations=iterations,
+            no_x_miss=no_x_miss,
+            engine="vectorized",
+            use_disk_cache=False,
+        )
+        assert vec == scalar
+
+    def test_l2_disabled_matches_scalar(self, small_banded):
+        scalar = replay_trace(small_banded, l2_enabled=False)
+        vec = replay_trace(
+            small_banded, l2_enabled=False, engine="vectorized",
+            use_disk_cache=False,
+        )
+        assert vec == scalar
+
+    def test_chunked_replay_matches_single_chunk(self, small_banded):
+        whole = replay_trace(
+            small_banded, iterations=2, engine="vectorized", use_disk_cache=False
+        )
+        chunked = replay_trace(
+            small_banded,
+            iterations=2,
+            engine="vectorized",
+            chunk_accesses=101,
+            use_disk_cache=False,
+        )
+        assert chunked == whole
+
+    def test_iteration_fast_forward_is_exact(self):
+        # Small working set: the hierarchy state cycles after warmup and
+        # the remaining iterations are fast-forwarded — counts must stay
+        # identical to simulating every pass (the scalar oracle does).
+        a = banded(300, 6.0, 8, seed=3)
+        iters = 12
+        scalar = replay_trace(a, iterations=iters)
+        vec = replay_trace(
+            a, iterations=iters, engine="vectorized", use_disk_cache=False
+        )
+        assert vec == scalar
+
+    def test_external_vector_hierarchy_accumulates(self, small_banded):
+        h = VectorCacheHierarchy()
+        replay_trace(small_banded, hierarchy=h, engine="vectorized")
+        warm = replay_trace(small_banded, hierarchy=h, engine="vectorized")
+        assert warm.mem_misses <= small_banded.nnz
+
+    def test_scalar_hierarchy_rejected(self, small_banded):
+        with pytest.raises(TypeError):
+            replay_trace(
+                small_banded, hierarchy=CacheHierarchy(), engine="vectorized"
+            )
+
+    def test_unknown_engine_rejected(self, small_banded):
+        assert "vectorized" in REPLAY_ENGINES
+        with pytest.raises(ValueError):
+            replay_trace(small_banded, engine="warp-speed")
+
+
+class TestReplayDiskCache:
+    def test_round_trip_and_counters(self, small_banded, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        from repro.obs.tracer import Tracer
+
+        t1 = Tracer()
+        cold = replay_trace(
+            small_banded, iterations=2, engine="vectorized", tracer=t1
+        )
+        t2 = Tracer()
+        warm = replay_trace(
+            small_banded, iterations=2, engine="vectorized", tracer=t2
+        )
+        assert warm == cold
+        assert t1.metrics.counter("replay.disk.misses").value == 1
+        assert t2.metrics.counter("replay.disk.hits").value == 1
+        # The cached result still matches the scalar oracle.
+        assert cold == replay_trace(small_banded, iterations=2)
+
+    def test_warm_hierarchy_never_memoized(self, small_banded, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        h = VectorCacheHierarchy()
+        replay_trace(small_banded, hierarchy=h, engine="vectorized")
+        warm = replay_trace(small_banded, hierarchy=h, engine="vectorized")
+        cold = replay_trace(
+            small_banded, engine="vectorized", use_disk_cache=False
+        )
+        # The warm result differs — proving it was computed, not read
+        # back from a cold-keyed disk entry.
+        assert warm != cold
+
+    def test_disable_via_env(self, small_banded, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        replay_trace(small_banded, engine="vectorized")
+        assert not any(tmp_path.rglob("*.json"))
 
 
 class TestModelValidation:

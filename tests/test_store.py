@@ -1,0 +1,103 @@
+"""Tests for the content-addressed on-disk artifact store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ContentStore,
+    cache_enabled,
+    default_cache_dir,
+    digest_arrays,
+    digest_parts,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ContentStore(root=tmp_path, namespace="test")
+
+
+class TestDigests:
+    def test_digest_parts_distinguishes_values(self):
+        assert digest_parts("a", 1) != digest_parts("a", 2)
+        assert digest_parts("a", 1) != digest_parts("b", 1)
+        # Floats digest via repr: close-but-distinct values never alias.
+        assert digest_parts(0.1) != digest_parts(0.1 + 1e-12)
+
+    def test_digest_parts_is_stable(self):
+        assert digest_parts("ns", 3, True) == digest_parts("ns", 3, True)
+
+    def test_digest_arrays_sensitive_to_dtype_shape_and_bytes(self):
+        a = np.arange(6, dtype=np.int64)
+        assert digest_arrays(a) == digest_arrays(a.copy())
+        assert digest_arrays(a) != digest_arrays(a.astype(np.int32))
+        assert digest_arrays(a) != digest_arrays(a.reshape(2, 3))
+        b = a.copy()
+        b[0] = 99
+        assert digest_arrays(a) != digest_arrays(b)
+        assert digest_arrays(a, extra="x") != digest_arrays(a, extra="y")
+
+
+class TestJsonEntries:
+    def test_round_trip(self, store):
+        key = digest_parts("k", 1)
+        assert store.get_json(key) is None
+        store.put_json(key, {"hits": 3, "misses": 1})
+        assert store.get_json(key) == {"hits": 3, "misses": 1}
+
+    def test_corrupt_entry_is_a_miss_and_dies(self, store):
+        key = digest_parts("k", 2)
+        store.put_json(key, {"ok": True})
+        path = store.path_for(key, "json")
+        path.write_text("{truncated")
+        assert store.get_json(key) is None
+        assert not path.exists()  # corrupt file deleted, not re-read
+
+    def test_non_dict_payload_rejected(self, store):
+        key = digest_parts("k", 3)
+        path = store.path_for(key, "json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        assert store.get_json(key) is None
+
+    def test_two_level_fanout(self, store):
+        key = digest_parts("k", 4)
+        store.put_json(key, {})
+        assert store.path_for(key, "json").parent.name == key[:2]
+
+
+class TestArrayEntries:
+    def test_round_trip(self, store):
+        key = digest_parts("a", 1)
+        assert store.get_arrays(key) is None
+        store.put_arrays(key, x=np.arange(5), y=np.ones((2, 2)))
+        bundle = store.get_arrays(key)
+        np.testing.assert_array_equal(bundle["x"], np.arange(5))
+        np.testing.assert_array_equal(bundle["y"], np.ones((2, 2)))
+
+    def test_corrupt_bundle_is_a_miss(self, store):
+        key = digest_parts("a", 2)
+        store.put_arrays(key, x=np.arange(5))
+        store.path_for(key, "npz").write_bytes(b"not an npz")
+        assert store.get_arrays(key) is None
+
+
+class TestEnvControl:
+    def test_disable_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        assert not cache_enabled()
+        store = ContentStore(root=tmp_path, namespace="off")
+        key = digest_parts("k", 1)
+        store.put_json(key, {"dropped": True})
+        assert not any(tmp_path.rglob("*.json"))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE")
+        assert cache_enabled()
+        assert store.get_json(key) is None  # nothing was ever written
+
+    def test_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachehome"))
+        assert default_cache_dir() == tmp_path / "cachehome"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro"

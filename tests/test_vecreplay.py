@@ -1,0 +1,244 @@
+"""Differential property suite for the set-parallel vectorized replay.
+
+The scalar simulator (:mod:`repro.scc.cache`) is the oracle; every test
+here enforces the bitwise contract of :mod:`repro.scc.vecreplay`:
+identical hit/miss/eviction/writeback counts at every level *and*
+identical final state (tags, dirty bits, pseudo-LRU trees) for the same
+access stream.  The tail-width sweep pins all three execution paths —
+pure vector, mixed vector+tail, pure scalar tail — and multi-pass
+streams drive the engine through its full-cache fast body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scc.cache import Cache, CacheHierarchy
+from repro.scc.vecreplay import (
+    TAIL_WIDTH,
+    VectorCache,
+    VectorCacheHierarchy,
+    compile_schedule,
+    fingerprints_equal,
+)
+
+#: tail-width settings covering pure-vector (0), mixed, default and
+#: pure-scalar-tail (huge) execution.
+TAIL_SWEEP = (0, 4, TAIL_WIDTH, 10**9)
+
+
+def _stream(rng, n, n_lines, write_frac=0.3):
+    """A random (addrs, writes) pair over ``n_lines`` distinct lines."""
+    addrs = rng.integers(0, n_lines, size=n) * 32
+    writes = rng.random(n) < write_frac
+    return addrs, writes
+
+
+def _scalar_stats(c):
+    return (c.stats.hits, c.stats.misses, c.stats.evictions, c.stats.writebacks)
+
+
+def _scalar_fingerprint(c: Cache):
+    """(tags, dirty, plru) of the scalar cache, in the vector layout."""
+    plru = np.array([t.bits for t in c._plru], dtype=np.int64)
+    return (c._tags.copy(), c._dirty.copy(), plru)
+
+
+def _run_both(addrs, writes, passes=1, size=1024, tail_width=TAIL_WIDTH):
+    scalar = Cache(size_bytes=size, name="s")
+    vec = VectorCache(size_bytes=size, name="v")
+    vec.tail_width = tail_width
+    for _ in range(passes):
+        for a, w in zip(addrs.tolist(), writes.tolist()):
+            scalar.access(int(a), write=bool(w))
+        vec.access_trace(addrs, writes)
+    return scalar, vec
+
+
+class TestScheduleCompilation:
+    def test_empty_stream(self):
+        sched = compile_schedule(np.empty(0, dtype=np.int64), None, 32)
+        assert sched.n_accesses == sched.n_kept == sched.n_steps == 0
+        assert sched.bounds.tolist() == [0]
+
+    def test_adjacent_duplicates_collapse_with_write_or(self):
+        # line 5 accessed thrice in a row (read, write, read): one kept
+        # access with the write flag OR-ed in.
+        lines = np.array([5, 5, 5, 7], dtype=np.int64)
+        writes = np.array([False, True, False, False])
+        sched = compile_schedule(lines, writes, 32)
+        assert sched.collapsed == 2
+        assert sched.n_kept == 2
+        kept_writes = {int(l): bool(w) for l, w in zip(sched.lines, sched.writes)}
+        assert kept_writes == {5: True, 7: False}
+
+    def test_step_major_invariants(self):
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 200, size=1500).astype(np.int64)
+        writes = rng.random(1500) < 0.5
+        n_sets = 16
+        sched = compile_schedule(lines, writes, n_sets)
+        widths = np.diff(sched.bounds)
+        # Step widths are non-increasing (the tail cutover relies on it)
+        # and every step touches each set at most once.
+        assert (widths[1:] <= widths[:-1]).all()
+        assert sched.bounds[-1] == sched.n_kept
+        for k in range(sched.n_steps):
+            s = sched.sets[sched.bounds[k] : sched.bounds[k + 1]]
+            assert np.unique(s).size == s.size
+        # `orig` is a permutation into the raw stream and each kept
+        # access carries its own line/set.
+        assert np.unique(sched.orig).size == sched.n_kept
+        np.testing.assert_array_equal(lines[sched.orig], sched.lines)
+        np.testing.assert_array_equal(lines[sched.orig] % n_sets, sched.sets)
+
+    def test_per_set_program_order_preserved(self):
+        # Walking steps in order must visit each set's accesses in
+        # program order (after collapse) — the correctness core of the
+        # lockstep transform.
+        rng = np.random.default_rng(4)
+        lines = rng.integers(0, 100, size=800).astype(np.int64)
+        sched = compile_schedule(lines, None, 8)
+        for s in range(8):
+            positions = sched.orig[sched.sets == s]
+            assert (np.diff(positions) > 0).all()
+
+
+class TestSingleLevelDifferential:
+    @pytest.mark.parametrize("tail_width", TAIL_SWEEP)
+    def test_random_stream_counts_and_state(self, tail_width):
+        rng = np.random.default_rng(17)
+        addrs, writes = _stream(rng, 2000, 120)
+        scalar, vec = _run_both(addrs, writes, tail_width=tail_width)
+        assert _scalar_stats(scalar) == _scalar_stats(vec)
+        assert fingerprints_equal(
+            _scalar_fingerprint(scalar), vec.state_fingerprint()
+        )
+
+    def test_multi_pass_exercises_full_cache_body(self):
+        # Pass 1 fills the cache; passes 2-3 run entirely through the
+        # lean full-cache body, which must stay bitwise identical.
+        rng = np.random.default_rng(23)
+        addrs, writes = _stream(rng, 1800, 90)
+        scalar, vec = _run_both(addrs, writes, passes=3, tail_width=0)
+        assert vec._full  # the fast body actually engaged
+        assert _scalar_stats(scalar) == _scalar_stats(vec)
+        assert fingerprints_equal(
+            _scalar_fingerprint(scalar), vec.state_fingerprint()
+        )
+
+    def test_pathological_single_set_stream(self):
+        # Every access lands in one set: schedule degenerates to one
+        # access per step (pure tail / pure sequential vector).
+        rng = np.random.default_rng(29)
+        n_sets = 8
+        lines = (rng.integers(0, 40, size=400) * n_sets + 3).astype(np.int64)
+        for tw in (0, 10**9):
+            scalar = Cache(size_bytes=n_sets * 4 * 32, name="s")
+            vec = VectorCache(size_bytes=n_sets * 4 * 32, name="v")
+            vec.tail_width = tw
+            for l in lines.tolist():
+                scalar.access(int(l) * 32)
+            vec.access_trace(lines * 32)
+            assert _scalar_stats(scalar) == _scalar_stats(vec)
+
+    def test_reads_only_stream(self):
+        rng = np.random.default_rng(31)
+        addrs = rng.integers(0, 300, size=1000) * 32
+        scalar = Cache(size_bytes=2048, name="s")
+        vec = VectorCache(size_bytes=2048, name="v")
+        for a in addrs.tolist():
+            scalar.access(int(a))
+        vec.access_trace(addrs)
+        assert _scalar_stats(scalar) == _scalar_stats(vec)
+        assert scalar.stats.writebacks == 0
+
+
+class TestHierarchyDifferential:
+    @pytest.mark.parametrize("l2_enabled", [True, False])
+    def test_multi_pass_hierarchy(self, l2_enabled):
+        rng = np.random.default_rng(37)
+        addrs, writes = _stream(rng, 2500, 500)
+        scalar = CacheHierarchy(l1_bytes=2048, l2_bytes=8192, l2_enabled=l2_enabled)
+        vec = VectorCacheHierarchy(l1_bytes=2048, l2_bytes=8192, l2_enabled=l2_enabled)
+        for _ in range(3):
+            for a, w in zip(addrs.tolist(), writes.tolist()):
+                scalar.access(int(a), write=bool(w))
+            vec.access_trace(addrs, writes)
+        assert _scalar_stats(scalar.l1) == _scalar_stats(vec.l1)
+        if l2_enabled:
+            assert _scalar_stats(scalar.l2) == _scalar_stats(vec.l2)
+            assert fingerprints_equal(
+                _scalar_fingerprint(scalar.l1) + _scalar_fingerprint(scalar.l2),
+                vec.state_fingerprint(),
+            )
+
+    def test_level_counts_sum_to_accesses(self):
+        rng = np.random.default_rng(41)
+        addrs, writes = _stream(rng, 1200, 400)
+        vec = VectorCacheHierarchy(l1_bytes=1024, l2_bytes=4096)
+        counts = vec.access_trace(addrs, writes)
+        assert counts["l1"] + counts["l2"] + counts["mem"] == addrs.size
+
+
+class TestVectorCacheAPI:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            VectorCache(size_bytes=0)
+        with pytest.raises(ValueError):
+            VectorCache(size_bytes=1000, assoc=3, line_bytes=32)
+
+    def test_writes_shape_mismatch(self):
+        vec = VectorCache(size_bytes=1024)
+        with pytest.raises(ValueError):
+            vec.access_trace(np.array([0, 32]), writes=np.array([True]))
+        hier = VectorCacheHierarchy(l1_bytes=128, l2_bytes=512)
+        with pytest.raises(ValueError):
+            hier.access_trace(np.array([0, 32]), writes=np.array([True]))
+
+    def test_empty_trace_is_a_noop(self):
+        vec = VectorCache(size_bytes=1024)
+        assert vec.access_trace(np.empty(0, dtype=np.int64)) == 0
+        assert _scalar_stats(vec) == (0, 0, 0, 0)
+
+    def test_flush_writes_back_and_resets_full_flag(self):
+        vec = VectorCache(size_bytes=128)  # 1 set, 4 ways
+        vec.access_trace(np.arange(4) * 32 * vec.n_sets,
+                         np.array([True, True, False, False]))
+        for _ in range(2):  # promote to the full-cache body
+            vec.access_trace(np.arange(4) * 32 * vec.n_sets)
+        assert vec._full
+        assert vec.flush() == 2  # two dirty lines written back
+        assert not vec._full
+        assert not vec.contains_line(0)
+
+    def test_contains_line(self):
+        vec = VectorCache(size_bytes=1024)
+        vec.access_trace(np.array([96]))
+        assert vec.contains_line(3)
+        assert not vec.contains_line(4)
+
+    def test_replay_counters_accumulate(self):
+        rng = np.random.default_rng(43)
+        addrs, writes = _stream(rng, 600, 80)
+        vec = VectorCacheHierarchy(l1_bytes=1024, l2_bytes=4096)
+        vec.access_trace(addrs, writes)
+        assert vec.steps_run > 0
+        assert vec.collapsed_hits >= 0
+        assert vec.tail_accesses >= 0
+
+
+class TestFingerprints:
+    def test_equal_and_unequal(self):
+        a = VectorCache(size_bytes=1024)
+        b = VectorCache(size_bytes=1024)
+        assert fingerprints_equal(a.state_fingerprint(), b.state_fingerprint())
+        a.access_trace(np.array([0]))
+        assert not fingerprints_equal(a.state_fingerprint(), b.state_fingerprint())
+
+    def test_fingerprint_is_a_copy(self):
+        vec = VectorCache(size_bytes=1024)
+        fp = vec.state_fingerprint()
+        vec.access_trace(np.array([0]))
+        assert not fingerprints_equal(fp, vec.state_fingerprint())
