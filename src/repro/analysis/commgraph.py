@@ -1,0 +1,557 @@
+"""Symbolic per-core communication graphs and the DF50x provers.
+
+The dataflow interpreter (:mod:`repro.analysis.dataflow`) reduces one
+UE program at one core count to a :class:`CommGraph`: for every UE, the
+set of feasible ordered traces of :class:`CommEvent` (sends, receives,
+collectives) it can execute.  This module owns that data model and the
+three provers that run on top of it:
+
+- :func:`prove_deadlock` (**DF501**) replays the traces under the exact
+  rendezvous semantics of the runtime (buffered deposit, consume-ack,
+  FIFO matching, epoch-synchronized collectives) and reports wait-for
+  cycles, orphaned receives/sends and orphaned collectives — the hangs
+  ``RT801`` only sees on schedules that actually execute;
+- :func:`prove_congruence` (**DF502**) checks that every UE, on every
+  feasible branch assignment, executes the same collective sequence
+  (kind, root, and — for reduce/allreduce — contribution size);
+- :func:`prove_capacity` (**DF503**) bounds each edge's payload against
+  the 8 KB per-core MPB budget.
+
+Provers return :class:`Issue` records keyed for cross-core-count
+aggregation; :mod:`repro.analysis.dataflow` turns them into
+:class:`~repro.analysis.findings.Finding` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rcce.comm_meta import COMM_API
+from ..rcce.mpb import MPB_BYTES_PER_CORE
+
+__all__ = [
+    "Span",
+    "CommEvent",
+    "Decision",
+    "UETrace",
+    "CommGraph",
+    "Issue",
+    "ScheduleResult",
+    "simulate_schedule",
+    "prove_deadlock",
+    "prove_congruence",
+    "prove_capacity",
+]
+
+#: collectives whose per-rank contribution must be size-consistent
+#: (mirrors the runtime checker's RT805 scope).
+SIZE_CHECKED_COLLECTIVES = frozenset({"reduce", "allreduce"})
+
+
+@dataclass(frozen=True)
+class Span:
+    """1-based source region (0 = unknown), matching Finding fields."""
+
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+
+    @classmethod
+    def of(cls, node: ast.AST) -> "Span":
+        """Span of an AST node (columns converted to 1-based)."""
+        line = int(getattr(node, "lineno", 0) or 0)
+        col_off = getattr(node, "col_offset", None)
+        end_line = int(getattr(node, "end_lineno", 0) or 0)
+        end_col_off = getattr(node, "end_col_offset", None)
+        return cls(
+            line=line,
+            col=0 if col_off is None else int(col_off) + 1,
+            end_line=end_line,
+            end_col=0 if end_col_off is None else int(end_col_off) + 1,
+        )
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One symbolic communication operation executed by one UE.
+
+    ``peer``/``tag``/``root``/``nbytes`` are ``None`` when statically
+    unknown (treated as wildcards by the schedule simulator — the
+    permissive direction, so unknowns can only hide bugs, never invent
+    them).
+    """
+
+    op: str                       #: method name from the comm API table
+    span: Span
+    peer: Optional[int] = None    #: dest (sends) / source (recvs)
+    tag: Optional[int] = None
+    nbytes: Optional[int] = None  #: payload wire-size upper bound
+    root: Optional[int] = None
+    bounded: bool = False         #: recv with a timeout (cannot hang)
+
+    @property
+    def kind(self) -> str:
+        return COMM_API[self.op].kind
+
+    def describe(self) -> str:
+        """Short human rendering used in finding messages."""
+        if self.kind == "p2p-send":
+            peer = "?" if self.peer is None else str(self.peer)
+            tag = "?" if self.tag is None else str(self.tag)
+            return f"{self.op}(dest={peer}, tag={tag})"
+        if self.kind == "p2p-recv":
+            peer = "*" if self.peer is None else str(self.peer)
+            tag = "*" if self.tag is None else str(self.tag)
+            return f"recv(source={peer}, tag={tag})"
+        if self.root is not None:
+            return f"{self.op}(root={self.root})"
+        return f"{self.op}()"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One fork taken while interpreting a UE (an undecidable branch)."""
+
+    key: Tuple[int, ...]  #: (line, col, occurrence) of the branch site
+    taken: bool
+    uniform: bool         #: condition provably identical on every UE?
+
+
+@dataclass
+class UETrace:
+    """One feasible execution of one UE: its comm events in order."""
+
+    ue: int
+    events: List[CommEvent] = field(default_factory=list)
+    decisions: Tuple[Decision, ...] = ()
+    incomplete: List[str] = field(default_factory=list)
+
+    def collective_signature(self) -> Tuple[Tuple[str, Optional[int], Optional[int]], ...]:
+        """(kind, root, size-checked nbytes) of each collective, in order."""
+        out: List[Tuple[str, Optional[int], Optional[int]]] = []
+        for ev in self.events:
+            if ev.kind == "collective":
+                nbytes = ev.nbytes if ev.op in SIZE_CHECKED_COLLECTIVES else None
+                out.append((ev.op, ev.root, nbytes))
+        return tuple(out)
+
+
+class CommGraph:
+    """All feasible symbolic traces of one program at one core count."""
+
+    def __init__(self, n_ues: int, traces: Dict[int, List[UETrace]]) -> None:
+        if n_ues < 1:
+            raise ValueError(f"n_ues must be >= 1, got {n_ues}")
+        for ue in range(n_ues):
+            if not traces.get(ue):
+                raise ValueError(f"UE {ue} has no feasible trace")
+        self.n_ues = n_ues
+        self.traces = traces
+
+    @property
+    def incomplete_reasons(self) -> List[str]:
+        """Deduplicated reasons any trace's analysis was incomplete."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for variants in self.traces.values():
+            for tr in variants:
+                for reason in tr.incomplete:
+                    if reason not in seen:
+                        seen.add(reason)
+                        out.append(reason)
+        return out
+
+    def assignments(self, cap: int = 256) -> Iterator[List[UETrace]]:
+        """Feasible global assignments: one trace per UE, consistent on
+        uniform decisions (every UE branches the same way on a condition
+        that is provably rank-uniform).  Yields at most ``cap``."""
+        produced = 0
+        for combo in itertools.product(*(self.traces[ue] for ue in range(self.n_ues))):
+            uniform_seen: Dict[Tuple[int, ...], bool] = {}
+            consistent = True
+            for tr in combo:
+                for d in tr.decisions:
+                    if not d.uniform:
+                        continue
+                    if uniform_seen.setdefault(d.key, d.taken) != d.taken:
+                        consistent = False
+                        break
+                if not consistent:
+                    break
+            if not consistent:
+                continue
+            yield list(combo)
+            produced += 1
+            if produced >= cap:
+                return
+
+    def edges(self) -> List[Tuple[int, Optional[int], Optional[int], Optional[int]]]:
+        """Aggregated message edges ``(src, dst, tag, nbytes)`` over all
+        traces (collectives excluded; dst None = unknown)."""
+        out: List[Tuple[int, Optional[int], Optional[int], Optional[int]]] = []
+        seen: Set[Tuple[int, Optional[int], Optional[int], Optional[int]]] = set()
+        for ue in range(self.n_ues):
+            for tr in self.traces[ue]:
+                for ev in tr.events:
+                    if ev.kind != "p2p-send":
+                        continue
+                    edge = (ue, ev.peer, ev.tag, ev.nbytes)
+                    if edge not in seen:
+                        seen.add(edge)
+                        out.append(edge)
+        return out
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One raw prover result at one core count (pre-aggregation)."""
+
+    rule: str
+    span: Span
+    key: Tuple[object, ...]  #: n-independent identity for aggregation
+    message: str             #: n-free core of the diagnostic
+    detail: str = ""         #: n-specific exemplar appended once
+
+
+# --------------------------------------------------------------------------
+# DF501: the rendezvous schedule simulator
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Msg:
+    src: int
+    tag: Optional[int]
+    rendezvous: bool
+    consumed: bool = False
+    event: Optional[CommEvent] = None
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of replaying one global trace assignment."""
+
+    completed: bool
+    #: ue -> event it is stuck on (empty when completed)
+    blocked: Dict[int, CommEvent] = field(default_factory=dict)
+    #: wait-for cycle among blocked UEs, if one exists
+    cycle: List[int] = field(default_factory=list)
+    #: crash diagnostics (invalid peers) that abort the job outright
+    crashes: List[Tuple[int, CommEvent, str]] = field(default_factory=list)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.blocked) and not self.completed
+
+
+def _validate_events(n_ues: int, assignment: Sequence[UETrace]) -> List[Tuple[int, CommEvent, str]]:
+    """Peers/roots that crash the runtime immediately (ValueError)."""
+    crashes: List[Tuple[int, CommEvent, str]] = []
+    for tr in assignment:
+        for ev in tr.events:
+            if ev.kind == "p2p-send" and ev.peer is not None:
+                if ev.peer == tr.ue:
+                    crashes.append(
+                        (tr.ue, ev, f"UE {tr.ue} sends to itself (rendezvous self-send)")
+                    )
+                elif not 0 <= ev.peer < n_ues:
+                    crashes.append(
+                        (tr.ue, ev, f"UE {tr.ue} sends to dest {ev.peer}, outside [0, {n_ues})")
+                    )
+            elif ev.kind == "p2p-recv" and ev.peer is not None:
+                if not 0 <= ev.peer < n_ues:
+                    crashes.append(
+                        (tr.ue, ev, f"UE {tr.ue} receives from source {ev.peer}, outside [0, {n_ues})")
+                    )
+            elif ev.kind == "collective" and ev.root is not None:
+                if not 0 <= ev.root < n_ues:
+                    crashes.append(
+                        (tr.ue, ev, f"UE {tr.ue} enters {ev.op} with root {ev.root}, outside [0, {n_ues})")
+                    )
+    return crashes
+
+
+def simulate_schedule(n_ues: int, assignment: Sequence[UETrace]) -> ScheduleResult:
+    """Replay one global assignment under the runtime's exact semantics.
+
+    Models what :class:`~repro.rcce.runtime.RCCERuntime` does: a
+    rendezvous ``send`` deposits its envelope into the destination
+    mailbox *immediately* (after transfer time) and then blocks until
+    the receiver consumes it; ``send_async`` deposits and continues;
+    ``recv`` consumes the first matching envelope in FIFO order (tag or
+    source ``None`` matches anything); a timed recv never blocks; and a
+    collective completes only when **all** ``n_ues`` ranks have entered
+    one.  Runs to quiescence; any UE still blocked then is deadlocked
+    for every real schedule, because the replay is maximally permissive
+    (wildcard matching, earliest possible delivery).
+    """
+    crashes = _validate_events(n_ues, assignment)
+    if crashes:
+        return ScheduleResult(completed=False, crashes=crashes)
+
+    events = {tr.ue: tr.events for tr in assignment}
+    pc = {ue: 0 for ue in range(n_ues)}
+    #: mailbox per UE, FIFO of deposited messages
+    mailbox: Dict[int, List[_Msg]] = {ue: [] for ue in range(n_ues)}
+    #: rendezvous sends blocked on their ack: ue -> message
+    awaiting_ack: Dict[int, _Msg] = {}
+
+    def finished(ue: int) -> bool:
+        return pc[ue] >= len(events[ue]) and ue not in awaiting_ack
+
+    def try_recv(ue: int, ev: CommEvent) -> bool:
+        for msg in mailbox[ue]:
+            if msg.consumed:
+                continue
+            if ev.peer is not None and msg.src != ev.peer:
+                continue
+            if ev.tag is not None and msg.tag is not None and msg.tag != ev.tag:
+                continue
+            msg.consumed = True
+            if msg.rendezvous and awaiting_ack.get(msg.src) is msg:
+                del awaiting_ack[msg.src]
+            return True
+        return False
+
+    def step(ue: int) -> bool:
+        """Advance one UE by at most one event; True on progress."""
+        if ue in awaiting_ack:
+            return False  # blocked in a rendezvous send
+        if pc[ue] >= len(events[ue]):
+            return False
+        ev = events[ue][pc[ue]]
+        if ev.kind == "p2p-send":
+            if ev.peer is None:
+                pc[ue] += 1  # unknown dest: modeled as completing (DF500)
+                return True
+            msg = _Msg(src=ue, tag=ev.tag, rendezvous=(ev.op == "send"), event=ev)
+            mailbox[ev.peer].append(msg)
+            if ev.op == "send":
+                awaiting_ack[ue] = msg
+            pc[ue] += 1
+            return True
+        if ev.kind == "p2p-recv":
+            if try_recv(ue, ev) or ev.bounded:
+                pc[ue] += 1  # matched, or timed out without a match
+                return True
+            return False
+        if ev.kind == "collective":
+            return False  # released globally by the epoch rule below
+        pc[ue] += 1  # local op (not normally recorded, but harmless)
+        return True
+
+    guard = sum(len(e) for e in events.values()) * (n_ues + 2) + n_ues + 8
+    for _round in range(guard):
+        progress = False
+        for ue in range(n_ues):
+            while step(ue):
+                progress = True
+        if all(finished(ue) for ue in range(n_ues)):
+            return ScheduleResult(completed=True)
+        if progress:
+            continue
+        # p2p-quiescent: release a collective epoch iff EVERY rank is
+        # parked at a collective (the runtime's trees span all ranks).
+        at_collective = [
+            ue
+            for ue in range(n_ues)
+            if ue not in awaiting_ack
+            and pc[ue] < len(events[ue])
+            and events[ue][pc[ue]].kind == "collective"
+        ]
+        if len(at_collective) == n_ues:
+            for ue in at_collective:
+                pc[ue] += 1
+            continue
+        break  # true quiescence: deadlock
+    blocked: Dict[int, CommEvent] = {}
+    for ue in range(n_ues):
+        if finished(ue):
+            continue
+        if ue in awaiting_ack:
+            msg = awaiting_ack[ue]
+            blocked[ue] = msg.event if msg.event is not None else events[ue][pc[ue] - 1]
+        elif pc[ue] < len(events[ue]):
+            blocked[ue] = events[ue][pc[ue]]
+    return ScheduleResult(completed=False, blocked=blocked, cycle=_find_cycle(blocked))
+
+
+def _find_cycle(blocked: Dict[int, CommEvent]) -> List[int]:
+    """A wait-for cycle among blocked UEs (empty when none exists)."""
+    graph: Dict[int, int] = {}
+    for ue, ev in blocked.items():
+        if ev.peer is not None and ev.peer in blocked:
+            graph[ue] = ev.peer
+    for start in sorted(graph):
+        seen: List[int] = []
+        node = start
+        while node in graph and node not in seen:
+            seen.append(node)
+            node = graph[node]
+        if node in seen:
+            return seen[seen.index(node):]
+    return []
+
+
+def _describe_blockage(result: ScheduleResult, n_ues: int) -> Tuple[Tuple[object, ...], str, Span]:
+    """(aggregation key, message, span) for one deadlocked replay."""
+    if result.crashes:
+        ue, ev, why = result.crashes[0]
+        return (("crash", ev.span, ev.op), f"{why} — the runtime rejects this and the job dies", ev.span)
+    if result.cycle:
+        cyc = result.cycle
+        shown = cyc[:6]
+        parts = [f"UE {u}" for u in shown]
+        if len(cyc) > 6:
+            parts.append("...")
+        parts.append(f"UE {cyc[0]}")
+        chain = " -> ".join(parts)
+        ev = result.blocked[cyc[0]]
+        ops = ", ".join(f"UE {u}: {result.blocked[u].describe()}" for u in shown)
+        return (
+            # keyed by the *distinct* cycle sites: the same ring deadlock
+            # has a longer cycle at every n but identical source spans
+            ("cycle", tuple(sorted({result.blocked[u].span for u in cyc},
+                                   key=lambda s: (s.line, s.col)))),
+            f"rendezvous wait-for cycle of {len(cyc)} UE(s): {chain} ({ops})",
+            ev.span,
+        )
+    items = sorted(result.blocked.items())
+    ue, ev = items[0]
+    ops = "; ".join(f"UE {u}: {e.describe()}" for u, e in items[:4])
+    more = f" (+{len(items) - 4} more)" if len(items) > 4 else ""
+    finished = n_ues - len(items)
+    kind = "orphaned collective" if ev.kind == "collective" else "orphaned wait"
+    return (
+        # keyed by the *distinct* blocked sites so the same hang shape
+        # aggregates across core counts (the UE count varies with n)
+        (kind, tuple(sorted({e.span for _, e in items}, key=lambda s: (s.line, s.col)))),
+        f"{kind}: {len(items)} UE(s) block forever with {finished} already finished — {ops}{more}",
+        ev.span,
+    )
+
+
+def prove_deadlock(graph: CommGraph, assignment_cap: int = 256) -> List[Issue]:
+    """DF501: replay every feasible assignment; report hangs and crashes."""
+    issues: List[Issue] = []
+    seen: Set[Tuple[object, ...]] = set()
+    if graph.incomplete_reasons:
+        return []  # dataflow reports DF500 instead; never guess on partial traces
+    for assignment in graph.assignments(cap=assignment_cap):
+        result = simulate_schedule(graph.n_ues, assignment)
+        if result.completed:
+            continue
+        key, message, span = _describe_blockage(result, graph.n_ues)
+        if key in seen:
+            continue
+        seen.add(key)
+        issues.append(Issue(rule="DF501", span=span, key=key, message=message))
+    return issues
+
+
+# --------------------------------------------------------------------------
+# DF502: collective congruence
+# --------------------------------------------------------------------------
+
+
+def prove_congruence(graph: CommGraph, assignment_cap: int = 256) -> List[Issue]:
+    """DF502: every UE must run the same collective sequence on every
+    feasible branch assignment (same kind, same root, and — for
+    reduce/allreduce — the same statically-known contribution size)."""
+    issues: List[Issue] = []
+    seen: Set[Tuple[object, ...]] = set()
+
+    def record(span: Span, key: Tuple[object, ...], message: str) -> None:
+        if key not in seen:
+            seen.add(key)
+            issues.append(Issue(rule="DF502", span=span, key=key, message=message))
+
+    for assignment in graph.assignments(cap=assignment_cap):
+        ref = assignment[0].collective_signature()
+        ref_events = [ev for ev in assignment[0].events if ev.kind == "collective"]
+        for tr in assignment[1:]:
+            sig = tr.collective_signature()
+            col_events = [ev for ev in tr.events if ev.kind == "collective"]
+            for i, (a, b) in enumerate(zip(ref, sig)):
+                span = col_events[i].span if i < len(col_events) else Span()
+                if a[0] != b[0]:
+                    record(
+                        span,
+                        ("kind", i, a[0], b[0], span),
+                        f"collective divergence at position {i}: UE 0 enters "
+                        f"{a[0]!r} but UE {tr.ue} enters {b[0]!r}",
+                    )
+                    break
+                if a[1] is not None and b[1] is not None and a[1] != b[1]:
+                    record(
+                        span,
+                        ("root", i, span),
+                        f"collective root divergence at position {i}: UE 0 uses "
+                        f"{a[0]}(root={a[1]}) but UE {tr.ue} uses {b[0]}(root={b[1]})",
+                    )
+                    break
+                if a[2] is not None and b[2] is not None and a[2] != b[2]:
+                    record(
+                        span,
+                        ("size", i, span),
+                        f"collective contribution divergence at position {i}: UE 0 "
+                        f"feeds {a[2]} B into {a[0]} but UE {tr.ue} feeds {b[2]} B",
+                    )
+                    break
+            else:
+                if len(ref) != len(sig):
+                    longer, shorter = (0, tr.ue) if len(ref) > len(sig) else (tr.ue, 0)
+                    i = min(len(ref), len(sig))
+                    extra = ref_events if len(ref) > len(sig) else col_events
+                    span = extra[i].span if i < len(extra) else Span()
+                    record(
+                        span,
+                        ("count", len(ref), len(sig), span),
+                        f"collective count divergence: UE {longer} enters "
+                        f"{max(len(ref), len(sig))} collective(s) but UE {shorter} "
+                        f"only {min(len(ref), len(sig))} — the extras hang",
+                    )
+    return issues
+
+
+# --------------------------------------------------------------------------
+# DF503: MPB capacity bounds
+# --------------------------------------------------------------------------
+
+
+def prove_capacity(graph: CommGraph, budget: int = MPB_BYTES_PER_CORE) -> List[Issue]:
+    """DF503: statically-known payloads larger than the per-core MPB.
+
+    ``comm.send`` chunks transparently, so an overrun is not a hang —
+    it is a serialized ``ceil(nbytes / budget)`` chunk round-trip chain,
+    the dominant cost cliff of large RCCE messages (paper Sec. II).
+    """
+    issues: List[Issue] = []
+    seen: Set[Tuple[object, ...]] = set()
+    for ue in range(graph.n_ues):
+        for tr in graph.traces[ue]:
+            for ev in tr.events:
+                if ev.nbytes is None or ev.nbytes <= budget:
+                    continue
+                chunks = -(-ev.nbytes // budget)
+                key = (ev.span, ev.op, ev.nbytes)
+                if key in seen:
+                    continue
+                seen.add(key)
+                issues.append(
+                    Issue(
+                        rule="DF503",
+                        span=ev.span,
+                        key=key,
+                        message=(
+                            f"{ev.op} payload of {ev.nbytes} B exceeds the "
+                            f"{budget} B per-core MPB: the transfer serializes "
+                            f"into {chunks} chunk round-trips"
+                        ),
+                    )
+                )
+    return issues

@@ -1,0 +1,126 @@
+"""Cross-validation of static DF50x verdicts against the RT80x runtime
+checkers (:mod:`repro.analysis.check`) on the same program.
+
+``repro analyze --compare-runtime`` runs both tools on one
+``file.py:function`` spec at one core count and asserts they agree on
+the liveness question: *does this program hang?*  The static side
+answers with DF501 (or abstains via DF500 when interpretation was
+incomplete); the dynamic side answers by actually executing the program
+under :func:`~repro.analysis.check.run_checked` (RT801 deadlock / a
+non-completing run).  Disagreement in either direction is a bug in one
+of the tools, which is exactly why the mode exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .check import CheckResult, load_program, run_checked
+from .dataflow import analyze_file
+from .findings import Finding, Severity
+
+__all__ = ["CrossCheckResult", "crosscheck_program", "crosscheck_findings"]
+
+
+@dataclass
+class CrossCheckResult:
+    """Verdict pair for one program at one core count."""
+
+    name: str
+    n_ues: int
+    static_findings: List[Finding] = field(default_factory=list)
+    runtime: Optional[CheckResult] = None
+    #: static analysis could not model the program (DF500 present)
+    static_abstained: bool = False
+
+    @property
+    def static_hangs(self) -> bool:
+        """Static verdict: DF501 proves the program cannot complete."""
+        return any(f.rule == "DF501" for f in self.static_findings)
+
+    @property
+    def runtime_hangs(self) -> bool:
+        """Dynamic verdict: the executed schedule did not complete."""
+        return self.runtime is not None and not self.runtime.completed
+
+    @property
+    def agree(self) -> bool:
+        """True when both tools reach the same liveness verdict.
+
+        An abstaining static analysis (DF500) never *disagrees*: the
+        analyzer explicitly declined to prove anything, so only the
+        over-claim direction (DF501 on a program that completes, or a
+        silent pass on a program that hangs) counts as disagreement.
+        """
+        if self.static_abstained:
+            return True
+        return self.static_hangs == self.runtime_hangs
+
+    def describe(self) -> str:
+        static = (
+            "abstained (DF500)"
+            if self.static_abstained
+            else ("deadlock (DF501)" if self.static_hangs else "clean")
+        )
+        dynamic = "hang" if self.runtime_hangs else "completed"
+        verdict = "AGREE" if self.agree else "DISAGREE"
+        return (
+            f"{self.name} @ n_ues={self.n_ues}: static={static}, "
+            f"runtime={dynamic} -> {verdict}"
+        )
+
+
+def crosscheck_program(
+    spec: str,
+    n_ues: int,
+    min_ues: Optional[int] = None,
+    max_ues: Optional[int] = None,
+) -> CrossCheckResult:
+    """Run both tools on one ``file.py:function`` spec.
+
+    The static pass analyzes the core-count range ``min_ues..max_ues``
+    (defaulting to exactly ``n_ues``) while the runtime executes at
+    ``n_ues``; findings are aggregated the usual way.
+    """
+    if ":" not in spec:
+        raise ValueError(f"--compare-runtime needs a 'file.py:function' spec, got {spec!r}")
+    path, _, func_name = spec.rpartition(":")
+    lo = n_ues if min_ues is None else min_ues
+    hi = n_ues if max_ues is None else max_ues
+    static_findings = analyze_file(path, min_ues=lo, max_ues=hi, function=func_name)
+
+    name, fn = load_program(spec)
+    runtime = run_checked(name, fn, n_ues=n_ues, verify_determinism=False)
+
+    return CrossCheckResult(
+        name=name,
+        n_ues=n_ues,
+        static_findings=static_findings,
+        runtime=runtime,
+        static_abstained=any(f.rule == "DF500" for f in static_findings),
+    )
+
+
+def crosscheck_findings(result: CrossCheckResult) -> List[Finding]:
+    """The combined finding list, plus a synthetic XCHECK error on
+    disagreement (so the CLI exit code reflects the verdict)."""
+    findings = list(result.static_findings)
+    if result.runtime is not None:
+        findings.extend(result.runtime.findings)
+    if not result.agree:
+        findings.append(
+            Finding(
+                rule="XCHECK",
+                severity=Severity.ERROR,
+                message=(
+                    f"static and runtime verdicts disagree for {result.name} "
+                    f"at n_ues={result.n_ues}: static says "
+                    f"{'deadlock' if result.static_hangs else 'clean'}, the "
+                    f"executed schedule "
+                    f"{'hung' if result.runtime_hangs else 'completed'}"
+                ),
+                hint="one of the two tools is wrong — file a bug with this program",
+            )
+        )
+    return findings

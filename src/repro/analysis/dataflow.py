@@ -1,0 +1,1203 @@
+"""Abstract interpretation of RCCE programs into communication graphs.
+
+The entry points (:func:`analyze_source`, :func:`analyze_paths`,
+:func:`analyze_function`) symbolically execute every UE function (the
+repo convention: a generator with a parameter named ``comm``) once per
+``(ue, n_ues)`` pair over a configurable core-count range, reducing it
+to per-core :class:`~repro.analysis.commgraph.CommGraph` traces that
+the DF50x provers consume.
+
+The interpreter is *concrete where it can be, abstract where it must
+be*: ``comm.ue`` and ``comm.num_ues`` are concrete integers per
+evaluation, so rank arithmetic (``(me ± 1) % n``, ``me ^ 1``), rank
+branches and ``range(num_ues - 1)`` loops all evaluate exactly.
+Everything derived from runtime data (matrix payloads, reduction
+results) becomes an abstract value carrying two facts: a **uniformity
+taint** (provably identical on every UE — e.g. an ``allreduce`` result)
+and, where known, a **payload byte bound**.  Undecidable branches that
+guard communication fork the interpretation (path-bounded); rank-uniform
+data loops (``while not converged``) are unrolled a fixed number of
+times, which is sound for congruence because every UE provably executes
+the same trip count.  Constructs the model cannot follow (a helper
+generator that receives ``comm``, rank-dependent data loops around
+communication) mark the trace *incomplete*: the liveness provers then
+stay silent and a ``DF500`` note is reported instead of a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rcce.comm_meta import COMM_API, ArgSpec, CommOp
+from ..rcce.mpb import MPB_BYTES_PER_CORE
+from .commgraph import (
+    CommEvent,
+    CommGraph,
+    Decision,
+    Issue,
+    Span,
+    UETrace,
+    prove_capacity,
+    prove_congruence,
+    prove_deadlock,
+)
+from .findings import Finding, Severity
+
+__all__ = [
+    "DataflowRule",
+    "DATAFLOW_RULES",
+    "all_dataflow_rules",
+    "get_dataflow_rule",
+    "Value",
+    "explore_ue",
+    "build_graph",
+    "analyze_function",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "DEFAULT_MIN_UES",
+    "DEFAULT_MAX_UES",
+]
+
+DEFAULT_MIN_UES = 2
+DEFAULT_MAX_UES = 16
+
+#: bounded-interpretation knobs (documented soundness limits).
+MAX_CONCRETE_UNROLL = 128   #: cap on exactly-counted loop iterations
+UNIFORM_UNROLL = 2          #: trip count modeled for rank-uniform data loops
+MAX_PATHS = 32              #: feasible-path cap per UE
+MAX_ASSIGNMENTS = 64        #: global trace-combination cap per core count
+MAX_FUEL = 200_000          #: AST evaluations per single UE replay
+
+
+# --------------------------------------------------------------------------
+# Rule catalogue
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DataflowRule:
+    """One rule of the symbolic analyzer (no AST check function — the
+    provers in :mod:`repro.analysis.commgraph` produce its findings)."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    hint: str
+
+
+DATAFLOW_RULES: Dict[str, DataflowRule] = {
+    r.id: r
+    for r in (
+        DataflowRule(
+            "DF500",
+            "analysis-incomplete",
+            Severity.INFO,
+            "program uses constructs the symbolic analyzer cannot follow",
+            "the liveness provers stay silent on this function; rely on "
+            "`repro check` (dynamic) for it, or restructure the flagged "
+            "construct",
+        ),
+        DataflowRule(
+            "DF501",
+            "static-deadlock",
+            Severity.ERROR,
+            "the symbolic schedule replay blocks forever (wait-for cycle, "
+            "orphaned wait, or a peer the runtime rejects)",
+            "every rendezvous send needs a reachable matching recv and "
+            "every collective needs all ranks; stagger ring exchanges "
+            "(even ranks send first) and check neighbor arithmetic at "
+            "the failing core counts",
+        ),
+        DataflowRule(
+            "DF502",
+            "collective-incongruence",
+            Severity.ERROR,
+            "UEs reach different collective sequences on a feasible branch "
+            "assignment",
+            "all ranks must enter the same collectives in the same order "
+            "with the same root and (reduce/allreduce) contribution shape",
+        ),
+        DataflowRule(
+            "DF503",
+            "mpb-capacity",
+            Severity.WARNING,
+            f"statically-known payload exceeds the {MPB_BYTES_PER_CORE} B "
+            "per-core MPB budget",
+            "the transfer is chunk-serialized through the 8 KB MPB; tile "
+            "the message or restructure to smaller exchanges",
+        ),
+    )
+}
+
+
+def all_dataflow_rules() -> List[DataflowRule]:
+    """Every DF5xx rule, ordered by id."""
+    return [DATAFLOW_RULES[k] for k in sorted(DATAFLOW_RULES)]
+
+
+def get_dataflow_rule(rule_id: str) -> DataflowRule:
+    """Look up one DF rule (KeyError names the unknown id)."""
+    if rule_id not in DATAFLOW_RULES:
+        raise KeyError(f"unknown dataflow rule {rule_id!r}; known: {sorted(DATAFLOW_RULES)}")
+    return DATAFLOW_RULES[rule_id]
+
+
+# --------------------------------------------------------------------------
+# Abstract values
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Value:
+    """One abstract value: possibly-known constant + uniformity taint.
+
+    ``uniform`` asserts the value is identical on every UE (module
+    globals, shared parameters, collective results).  ``nbytes`` is a
+    wire-size bound for payload-shaped unknowns (``np.zeros(n)``).
+    """
+
+    known: bool
+    const: Any = None
+    uniform: bool = True
+    nbytes: Optional[int] = None
+
+    @classmethod
+    def of(cls, const: Any, uniform: bool = True) -> "Value":
+        return cls(known=True, const=const, uniform=uniform)
+
+    @classmethod
+    def unknown(cls, uniform: bool = False, nbytes: Optional[int] = None) -> "Value":
+        return cls(known=False, uniform=uniform, nbytes=nbytes)
+
+    def as_int(self) -> Optional[int]:
+        """Concrete int when known and integral (bools excluded)."""
+        if self.known and isinstance(self.const, int) and not isinstance(self.const, bool):
+            return self.const
+        return None
+
+    def truthiness(self) -> Optional[bool]:
+        """Concrete truth value, or None when undecidable."""
+        if not self.known:
+            return None
+        try:
+            return bool(self.const)
+        except Exception:
+            return None
+
+
+_UNKNOWN = Value.unknown()
+
+_BINOPS: Dict[type, Callable[[Any, Any], Any]] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+    ast.BitOr: operator.or_,
+    ast.BitXor: operator.xor,
+    ast.BitAnd: operator.and_,
+}
+
+_CMPOPS: Dict[type, Callable[[Any, Any], Any]] = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.Is: operator.is_,
+    ast.IsNot: operator.is_not,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+#: numpy array constructors whose byte size is 8 * n (float64 default).
+_NP_SIZED_CTORS = frozenset({"zeros", "ones", "empty", "full", "arange"})
+
+
+def _dotted_name(func: ast.AST) -> str:
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _payload_nbytes(value: Value) -> Optional[int]:
+    """Wire-size bound of a payload value (mirrors the runtime's rule)."""
+    if value.known:
+        if value.const is None:
+            return 0  # the runtime charges 0 for a None collective payload
+        from ..rcce.api import payload_bytes
+
+        try:
+            return payload_bytes(value.const)
+        except Exception:
+            return None
+    return value.nbytes
+
+
+# --------------------------------------------------------------------------
+# Control-flow signals
+# --------------------------------------------------------------------------
+
+
+class _Return(Exception):
+    pass
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Incomplete(Exception):
+    """Abort the replay: the construct cannot be modeled at all."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------
+# The per-UE interpreter
+# --------------------------------------------------------------------------
+
+
+class _CommScan:
+    """Cached 'does this subtree communicate?' queries on one AST."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, bool] = {}
+
+    def __call__(self, node: ast.AST) -> bool:
+        key = id(node)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        found = False
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == "comm"
+            ):
+                op = COMM_API.get(sub.func.attr)
+                if op is not None and op.is_communication:
+                    found = True
+                    break
+        self._cache[key] = found
+        return found
+
+
+class _UERun:
+    """One scripted replay of a UE function at a concrete (ue, n)."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        ue: int,
+        n_ues: int,
+        script: Sequence[bool],
+        scan: _CommScan,
+        globals_env: Optional[Dict[str, Value]] = None,
+    ) -> None:
+        self.fn = fn
+        self.ue = ue
+        self.n = n_ues
+        self.script = list(script)
+        self.scan = scan
+        self.env: Dict[str, Value] = dict(globals_env or {})
+        self.events: List[CommEvent] = []
+        self.decisions: List[Decision] = []
+        self.incomplete: List[str] = []
+        self.fuel = MAX_FUEL
+        self._site_counts: Dict[Tuple[int, int], int] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    def execute(self) -> UETrace:
+        for arg in self.fn.args.args + self.fn.args.kwonlyargs + self.fn.args.posonlyargs:
+            # every extra parameter is the same shared object on all UEs
+            self.env[arg.arg] = Value.unknown(uniform=True)
+        if self.fn.args.vararg is not None:
+            self.env[self.fn.args.vararg.arg] = Value.unknown(uniform=True)
+        if self.fn.args.kwarg is not None:
+            self.env[self.fn.args.kwarg.arg] = Value.unknown(uniform=True)
+        try:
+            self._exec_body(self.fn.body)
+        except _Return:
+            pass
+        except (_Break, _Continue):
+            self.incomplete.append("break/continue outside any analyzable loop")
+        except _Incomplete as exc:
+            self.incomplete.append(exc.reason)
+        except RecursionError:  # pragma: no cover - pathological nesting
+            self.incomplete.append("program nests too deeply to interpret")
+        return UETrace(
+            ue=self.ue,
+            events=self.events,
+            decisions=tuple(self.decisions),
+            incomplete=list(dict.fromkeys(self.incomplete)),
+        )
+
+    def _spend(self) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise _Incomplete("interpretation budget exhausted")
+
+    def _decide(self, node: ast.AST, uniform: bool) -> bool:
+        site = (int(getattr(node, "lineno", 0) or 0), int(getattr(node, "col_offset", -1) or 0) + 1)
+        occurrence = self._site_counts.get(site, 0)
+        self._site_counts[site] = occurrence + 1
+        index = len(self.decisions)
+        taken = self.script[index] if index < len(self.script) else False
+        self.decisions.append(Decision(key=(*site, occurrence), taken=taken, uniform=uniform))
+        if len(self.decisions) > MAX_PATHS * 4:
+            raise _Incomplete("too many undecidable branches around communication")
+        return taken
+
+    def _havoc(self, node: ast.AST) -> None:
+        """Forget every name the subtree might assign."""
+        for sub in ast.walk(node):
+            targets: List[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign, ast.For)):
+                targets = [sub.target]
+            elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+                targets = [sub.optional_vars]
+            for t in targets:
+                for leaf in ast.walk(t):
+                    if isinstance(leaf, ast.Name):
+                        self.env[leaf.id] = _UNKNOWN
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        self._spend()
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            cur = self._eval(stmt.target) if isinstance(stmt.target, ast.Name) else _UNKNOWN
+            rhs = self._eval(stmt.value)
+            self._assign(stmt.target, self._binop(type(stmt.op), cur, rhs))
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+            raise _Return()
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, _UNKNOWN)
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                if any(self.scan(h) for h in handler.body):
+                    self.incomplete.append(
+                        f"line {handler.lineno}: communication inside an except "
+                        f"handler (reachability is data-dependent)"
+                    )
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            raise _Return()  # the UE dies here; no further comm happens
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.env[stmt.name] = Value.unknown(uniform=True)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    self.env.pop(t.id, None)
+        elif isinstance(stmt, ast.Match):
+            if self.scan(stmt):
+                raise _Incomplete(
+                    f"line {stmt.lineno}: communication inside a match statement"
+                )
+            self._havoc(stmt)
+        elif isinstance(stmt, (ast.Pass, ast.Import, ast.ImportFrom, ast.Global,
+                               ast.Nonlocal, ast.Assert)):
+            pass
+        else:
+            if self.scan(stmt):
+                raise _Incomplete(
+                    f"line {getattr(stmt, 'lineno', 0)}: unsupported statement "
+                    f"{type(stmt).__name__} around communication"
+                )
+            self._havoc(stmt)
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        cond = self._eval(stmt.test)
+        truth = cond.truthiness()
+        if truth is not None:
+            self._exec_body(stmt.body if truth else stmt.orelse)
+            return
+        communicates = any(self.scan(s) for s in stmt.body) or any(
+            self.scan(s) for s in stmt.orelse
+        )
+        if not communicates:
+            self._havoc(stmt)
+            return
+        taken = self._decide(stmt, uniform=cond.uniform)
+        self._exec_body(stmt.body if taken else stmt.orelse)
+
+    def _loop_once(self, stmt: ast.For | ast.While) -> bool:
+        """Run one loop body; returns False when the loop must stop."""
+        try:
+            self._exec_body(stmt.body)
+        except _Break:
+            return False
+        except _Continue:
+            pass
+        return True
+
+    def _exec_while(self, stmt: ast.While) -> None:
+        communicates = any(self.scan(s) for s in stmt.body)
+        for _ in range(MAX_CONCRETE_UNROLL):
+            cond = self._eval(stmt.test)
+            truth = cond.truthiness()
+            if truth is False:
+                self._exec_body(stmt.orelse)
+                return
+            if truth is None:
+                break  # undecidable: handled below
+            if not self._loop_once(stmt):
+                return
+        else:
+            raise _Incomplete(
+                f"line {stmt.lineno}: while loop exceeds {MAX_CONCRETE_UNROLL} "
+                f"concrete iterations"
+            )
+        cond = self._eval(stmt.test)
+        if not communicates:
+            self._havoc(stmt)
+            return
+        if not cond.uniform:
+            raise _Incomplete(
+                f"line {stmt.lineno}: rank-dependent while loop around "
+                f"communication (trip counts may differ per UE)"
+            )
+        # Rank-uniform data loop: every UE provably executes the same trip
+        # count, so a fixed unroll preserves congruence and periodic
+        # matching (documented soundness limit).
+        for _ in range(UNIFORM_UNROLL):
+            if self._eval(stmt.test).truthiness() is False:
+                break
+            if not self._loop_once(stmt):
+                return
+        self._exec_body(stmt.orelse)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iterable = self._eval(stmt.iter)
+        communicates = any(self.scan(s) for s in stmt.body)
+        if iterable.known:
+            try:
+                items = list(iterable.const)
+            except TypeError:
+                items = None
+            if items is not None:
+                if len(items) > MAX_CONCRETE_UNROLL:
+                    raise _Incomplete(
+                        f"line {stmt.lineno}: for loop over {len(items)} items "
+                        f"exceeds the {MAX_CONCRETE_UNROLL}-iteration bound"
+                    )
+                for item in items:
+                    self._assign(stmt.target, Value.of(item, uniform=iterable.uniform))
+                    if not self._loop_once(stmt):
+                        return
+                self._exec_body(stmt.orelse)
+                return
+        if not communicates:
+            self._havoc(stmt)
+            return
+        if not iterable.uniform:
+            raise _Incomplete(
+                f"line {stmt.lineno}: rank-dependent for loop around "
+                f"communication (trip counts may differ per UE)"
+            )
+        for _ in range(UNIFORM_UNROLL):
+            self._assign(stmt.target, Value.unknown(uniform=True))
+            if not self._loop_once(stmt):
+                return
+        self._exec_body(stmt.orelse)
+
+    def _assign(self, target: ast.expr, value: Value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elems: Optional[List[Any]] = None
+            if value.known:
+                try:
+                    elems = list(value.const)
+                except TypeError:
+                    elems = None
+            has_star = any(isinstance(e, ast.Starred) for e in target.elts)
+            if elems is not None and not has_star and len(elems) == len(target.elts):
+                for t, e in zip(target.elts, elems):
+                    self._assign(t, Value.of(e, uniform=value.uniform))
+            else:
+                for t in target.elts:
+                    inner = t.value if isinstance(t, ast.Starred) else t
+                    self._assign(inner, Value.unknown(uniform=value.uniform))
+        # Subscript/Attribute targets mutate shared containers — invisible
+        # to the comm model, so they are deliberately ignored.
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> Value:
+        self._spend()
+        if isinstance(node, ast.Constant):
+            return Value.of(node.value)
+        if isinstance(node, ast.Name):
+            # unresolved globals are module state: shared, hence uniform
+            return self.env.get(node.id, Value.unknown(uniform=True))
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(type(node.op), self._eval(node.left), self._eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self._unaryop(node)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.IfExp):
+            cond = self._eval(node.test)
+            truth = cond.truthiness()
+            if truth is not None:
+                return self._eval(node.body if truth else node.orelse)
+            a, b = self._eval(node.body), self._eval(node.orelse)
+            return Value.unknown(uniform=cond.uniform and a.uniform and b.uniform)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.YieldFrom):
+            return self._yield_from(node)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self._eval(node.value)
+            return _UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._container(node)
+        if isinstance(node, ast.Dict):
+            values = [self._eval(v) for v in node.values if v is not None]
+            keys = [self._eval(k) for k in node.keys if k is not None]
+            return Value.unknown(uniform=all(v.uniform for v in values + keys))
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.Slice):
+            parts = [self._eval(p) for p in (node.lower, node.upper, node.step) if p is not None]
+            return Value.unknown(uniform=all(p.uniform for p in parts))
+        if isinstance(node, ast.JoinedStr):
+            return Value.unknown(uniform=self._fallback_uniform(node))
+        if isinstance(node, ast.Lambda):
+            return Value.unknown(uniform=self._fallback_uniform(node))
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return Value.unknown(uniform=self._fallback_uniform(node))
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._assign(node.target, value)
+            return value
+        return Value.unknown(uniform=self._fallback_uniform(node))
+
+    def _fallback_uniform(self, node: ast.AST) -> bool:
+        """Conservative uniformity of an unmodeled expression: uniform
+        iff every name it reads holds a uniform value and it never
+        touches ``comm``."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                if sub.id == "comm":
+                    return False
+                if not self.env.get(sub.id, Value.unknown(uniform=True)).uniform:
+                    return False
+        return True
+
+    def _eval_attribute(self, node: ast.Attribute) -> Value:
+        if isinstance(node.value, ast.Name) and node.value.id == "comm":
+            if node.attr == "ue":
+                return Value.of(self.ue, uniform=False)
+            if node.attr == "num_ues":
+                return Value.of(self.n, uniform=True)
+            return Value.unknown(uniform=False)  # core, wtime ref, _rt, ...
+        base = self._eval(node.value)
+        return Value.unknown(uniform=base.uniform)
+
+    def _binop(self, op_type: type, a: Value, b: Value) -> Value:
+        uniform = a.uniform and b.uniform
+        fn = _BINOPS.get(op_type)
+        if fn is not None and a.known and b.known:
+            try:
+                return Value.of(fn(a.const, b.const), uniform=uniform)
+            except Exception:
+                return Value.unknown(uniform=uniform)
+        return Value.unknown(uniform=uniform)
+
+    def _unaryop(self, node: ast.UnaryOp) -> Value:
+        val = self._eval(node.operand)
+        if val.known:
+            try:
+                if isinstance(node.op, ast.USub):
+                    return Value.of(-val.const, uniform=val.uniform)
+                if isinstance(node.op, ast.UAdd):
+                    return Value.of(+val.const, uniform=val.uniform)
+                if isinstance(node.op, ast.Not):
+                    return Value.of(not val.const, uniform=val.uniform)
+                if isinstance(node.op, ast.Invert):
+                    return Value.of(~val.const, uniform=val.uniform)
+            except Exception:
+                pass
+        return Value.unknown(uniform=val.uniform)
+
+    def _boolop(self, node: ast.BoolOp) -> Value:
+        is_and = isinstance(node.op, ast.And)
+        uniform = True
+        for sub in node.values:
+            val = self._eval(sub)
+            uniform = uniform and val.uniform
+            truth = val.truthiness()
+            if truth is None:
+                return Value.unknown(uniform=uniform)
+            if truth is not is_and:  # short-circuit decides the result
+                return val
+        return val  # last operand wins when no short-circuit fired
+
+    def _compare(self, node: ast.Compare) -> Value:
+        left = self._eval(node.left)
+        uniform = left.uniform
+        result: Optional[bool] = True
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self._eval(comparator)
+            uniform = uniform and right.uniform
+            fn = _CMPOPS.get(type(op))
+            if result is not None and fn is not None and left.known and right.known:
+                try:
+                    verdict = bool(fn(left.const, right.const))
+                except Exception:
+                    result = None
+                else:
+                    if not verdict:
+                        return Value.of(False, uniform=uniform)
+            else:
+                result = None
+            left = right
+        if result is None:
+            return Value.unknown(uniform=uniform)
+        return Value.of(True, uniform=uniform)
+
+    def _container(self, node: ast.Tuple | ast.List | ast.Set) -> Value:
+        values = [self._eval(e) for e in node.elts]
+        uniform = all(v.uniform for v in values)
+        if any(isinstance(e, ast.Starred) for e in node.elts):
+            return Value.unknown(uniform=uniform)
+        if all(v.known for v in values):
+            consts = [v.const for v in values]
+            try:
+                if isinstance(node, ast.Tuple):
+                    return Value.of(tuple(consts), uniform=uniform)
+                if isinstance(node, ast.Set):
+                    return Value.of(set(consts), uniform=uniform)
+                return Value.of(consts, uniform=uniform)
+            except Exception:
+                return Value.unknown(uniform=uniform)
+        sizes = [_payload_nbytes(v) for v in values]
+        nbytes = sum(s for s in sizes if s is not None) if all(s is not None for s in sizes) else None
+        return Value.unknown(uniform=uniform, nbytes=nbytes)
+
+    def _subscript(self, node: ast.Subscript) -> Value:
+        base = self._eval(node.value)
+        index = self._eval(node.slice)
+        uniform = base.uniform and index.uniform
+        if base.known and index.known:
+            try:
+                return Value.of(base.const[index.const], uniform=uniform)
+            except Exception:
+                return Value.unknown(uniform=uniform)
+        return Value.unknown(uniform=uniform)
+
+    # -- calls and communication -------------------------------------------
+
+    def _call_arg(self, call: ast.Call, spec: Optional[ArgSpec]) -> Optional[ast.expr]:
+        if spec is None:
+            return None
+        if len(call.args) > spec.index:
+            arg = call.args[spec.index]
+            return None if isinstance(arg, ast.Starred) else arg
+        for kw in call.keywords:
+            if kw.arg == spec.keyword:
+                return kw.value
+        return None
+
+    def _call(self, node: ast.Call) -> Value:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "comm"
+            and func.attr in COMM_API
+        ):
+            # a comm call that is *not* driven by `yield from` never runs
+            # (SIM301 flags it); evaluate args for taint only.
+            for arg in node.args:
+                self._eval(arg)
+            return _UNKNOWN
+        name = _dotted_name(func)
+        arg_values = [self._eval(a) for a in node.args]
+        kw_values = [self._eval(kw.value) for kw in node.keywords]
+        uniform = all(v.uniform for v in arg_values + kw_values)
+        if isinstance(func, (ast.Attribute, ast.Name)):
+            uniform = uniform and self._eval_callable_uniform(func)
+
+        short = name.split(".")[-1]
+        root = name.split(".")[0]
+        if name in ("float", "int"):
+            if arg_values and arg_values[0].known:
+                try:
+                    caster = float if name == "float" else int
+                    return Value.of(caster(arg_values[0].const), uniform=uniform)
+                except Exception:
+                    return Value.unknown(uniform=uniform, nbytes=8)
+            return Value.unknown(uniform=uniform, nbytes=8)
+        if name in ("bool", "abs", "len", "min", "max", "round", "sum") and arg_values:
+            if all(v.known for v in arg_values):
+                try:
+                    builtin = {"bool": bool, "abs": abs, "len": len, "min": min,
+                               "max": max, "round": round, "sum": sum}[name]
+                    return Value.of(builtin(*[v.const for v in arg_values]), uniform=uniform)
+                except Exception:
+                    return Value.unknown(uniform=uniform)
+            return Value.unknown(uniform=uniform)
+        if name == "range":
+            if all(v.known for v in arg_values) and arg_values:
+                try:
+                    return Value.of(range(*[v.const for v in arg_values]), uniform=uniform)
+                except Exception:
+                    return Value.unknown(uniform=uniform)
+            return Value.unknown(uniform=uniform)
+        if root in ("np", "numpy") and short in _NP_SIZED_CTORS and arg_values:
+            shape = arg_values[0]
+            count: Optional[int] = shape.as_int()
+            if count is None and shape.known and isinstance(shape.const, (tuple, list)):
+                try:
+                    count = 1
+                    for d in shape.const:
+                        count *= int(d)
+                except Exception:
+                    count = None
+            nbytes = None if count is None or count < 0 else 8 * count
+            return Value.unknown(uniform=uniform, nbytes=nbytes)
+        if name in ("bytes", "bytearray") and arg_values:
+            count = arg_values[0].as_int()
+            return Value.unknown(uniform=uniform, nbytes=count if count is not None and count >= 0 else None)
+        return Value.unknown(uniform=uniform)
+
+    def _eval_callable_uniform(self, func: ast.expr) -> bool:
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            if node.id == "comm":
+                return False
+            return self.env.get(node.id, Value.unknown(uniform=True)).uniform
+        return self._fallback_uniform(node)
+
+    def _yield_from(self, node: ast.YieldFrom) -> Value:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            self._eval(call)
+            return _UNKNOWN
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "comm"
+            and func.attr in COMM_API
+        ):
+            return self._comm_call(call, COMM_API[func.attr])
+        # A helper generator: invisible to the comm model.  That is fine
+        # (one-sided MPB synchronization, timing helpers) unless it was
+        # handed the communicator itself, in which case it may send or
+        # receive on our behalf and the liveness provers must stand down.
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == "comm":
+                self.incomplete.append(
+                    f"line {call.lineno}: helper generator receives `comm` "
+                    f"(its communication is invisible to the analyzer)"
+                )
+        self._eval(call)
+        return _UNKNOWN
+
+    def _comm_call(self, call: ast.Call, op: CommOp) -> Value:
+        for arg in call.args:  # taint/side-effect pass (NamedExpr etc.)
+            if isinstance(arg, ast.Starred):
+                self._eval(arg.value)
+        if op.kind == "local":
+            payload_node = self._call_arg(call, op.payload)
+            if payload_node is not None:
+                self._eval(payload_node)
+            if op.name == "set_power":
+                return Value.unknown(uniform=False)
+            return Value.of(None, uniform=True)
+
+        peer_value = tag_value = root_value = None
+        peer_node = self._call_arg(call, op.peer)
+        if peer_node is not None:
+            peer_value = self._eval(peer_node)
+        tag_node = self._call_arg(call, op.tag)
+        if tag_node is not None:
+            tag_value = self._eval(tag_node)
+        root_node = self._call_arg(call, op.root)
+        if root_node is not None:
+            root_value = self._eval(root_node)
+        payload_node = self._call_arg(call, op.payload)
+        payload = self._eval(payload_node) if payload_node is not None else None
+
+        peer: Optional[int] = peer_value.as_int() if peer_value is not None else None
+        if op.kind == "p2p-send":
+            if peer_node is None or (peer_value is not None and not peer_value.known and peer is None):
+                if peer_node is not None:
+                    self.incomplete.append(
+                        f"line {call.lineno}: {op.name} destination is not "
+                        f"statically computable"
+                    )
+            tag: Optional[int] = 0  # the API default
+            if tag_node is not None:
+                tag = tag_value.as_int() if tag_value is not None else None
+        else:
+            tag = tag_value.as_int() if tag_value is not None else None
+
+        root: Optional[int] = None
+        if op.root is not None:
+            root = 0 if root_node is None else (root_value.as_int() if root_value is not None else None)
+
+        bounded = False
+        if op.timeout is not None:
+            bounded = self._call_arg(call, op.timeout) is not None
+
+        nbytes = _payload_nbytes(payload) if payload is not None else (0 if op.payload else None)
+        if op.name == "barrier":
+            nbytes = 0
+
+        self.events.append(
+            CommEvent(
+                op=op.name,
+                span=Span.of(call),
+                peer=peer,
+                tag=tag,
+                nbytes=nbytes,
+                root=root,
+                bounded=bounded,
+            )
+        )
+
+        # modeled return values (mirrors repro.rcce.collectives semantics)
+        if op.name == "recv":
+            return Value.unknown(uniform=False)
+        if op.name in ("send", "send_async", "barrier"):
+            return Value.of(None, uniform=True)
+        if op.name in ("bcast", "allreduce"):
+            return Value.unknown(uniform=True)
+        if op.name in ("reduce", "gather"):
+            if root is not None and self.ue != root:
+                return Value.of(None, uniform=False)
+            return Value.unknown(uniform=False)
+        return _UNKNOWN  # pragma: no cover - table is exhaustive
+
+
+# --------------------------------------------------------------------------
+# Path exploration and graph construction
+# --------------------------------------------------------------------------
+
+
+def explore_ue(
+    fn: ast.FunctionDef,
+    ue: int,
+    n_ues: int,
+    scan: Optional[_CommScan] = None,
+    path_cap: int = MAX_PATHS,
+    globals_env: Optional[Dict[str, Value]] = None,
+) -> List[UETrace]:
+    """Every feasible trace of one UE (bounded DFS over fork decisions)."""
+    scan = scan or _CommScan()
+    traces: List[UETrace] = []
+    stack: List[Tuple[bool, ...]] = [()]
+    while stack:
+        if len(traces) >= path_cap:
+            for tr in traces:
+                tr.incomplete.append(
+                    f"more than {path_cap} feasible paths for UE {ue} "
+                    f"(undecidable branching explosion)"
+                )
+            break
+        script = stack.pop()
+        run = _UERun(fn, ue, n_ues, script, scan, globals_env)
+        traces.append(run.execute())
+        for j in range(len(script), len(run.decisions)):
+            flipped = tuple(d.taken for d in run.decisions[:j]) + (not run.decisions[j].taken,)
+            stack.append(flipped)
+    return traces
+
+
+def build_graph(
+    fn: ast.FunctionDef,
+    n_ues: int,
+    scan: Optional[_CommScan] = None,
+    path_cap: int = MAX_PATHS,
+    globals_env: Optional[Dict[str, Value]] = None,
+) -> CommGraph:
+    """The symbolic communication graph of ``fn`` at one core count."""
+    scan = scan or _CommScan()
+    return CommGraph(
+        n_ues,
+        {ue: explore_ue(fn, ue, n_ues, scan, path_cap, globals_env) for ue in range(n_ues)},
+    )
+
+
+def module_constants(tree: ast.Module) -> Dict[str, Value]:
+    """Top-level ``NAME = <literal>`` bindings (``RING_TAG = 3`` style).
+
+    Module globals are shared by every UE, hence uniform; only
+    literal-evaluable right-hand sides are kept."""
+    out: Dict[str, Value] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        try:
+            const = ast.literal_eval(value)
+        except (ValueError, TypeError, SyntaxError, MemoryError, RecursionError):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                out[t.id] = Value.of(const, uniform=True)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Cross-core-count analysis and aggregation
+# --------------------------------------------------------------------------
+
+
+def _format_core_counts(ns: Sequence[int]) -> str:
+    ns = sorted(set(ns))
+    if len(ns) == 1:
+        return f"n_ues={ns[0]}"
+    if ns == list(range(ns[0], ns[-1] + 1)):
+        return f"n_ues in {ns[0]}..{ns[-1]}"
+    shown = ", ".join(str(n) for n in ns[:8])
+    more = f" and {len(ns) - 8} more" if len(ns) > 8 else ""
+    return f"n_ues in {{{shown}{more}}}"
+
+
+def analyze_function(
+    fn: ast.FunctionDef,
+    path: str,
+    min_ues: int = DEFAULT_MIN_UES,
+    max_ues: int = DEFAULT_MAX_UES,
+    select: Optional[Sequence[str]] = None,
+    budget: int = MPB_BYTES_PER_CORE,
+    globals_env: Optional[Dict[str, Value]] = None,
+) -> List[Finding]:
+    """Run all three provers on one UE function over a core-count range.
+
+    Per-core-count prover issues are aggregated by their n-independent
+    key, so a deadlock that exists at every core count becomes *one*
+    finding naming the affected range.
+    """
+    if min_ues < 1 or max_ues < min_ues:
+        raise ValueError(f"need 1 <= min_ues <= max_ues, got {min_ues}..{max_ues}")
+    wanted = set(select) if select is not None else None
+    for rule_id in wanted or ():
+        get_dataflow_rule(rule_id)  # KeyError on unknown ids
+
+    scan = _CommScan()
+    merged: Dict[Tuple[object, ...], Tuple[Issue, List[int]]] = {}
+    incomplete: Dict[str, List[int]] = {}
+    for n in range(min_ues, max_ues + 1):
+        graph = build_graph(fn, n, scan, globals_env=globals_env)
+        issues: List[Issue] = []
+        issues.extend(prove_deadlock(graph, assignment_cap=MAX_ASSIGNMENTS))
+        issues.extend(prove_congruence(graph, assignment_cap=MAX_ASSIGNMENTS))
+        issues.extend(prove_capacity(graph, budget=budget))
+        for issue in issues:
+            full_key = (issue.rule, *issue.key)
+            if full_key in merged:
+                merged[full_key][1].append(n)
+            else:
+                merged[full_key] = (issue, [n])
+        for reason in graph.incomplete_reasons:
+            incomplete.setdefault(reason, []).append(n)
+
+    findings: List[Finding] = []
+    for issue, ns in merged.values():
+        if wanted is not None and issue.rule not in wanted:
+            continue
+        rule = DATAFLOW_RULES[issue.rule]
+        findings.append(
+            Finding(
+                rule=rule.id,
+                severity=rule.severity,
+                message=f"in {fn.name!r}: {issue.message} [{_format_core_counts(ns)}]",
+                path=path,
+                line=issue.span.line or fn.lineno,
+                hint=rule.hint,
+                col=issue.span.col,
+                end_line=issue.span.end_line,
+                end_col=issue.span.end_col,
+            )
+        )
+    if wanted is None or "DF500" in wanted:
+        rule = DATAFLOW_RULES["DF500"]
+        for reason, ns in incomplete.items():
+            findings.append(
+                Finding(
+                    rule=rule.id,
+                    severity=rule.severity,
+                    message=(
+                        f"in {fn.name!r}: analysis incomplete — {reason} "
+                        f"[{_format_core_counts(ns)}]"
+                    ),
+                    path=path,
+                    line=fn.lineno,
+                    hint=rule.hint,
+                    col=fn.col_offset + 1,
+                )
+            )
+    return findings
+
+
+def _comm_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    """Top-level-or-nested functions with a parameter named ``comm``."""
+    out: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            names = [a.arg for a in node.args.args + node.args.kwonlyargs + node.args.posonlyargs]
+            if "comm" in names:
+                out.append(node)
+    return out
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    min_ues: int = DEFAULT_MIN_UES,
+    max_ues: int = DEFAULT_MAX_UES,
+    select: Optional[Sequence[str]] = None,
+    function: Optional[str] = None,
+) -> List[Finding]:
+    """Analyze every UE function in one source text (``function`` narrows
+    to a single name; unknown names raise ``ValueError``)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                hint="fix the syntax error first",
+            )
+        ]
+    functions = _comm_functions(tree)
+    if function is not None:
+        functions = [fn for fn in functions if fn.name == function]
+        if not functions:
+            raise ValueError(f"{path!r} defines no UE function {function!r} (with a `comm` parameter)")
+    consts = module_constants(tree)
+    findings: List[Finding] = []
+    for fn in functions:
+        findings.extend(
+            analyze_function(
+                fn, path, min_ues=min_ues, max_ues=max_ues, select=select, globals_env=consts
+            )
+        )
+    return findings
+
+
+def analyze_file(
+    path: str,
+    min_ues: int = DEFAULT_MIN_UES,
+    max_ues: int = DEFAULT_MAX_UES,
+    select: Optional[Sequence[str]] = None,
+    function: Optional[str] = None,
+) -> List[Finding]:
+    """Analyze one ``.py`` file (optionally a single function in it)."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return analyze_source(
+        source, path, min_ues=min_ues, max_ues=max_ues, select=select, function=function
+    )
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    min_ues: int = DEFAULT_MIN_UES,
+    max_ues: int = DEFAULT_MAX_UES,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze files/directories (``file.py:function`` narrows to one
+    function), mirroring :func:`repro.analysis.lint.lint_paths`."""
+    from .findings import sort_findings
+    from .lint import iter_python_files
+
+    findings: List[Finding] = []
+    for path in paths:
+        if ":" in path and not path.endswith(".py"):
+            file_part, _, func = path.rpartition(":")
+            findings.extend(
+                analyze_file(
+                    file_part, min_ues=min_ues, max_ues=max_ues, select=select, function=func
+                )
+            )
+        else:
+            for file_path in iter_python_files([path]):
+                findings.extend(
+                    analyze_file(file_path, min_ues=min_ues, max_ues=max_ues, select=select)
+                )
+    return sort_findings(findings)

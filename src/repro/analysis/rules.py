@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..rcce.collectives import RESERVED_TAG_BASE
+from ..rcce.comm_meta import COLLECTIVE_METHODS, COMM_GEN_METHODS
 from ..rcce.mpb import MPB_BYTES_PER_CORE
 from .findings import Finding, Severity
 
@@ -31,26 +32,9 @@ __all__ = [
     "all_rules",
     "get_rule",
     "run_rules",
+    "COMM_GEN_METHODS",
+    "COLLECTIVE_METHODS",
 ]
-
-#: communicator methods that return generators and must be driven.
-COMM_GEN_METHODS = frozenset(
-    {
-        "send",
-        "recv",
-        "barrier",
-        "bcast",
-        "reduce",
-        "allreduce",
-        "gather",
-        "compute",
-        "compute_cycles",
-        "set_power",
-    }
-)
-
-#: the collective subset (rank-dependent entry deadlocks the job).
-COLLECTIVE_METHODS = frozenset({"barrier", "bcast", "reduce", "allreduce", "gather"})
 
 #: wall-clock sources that break simulated-time determinism.
 WALL_CLOCK_CALLS = frozenset(
@@ -180,14 +164,19 @@ def run_rules(ctx: ModuleContext, rules: Optional[List[Rule]] = None) -> List[Fi
     findings: List[Finding] = []
     for r in rules if rules is not None else all_rules():
         for node, message in r.check(ctx):
+            col_off = getattr(node, "col_offset", None)
+            end_col_off = getattr(node, "end_col_offset", None)
             findings.append(
                 Finding(
                     rule=r.id,
                     severity=r.severity,
                     message=message,
                     path=ctx.path,
-                    line=getattr(node, "lineno", 0),
+                    line=getattr(node, "lineno", 0) or 0,
                     hint=r.hint,
+                    col=0 if col_off is None else int(col_off) + 1,
+                    end_line=getattr(node, "end_lineno", 0) or 0,
+                    end_col=0 if end_col_off is None else int(end_col_off) + 1,
                 )
             )
     return findings
@@ -397,7 +386,7 @@ def check_reserved_tag(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
     "comm.ue branch",
 )
 def check_rank_dependent_collective(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
-    seen: set = set()
+    seen: set[int] = set()
     for fn in ctx.comm_functions():
         for branch in ast.walk(fn):
             if not isinstance(branch, (ast.If, ast.While)):

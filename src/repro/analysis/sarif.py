@@ -1,0 +1,207 @@
+"""SARIF 2.1.0 export for :class:`~repro.analysis.findings.Finding`.
+
+One self-contained emitter (:func:`findings_to_sarif`) producing a
+static-analysis log GitHub code scanning ingests directly, plus a
+dependency-free structural checker (:func:`validate_sarif`) used by the
+tests; CI additionally validates the emitted log against the official
+SARIF 2.1.0 JSON schema with ``jsonschema``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding, Severity, sort_findings
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "findings_to_sarif", "sarif_to_json", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-analyze"
+TOOL_URI = "https://github.com/repro/repro"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_catalogue(findings: Sequence[Finding]) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """reportingDescriptor array + ruleId -> index map.
+
+    Descriptors come from the analysis rule tables when the id is known
+    there; ad-hoc ids (PARSE, runtime RT8xx) get minimal descriptors.
+    """
+    from .dataflow import DATAFLOW_RULES
+    from .rules import all_rules
+
+    static_rules = {r.id: r for r in all_rules()}
+    descriptors: List[Dict[str, Any]] = []
+    index: Dict[str, int] = {}
+    for f in findings:
+        if f.rule in index:
+            continue
+        desc: Dict[str, Any] = {"id": f.rule}
+        meta = static_rules.get(f.rule) or DATAFLOW_RULES.get(f.rule)
+        if meta is not None:
+            desc["name"] = meta.name
+            desc["shortDescription"] = {"text": meta.summary}
+            if meta.hint:
+                desc["help"] = {"text": meta.hint}
+            desc["defaultConfiguration"] = {"level": _LEVELS[meta.severity]}
+        else:
+            desc["shortDescription"] = {"text": f.message}
+            desc["defaultConfiguration"] = {"level": _LEVELS[f.severity]}
+        index[f.rule] = len(descriptors)
+        descriptors.append(desc)
+    return descriptors, index
+
+
+def _result(f: Finding, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": f.rule,
+        "ruleIndex": rule_index[f.rule],
+        "level": _LEVELS[f.severity],
+        "message": {"text": f.message + (f"\nhint: {f.hint}" if f.hint else "")},
+    }
+    if f.has_span:
+        region: Dict[str, Any] = {"startLine": f.line}
+        if f.col:
+            region["startColumn"] = f.col
+        if f.end_line:
+            region["endLine"] = f.end_line
+        if f.end_col:
+            region["endColumn"] = f.end_col
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                    "region": region,
+                }
+            }
+        ]
+    return result
+
+
+def findings_to_sarif(
+    findings: Iterable[Finding], tool_version: Optional[str] = None
+) -> Dict[str, Any]:
+    """One SARIF 2.1.0 log (a single run) from a set of findings."""
+    ordered = sort_findings(findings)
+    descriptors, rule_index = _rule_catalogue(ordered)
+    if tool_version is None:
+        from .. import __version__ as tool_version
+    driver: Dict[str, Any] = {
+        "name": TOOL_NAME,
+        "informationUri": TOOL_URI,
+        "version": str(tool_version),
+        "rules": descriptors,
+    }
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [_result(f, rule_index) for f in ordered],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def sarif_to_json(findings: Iterable[Finding], tool_version: Optional[str] = None) -> str:
+    """The SARIF log serialized for ``--format sarif`` output."""
+    return json.dumps(findings_to_sarif(findings, tool_version), indent=2)
+
+
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural SARIF 2.1.0 conformance errors (empty = valid).
+
+    A hand-rolled subset of the official schema covering everything this
+    emitter produces — the required properties, types and cross-indices
+    GitHub's ingestion actually checks.  CI runs the real schema too;
+    this keeps the tests meaningful in dependency-free environments.
+    """
+    errors: List[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(msg)
+
+    if not isinstance(doc, dict):
+        return [f"log must be an object, got {type(doc).__name__}"]
+    if doc.get("version") != SARIF_VERSION:
+        err(f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            err(f"{where} must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(driver.get("name"), str):
+            err(f"{where}.tool.driver.name is required")
+            driver = {}
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            err(f"{where}.tool.driver.rules must be an array")
+            rules = []
+        rule_ids: List[str] = []
+        for di, desc in enumerate(rules):
+            if not isinstance(desc, dict) or not isinstance(desc.get("id"), str):
+                err(f"{where}.tool.driver.rules[{di}].id is required")
+                rule_ids.append("")
+            else:
+                rule_ids.append(desc["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            err(f"{where}.results must be an array")
+            continue
+        for qi, result in enumerate(results):
+            rwhere = f"{where}.results[{qi}]"
+            if not isinstance(result, dict):
+                err(f"{rwhere} must be an object")
+                continue
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(message.get("text"), str):
+                err(f"{rwhere}.message.text is required")
+            level = result.get("level")
+            if level is not None and level not in ("none", "note", "warning", "error"):
+                err(f"{rwhere}.level {level!r} is not a SARIF level")
+            rule_id = result.get("ruleId")
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None:
+                if not isinstance(rule_index, int) or not 0 <= rule_index < len(rule_ids):
+                    err(f"{rwhere}.ruleIndex {rule_index!r} out of range")
+                elif isinstance(rule_id, str) and rule_ids[rule_index] != rule_id:
+                    err(
+                        f"{rwhere}: ruleIndex {rule_index} names "
+                        f"{rule_ids[rule_index]!r}, not {rule_id!r}"
+                    )
+            for li, loc in enumerate(result.get("locations", []) or []):
+                lwhere = f"{rwhere}.locations[{li}]"
+                phys = loc.get("physicalLocation") if isinstance(loc, dict) else None
+                if not isinstance(phys, dict):
+                    err(f"{lwhere}.physicalLocation must be an object")
+                    continue
+                art = phys.get("artifactLocation")
+                if not isinstance(art, dict) or not isinstance(art.get("uri"), str):
+                    err(f"{lwhere}.physicalLocation.artifactLocation.uri is required")
+                region = phys.get("region")
+                if region is not None:
+                    if not isinstance(region, dict):
+                        err(f"{lwhere}.physicalLocation.region must be an object")
+                        continue
+                    for prop in ("startLine", "startColumn", "endLine", "endColumn"):
+                        val = region.get(prop)
+                        if val is not None and (not isinstance(val, int) or val < 1):
+                            err(f"{lwhere}.region.{prop} must be a positive integer")
+    return errors

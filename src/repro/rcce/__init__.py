@@ -9,6 +9,15 @@
 """
 
 from .api import RCCEComm, payload_bytes
+from .comm_meta import (
+    COLLECTIVE_METHODS,
+    COMM_API,
+    COMM_GEN_METHODS,
+    LOCAL_METHODS,
+    P2P_METHODS,
+    ArgSpec,
+    CommOp,
+)
 from .collectives import (
     RESERVED_TAG_BASE,
     allreduce,
@@ -32,6 +41,13 @@ from .runtime import RCCERuntime, UEResult, checks_enabled_by_default
 __all__ = [
     "RCCEComm",
     "payload_bytes",
+    "ArgSpec",
+    "CommOp",
+    "COMM_API",
+    "COMM_GEN_METHODS",
+    "COLLECTIVE_METHODS",
+    "P2P_METHODS",
+    "LOCAL_METHODS",
     "RESERVED_TAG_BASE",
     "tag_name",
     "RCCEError",

@@ -216,3 +216,77 @@ class TestChecksEnvGate:
         monkeypatch.setenv("REPRO_CHECKS", "1")
         rt = RCCERuntime([0, 1], checks=False)
         assert rt.checker is None
+
+
+class TestRuntimeCheckerEdgeCases:
+    """Corner cases surfaced while building ``repro analyze
+    --compare-runtime``: crashes, degenerate job sizes and empty
+    payloads must neither hang the checker nor fire false findings."""
+
+    def test_self_send_crashes_cleanly(self):
+        def selfsend(comm):
+            yield from comm.send(1.0, comm.ue)
+
+        result = run_checked("selfsend", selfsend, 2, verify_determinism=False)
+        assert not result.completed and not result.ok
+        rules = {f.rule for f in result.findings}
+        assert "RT800" in rules
+        msg = next(f for f in result.findings if f.rule == "RT800").message
+        assert "send to self" in msg
+
+    def test_out_of_range_dest_crashes_cleanly(self):
+        def bad_dest(comm):
+            yield from comm.send(1.0, comm.num_ues)
+
+        result = run_checked("bad_dest", bad_dest, 2, verify_determinism=False)
+        assert not result.completed
+        assert "RT800" in {f.rule for f in result.findings}
+
+    def test_single_ue_collectives_complete(self):
+        def single(comm):
+            yield from comm.barrier()
+            total = yield from comm.allreduce(3.0)
+            got = yield from comm.gather(comm.ue, root=0)
+            data = yield from comm.bcast((1, 2, 3), root=0)
+            return total, got, data
+
+        result = run_checked("single", single, 1, verify_determinism=True)
+        assert result.completed and result.ok
+        assert result.findings == []
+
+    def test_single_ue_recv_times_out(self):
+        from repro.rcce.errors import RCCETimeoutError
+
+        def lonely(comm):
+            try:
+                yield from comm.recv(source=None, timeout=1e-6)
+            except RCCETimeoutError:
+                return "timed-out"
+            return "got-a-message"
+
+        rt = checked_runtime(1)
+        results = rt.run(lonely)
+        assert results[0].value == "timed-out"  # no peer can ever send
+
+    def test_zero_payload_round_trip(self):
+        def zero(comm):
+            if comm.ue == 0:
+                yield from comm.send(b"", 1, tag=1)
+                back = yield from comm.recv(source=1, tag=2)
+                return back
+            back = yield from comm.recv(source=0, tag=1)
+            yield from comm.send(b"", 0, tag=2)
+            return back
+
+        result = run_checked("zero", zero, 2, verify_determinism=True)
+        assert result.completed and result.ok
+        assert result.findings == []
+
+    def test_zero_payload_collectives(self):
+        def zero_coll(comm):
+            data = yield from comm.bcast(None, root=0)
+            yield from comm.barrier()
+            return data
+
+        result = run_checked("zero_coll", zero_coll, 3, verify_determinism=False)
+        assert result.completed and result.ok

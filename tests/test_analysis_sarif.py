@@ -1,0 +1,188 @@
+"""Finding span round-trips and SARIF 2.1.0 export conformance."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.dataflow import analyze_file
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    findings_from_json,
+    findings_to_json,
+    sort_findings,
+)
+from repro.analysis.lint import lint_file
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    findings_to_sarif,
+    sarif_to_json,
+    validate_sarif,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SPANNED = Finding(
+    rule="DF501",
+    severity=Severity.ERROR,
+    message="rendezvous wait-for cycle",
+    path="prog.py",
+    line=27,
+    hint="stagger the ring",
+    col=16,
+    end_line=27,
+    end_col=55,
+)
+RUNTIME_ONLY = Finding(
+    rule="RT801",
+    severity=Severity.ERROR,
+    message="deadlock at t=1.5",
+)
+
+
+class TestFindingSpans:
+    def test_location_renders_column(self):
+        assert SPANNED.location == "prog.py:27:16"
+        assert Finding(rule="X", severity=Severity.INFO, message="m",
+                       path="a.py", line=3).location == "a.py:3"
+        assert RUNTIME_ONLY.location == "<runtime>"
+
+    def test_has_span(self):
+        assert SPANNED.has_span and not RUNTIME_ONLY.has_span
+
+    def test_str_includes_column(self):
+        assert str(SPANNED).startswith("prog.py:27:16: error: DF501:")
+
+    def test_lint_findings_carry_spans(self):
+        findings = lint_file(os.path.join(FIXTURES, "lint_bad_rcce110.py"))
+        assert findings
+        for f in findings:
+            assert f.line > 0 and f.col > 0
+            assert f.end_line >= f.line
+            assert f.end_col > 0
+
+    def test_dataflow_findings_carry_spans(self):
+        findings = analyze_file(
+            os.path.join(FIXTURES, "df_deadlock_ring.py"), min_ues=2, max_ues=3
+        )
+        (f,) = findings
+        assert f.col > 0 and f.end_line == f.line and f.end_col > f.col
+
+    def test_sort_orders_by_span(self):
+        a = Finding(rule="B", severity=Severity.INFO, message="m", path="p", line=1, col=9)
+        b = Finding(rule="A", severity=Severity.INFO, message="m", path="p", line=1, col=2)
+        assert sort_findings([a, b]) == [b, a]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_exact(self):
+        text = findings_to_json([SPANNED, RUNTIME_ONLY])
+        back = findings_from_json(text)
+        assert back == sort_findings([SPANNED, RUNTIME_ONLY])
+
+    def test_dict_round_trip(self):
+        d = SPANNED.to_dict()
+        assert d["severity"] == "error" and d["col"] == 16 and d["end_col"] == 55
+        assert Finding.from_dict(d) == SPANNED
+
+    def test_from_dict_rejects_unknown_keys(self):
+        bad = SPANNED.to_dict()
+        bad["bogus"] = 1
+        with pytest.raises(ValueError):
+            Finding.from_dict(bad)
+
+    def test_from_json_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            findings_from_json("{}")
+
+
+class TestSarifExport:
+    def test_envelope(self):
+        doc = findings_to_sarif([SPANNED])
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+
+    def test_result_region_and_rule_index(self):
+        doc = findings_to_sarif([SPANNED, RUNTIME_ONLY])
+        (run,) = doc["runs"]
+        ids = [d["id"] for d in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+        spanned = next(r for r in run["results"] if r["ruleId"] == "DF501")
+        region = spanned["locations"][0]["physicalLocation"]["region"]
+        assert region == {
+            "startLine": 27,
+            "startColumn": 16,
+            "endLine": 27,
+            "endColumn": 55,
+        }
+
+    def test_runtime_findings_have_no_location(self):
+        doc = findings_to_sarif([RUNTIME_ONLY])
+        (result,) = doc["runs"][0]["results"]
+        assert "locations" not in result
+
+    def test_severity_levels(self):
+        warn = Finding(rule="DF503", severity=Severity.WARNING, message="m",
+                       path="p.py", line=1)
+        note = Finding(rule="DF500", severity=Severity.INFO, message="m",
+                       path="p.py", line=1)
+        results = findings_to_sarif([SPANNED, warn, note])["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels == {"DF501": "error", "DF503": "warning", "DF500": "note"}
+
+    def test_known_rules_get_catalogue_descriptors(self):
+        doc = findings_to_sarif([SPANNED])
+        (desc,) = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert desc["name"] == "static-deadlock"
+        assert desc["defaultConfiguration"]["level"] == "error"
+        assert "shortDescription" in desc and "help" in desc
+
+    def test_serialized_form_is_json(self):
+        doc = json.loads(sarif_to_json([SPANNED]))
+        assert doc["version"] == "2.1.0"
+
+    def test_validates_structurally(self):
+        assert validate_sarif(findings_to_sarif([SPANNED, RUNTIME_ONLY])) == []
+        assert validate_sarif(findings_to_sarif([])) == []
+
+    def test_real_analyzer_output_validates(self):
+        findings = analyze_file(
+            os.path.join(FIXTURES, "df_deadlock_ring.py"), min_ues=2, max_ues=4
+        )
+        assert validate_sarif(findings_to_sarif(findings)) == []
+
+    def test_validator_catches_breakage(self):
+        doc = findings_to_sarif([SPANNED])
+        doc["version"] = "1.0.0"
+        assert any("version" in e for e in validate_sarif(doc))
+        doc2 = findings_to_sarif([SPANNED])
+        doc2["runs"][0]["results"][0]["ruleIndex"] = 99
+        assert any("ruleIndex" in e for e in validate_sarif(doc2))
+        doc3 = findings_to_sarif([SPANNED])
+        del doc3["runs"][0]["results"][0]["message"]
+        assert any("message" in e for e in validate_sarif(doc3))
+        doc4 = findings_to_sarif([SPANNED])
+        doc4["runs"][0]["results"][0]["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] = 0
+        assert any("startLine" in e for e in validate_sarif(doc4))
+
+    def test_against_official_schema_if_available(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema_path = os.environ.get("SARIF_SCHEMA_PATH", "")
+        if not schema_path or not os.path.exists(schema_path):
+            pytest.skip("official SARIF schema not available (CI downloads it)")
+        with open(schema_path, encoding="utf-8") as fh:
+            schema = json.load(fh)
+        findings = analyze_file(
+            os.path.join(FIXTURES, "df_deadlock_ring.py"), min_ues=2, max_ues=4
+        )
+        jsonschema.validate(findings_to_sarif(findings), schema)

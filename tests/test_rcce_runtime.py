@@ -175,3 +175,73 @@ class TestTiming:
         res = rt.run(fn)
         assert res[0].finish_time == pytest.approx(0.1)
         assert res[1].finish_time == pytest.approx(0.2)
+
+
+class TestCommMetaDrift:
+    """The pure metadata table in ``repro.rcce.comm_meta`` must match the
+    real ``RCCEComm`` surface — the static analyzer decodes calls with
+    it, so any drift silently breaks the DF50x provers."""
+
+    def test_every_op_exists_with_declared_arg_positions(self):
+        import inspect
+
+        from repro.rcce.api import RCCEComm
+        from repro.rcce.comm_meta import COMM_API, signature_table
+
+        table = signature_table()
+        for name in COMM_API:
+            method = getattr(RCCEComm, name)
+            params = [
+                p
+                for p in inspect.signature(method).parameters.values()
+                if p.name != "self"
+            ]
+            for index, keyword in table[name]:
+                assert index < len(params), f"{name}: no positional arg {index}"
+                assert params[index].name == keyword, (
+                    f"{name}: arg {index} is {params[index].name!r}, "
+                    f"table says {keyword!r}"
+                )
+
+    def test_table_covers_every_generator_method(self):
+        import inspect
+
+        from repro.rcce.api import RCCEComm
+        from repro.rcce.comm_meta import COMM_GEN_METHODS
+
+        # p2p/local methods are written as generator functions; the
+        # collectives delegate to repro.rcce.collectives generators —
+        # both styles must be callable and listed in the table
+        direct = {
+            name
+            for name, member in vars(RCCEComm).items()
+            if not name.startswith("_") and inspect.isgeneratorfunction(member)
+        }
+        assert direct <= set(COMM_GEN_METHODS)
+        for name in COMM_GEN_METHODS:
+            assert callable(getattr(RCCEComm, name)), name
+
+    def test_kinds_partition_the_api(self):
+        from repro.rcce.comm_meta import (
+            COLLECTIVE_METHODS,
+            COMM_API,
+            LOCAL_METHODS,
+            P2P_METHODS,
+        )
+
+        union = COLLECTIVE_METHODS | P2P_METHODS | LOCAL_METHODS
+        assert union == set(COMM_API)
+        assert not (COLLECTIVE_METHODS & P2P_METHODS)
+        assert not (COLLECTIVE_METHODS & LOCAL_METHODS)
+        assert not (P2P_METHODS & LOCAL_METHODS)
+
+    def test_tag_defaults_match_api(self):
+        # send/send_async default to tag=0; recv defaults to wildcard
+        import inspect
+
+        from repro.rcce.api import RCCEComm
+
+        assert inspect.signature(RCCEComm.send).parameters["tag"].default == 0
+        assert inspect.signature(RCCEComm.send_async).parameters["tag"].default == 0
+        assert inspect.signature(RCCEComm.recv).parameters["tag"].default is None
+        assert inspect.signature(RCCEComm.recv).parameters["source"].default is None
