@@ -25,7 +25,6 @@ aggregation; :mod:`repro.analysis.dataflow` turns them into
 from __future__ import annotations
 
 import ast
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -49,6 +48,12 @@ __all__ = [
 #: collectives whose per-rank contribution must be size-consistent
 #: (mirrors the runtime checker's RT805 scope).
 SIZE_CHECKED_COLLECTIVES = frozenset({"reduce", "allreduce"})
+
+#: default work guard for assignment enumeration: candidate traces
+#: examined before :meth:`CommGraph.assignments` gives up and records
+#: an incomplete note (consistent-prefix backtracking makes the guard
+#: bind only on pathological fork structures).
+ENUM_WORK_FLOOR = 20_000
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,9 @@ class CommGraph:
                 raise ValueError(f"UE {ue} has no feasible trace")
         self.n_ues = n_ues
         self.traces = traces
+        #: set by :meth:`assignments` when its work guard trips; callers
+        #: report it like a trace-level incompleteness reason (DF500).
+        self.enumeration_note: Optional[str] = None
 
     @property
     def incomplete_reasons(self) -> List[str]:
@@ -165,29 +173,70 @@ class CommGraph:
                         out.append(reason)
         return out
 
-    def assignments(self, cap: int = 256) -> Iterator[List[UETrace]]:
+    def assignments(
+        self, cap: int = 256, work_cap: Optional[int] = None
+    ) -> Iterator[List[UETrace]]:
         """Feasible global assignments: one trace per UE, consistent on
         uniform decisions (every UE branches the same way on a condition
-        that is provably rank-uniform).  Yields at most ``cap``."""
-        produced = 0
-        for combo in itertools.product(*(self.traces[ue] for ue in range(self.n_ues))):
-            uniform_seen: Dict[Tuple[int, ...], bool] = {}
-            consistent = True
-            for tr in combo:
-                for d in tr.decisions:
-                    if not d.uniform:
-                        continue
-                    if uniform_seen.setdefault(d.key, d.taken) != d.taken:
-                        consistent = False
-                        break
-                if not consistent:
-                    break
-            if not consistent:
-                continue
-            yield list(combo)
-            produced += 1
-            if produced >= cap:
+        that is provably rank-uniform).  Yields at most ``cap``.
+
+        The enumeration backtracks over per-UE trace choices, merging
+        the uniform-decision vector incrementally and discarding
+        inconsistent prefixes immediately — with ``k`` uniform
+        comm-guarding branches the work scales with the number of
+        *consistent* assignments (≈ 2^k, capped), not with
+        ``traces ** n_ues`` as a filtered cross product would.  A work
+        guard bounds pathological fork structures: when it trips,
+        iteration stops and :attr:`enumeration_note` records a reason
+        so callers downgrade the analysis to DF500-incomplete.
+        """
+        if work_cap is None:
+            work_cap = ENUM_WORK_FLOOR
+        state = {"yielded": 0, "work": 0}
+        chosen: List[UETrace] = []
+
+        def merge(
+            merged: Dict[Tuple[int, ...], bool], tr: UETrace
+        ) -> Optional[Dict[Tuple[int, ...], bool]]:
+            """``merged`` extended with ``tr``'s uniform decisions, or
+            None on conflict (copy-on-write: untouched dicts are shared)."""
+            out = merged
+            for d in tr.decisions:
+                if not d.uniform:
+                    continue
+                prev = out.get(d.key)
+                if prev is None:
+                    if out is merged:
+                        out = dict(merged)
+                    out[d.key] = d.taken
+                elif prev != d.taken:
+                    return None
+            return out
+
+        def walk(ue: int, merged: Dict[Tuple[int, ...], bool]) -> Iterator[List[UETrace]]:
+            if ue == self.n_ues:
+                state["yielded"] += 1
+                yield list(chosen)
                 return
+            for tr in self.traces[ue]:
+                state["work"] += 1
+                if state["work"] > work_cap:
+                    self.enumeration_note = (
+                        f"assignment enumeration abandoned after examining "
+                        f"{work_cap} candidate traces (pathological "
+                        f"undecidable-branch structure)"
+                    )
+                    return
+                extended = merge(merged, tr)
+                if extended is None:
+                    continue
+                chosen.append(tr)
+                yield from walk(ue + 1, extended)
+                chosen.pop()
+                if state["yielded"] >= cap or self.enumeration_note is not None:
+                    return
+
+        yield from walk(0, {})
 
     def edges(self) -> List[Tuple[int, Optional[int], Optional[int], Optional[int]]]:
         """Aggregated message edges ``(src, dst, tag, nbytes)`` over all
@@ -464,6 +513,11 @@ def prove_congruence(graph: CommGraph, assignment_cap: int = 256) -> List[Issue]
     reduce/allreduce — the same statically-known contribution size)."""
     issues: List[Issue] = []
     seen: Set[Tuple[object, ...]] = set()
+    if graph.incomplete_reasons:
+        # Same abstention as prove_deadlock: a truncated trace (e.g. a
+        # construct the interpreter aborts on for only some ranks) would
+        # fake a count/kind divergence — let DF500 speak instead.
+        return []
 
     def record(span: Span, key: Tuple[object, ...], message: str) -> None:
         if key not in seen:

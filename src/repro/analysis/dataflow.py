@@ -440,7 +440,14 @@ class _UERun:
             self._exec_body(stmt.body)
             self._exec_body(stmt.finalbody)
         elif isinstance(stmt, ast.Raise):
-            raise _Return()  # the UE dies here; no further comm happens
+            # An exception does not park this UE — it aborts the whole
+            # job, so peers "blocked" past this point never hang in
+            # reality.  Modeling it as clean early termination would
+            # fake orphaned-collective deadlocks; abstain instead.
+            raise _Incomplete(
+                f"line {stmt.lineno}: raise aborts the job (crash, not "
+                f"hang) — liveness verdicts do not apply on this path"
+            )
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             self.env[stmt.name] = Value.unknown(uniform=True)
         elif isinstance(stmt, ast.Delete):
@@ -892,8 +899,24 @@ class _UERun:
 
         peer: Optional[int] = peer_value.as_int() if peer_value is not None else None
         if op.kind == "p2p-send":
-            if peer_node is None or (peer_value is not None and not peer_value.known and peer is None):
-                if peer_node is not None:
+            if peer is None:
+                # No usable dest: the simulator would model a wildcard
+                # send that always completes, silently hiding either a
+                # call the runtime rejects (omitted / non-int dest) or
+                # a genuinely dynamic destination — abstain in all of
+                # these cases, not just the unknown-value one.
+                if peer_node is None:
+                    self.incomplete.append(
+                        f"line {call.lineno}: {op.name} has no statically "
+                        f"decodable dest argument (the runtime rejects a "
+                        f"send without an integer dest)"
+                    )
+                elif peer_value is not None and peer_value.known:
+                    self.incomplete.append(
+                        f"line {call.lineno}: {op.name} dest is not an "
+                        f"integer (the runtime rejects this call)"
+                    )
+                else:
                     self.incomplete.append(
                         f"line {call.lineno}: {op.name} destination is not "
                         f"statically computable"
@@ -1070,6 +1093,10 @@ def analyze_function(
                 merged[full_key] = (issue, [n])
         for reason in graph.incomplete_reasons:
             incomplete.setdefault(reason, []).append(n)
+        if graph.enumeration_note is not None:
+            # set by CommGraph.assignments when its work guard tripped
+            # during the prover runs above
+            incomplete.setdefault(graph.enumeration_note, []).append(n)
 
     findings: List[Finding] = []
     for issue, ns in merged.values():

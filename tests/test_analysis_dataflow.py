@@ -207,6 +207,138 @@ class TestInterpreter:
         assert "helper generator" in findings[0].message
 
 
+class TestAbstentionSoundness:
+    """Incomplete analysis must never invent findings (review fixes)."""
+
+    def test_truncated_trace_does_not_fake_congruence(self):
+        # UE 0's send sits inside a match statement the interpreter
+        # cannot model, truncating only UE 0's trace; the program is
+        # correct, so DF502 must abstain (DF500 speaks instead).
+        findings = analyze(
+            """
+            def prog(comm):
+                if comm.ue == 0:
+                    match comm.num_ues:
+                        case _:
+                            yield from comm.send(1.0, 1)
+                    yield from comm.barrier()
+                else:
+                    if comm.ue == 1:
+                        yield from comm.recv(source=0)
+                    yield from comm.barrier()
+            """,
+            min_ues=2,
+            max_ues=4,
+        )
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("match" in f.message for f in findings)
+
+    def test_rank_conditional_raise_is_crash_not_hang(self):
+        # the job aborts on UE 0's exception; the other ranks' barrier
+        # never hangs in reality, so DF501 must not fire
+        findings = analyze(
+            """
+            def prog(comm):
+                if comm.ue == 0:
+                    raise ValueError("boom")
+                yield from comm.barrier()
+            """,
+            min_ues=2,
+            max_ues=4,
+        )
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("raise aborts the job" in f.message for f in findings)
+
+    def test_send_with_omitted_dest_reports_df500(self):
+        # the runtime rejects send() without a dest; the simulator must
+        # not silently model it as an always-completing wildcard
+        findings = analyze(
+            """
+            def prog(comm):
+                yield from comm.send(1.0)
+                yield from comm.barrier()
+            """,
+            min_ues=2,
+            max_ues=3,
+        )
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("dest" in f.message for f in findings)
+
+    def test_send_with_non_int_dest_reports_df500(self):
+        findings = analyze(
+            """
+            def prog(comm):
+                if comm.ue == 0:
+                    yield from comm.send(1.0, "east")
+                elif comm.ue == 1:
+                    yield from comm.recv(source=0, timeout=1.0)
+            """,
+            min_ues=2,
+            max_ues=3,
+        )
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("not an integer" in f.message for f in findings)
+
+    def test_dynamic_dest_still_reports_df500(self):
+        findings = analyze(
+            """
+            def prog(comm, table):
+                yield from comm.send(1.0, table[comm.ue])
+                yield from comm.recv(timeout=1.0)
+            """,
+            min_ues=2,
+            max_ues=3,
+        )
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("not statically computable" in f.message for f in findings)
+
+
+class TestAssignmentEnumeration:
+    """Consistent-prefix backtracking replaces the filtered product."""
+
+    UNIFORM_BRANCHES = """
+        def prog(comm, a, b, c):
+            if a:
+                yield from comm.barrier()
+            if b:
+                yield from comm.barrier()
+            if c:
+                yield from comm.barrier()
+        """
+
+    def test_uniform_branches_enumerate_consistent_vectors_only(self):
+        fn = first_function(self.UNIFORM_BRANCHES)
+        graph = build_graph(fn, 6)
+        combos = list(graph.assignments(cap=256))
+        # 3 uniform branches -> exactly 2^3 consistent global vectors
+        assert len(combos) == 8
+        assert graph.enumeration_note is None
+        for combo in combos:
+            sigs = {tr.collective_signature() for tr in combo}
+            assert len(sigs) == 1  # every rank took the same decisions
+
+    def test_many_ues_with_uniform_branches_analyze_quickly(self):
+        # regression: the filtered cross product iterated (2^3)^n combos
+        # and never finished at n_ues >= 12; backtracking is linear-ish
+        findings = analyze(self.UNIFORM_BRANCHES, min_ues=12, max_ues=16)
+        assert findings == []
+
+    def test_work_guard_records_enumeration_note(self):
+        fn = first_function(self.UNIFORM_BRANCHES)
+        graph = build_graph(fn, 4)
+        assert list(graph.assignments(cap=256, work_cap=3)) == []
+        assert graph.enumeration_note is not None
+        assert "enumeration" in graph.enumeration_note
+
+    def test_work_guard_surfaces_as_df500_finding(self, monkeypatch):
+        import repro.analysis.commgraph as cg
+
+        monkeypatch.setattr(cg, "ENUM_WORK_FLOOR", 2)
+        findings = analyze(self.UNIFORM_BRANCHES, min_ues=4, max_ues=4)
+        assert {f.rule for f in findings} == {"DF500"}
+        assert any("enumeration" in f.message for f in findings)
+
+
 class TestScheduleSimulator:
     def _trace(self, ue, *events):
         return UETrace(ue=ue, events=list(events))
