@@ -11,6 +11,7 @@ Usage::
     python -m repro analyze examples/ --ues-range 2:16 --format sarif
     python -m repro faults --plan crash --ids 2,7 --cores 8
     python -m repro faults --repair results/sweep.jsonl
+    python -m repro chaos --seed 0 --workers 4
     python -m repro trace --cores 4 --export chrome --output trace.json
     python -m repro bench snapshot
 
@@ -33,7 +34,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .cliutil import add_output_flag, open_output
+from .cliutil import add_output_flag, add_supervise_flags, open_output, policy_from_args
 from .core.figures import (
     DEFAULT_MODE,
     FIG3_HOPS,
@@ -61,7 +62,7 @@ __all__ = ["main", "build_parser", "COMMANDS", "ARTIFACTS"]
 ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
 
 #: every first-class subcommand of the unified parser.
-COMMANDS = ("run", "lint", "check", "analyze", "faults", "trace", "bench")
+COMMANDS = ("run", "lint", "check", "analyze", "faults", "chaos", "trace", "bench")
 
 #: subcommands implemented by repro.analysis.cli (kept for callers that
 #: dispatch on these names; the unified parser mounts them directly).
@@ -117,6 +118,7 @@ def _configure_run_parser(p: argparse.ArgumentParser) -> None:
         "per matrix (honours --scale/--ids/--iterations; see "
         "docs/MODEL.md)",
     )
+    add_supervise_flags(p)
     add_output_flag(p)
 
 
@@ -127,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         configure_check_parser,
         configure_lint_parser,
     )
+    from .faults.chaos import configure_chaos_parser
     from .faults.cli import configure_faults_parser
     from .obs.cli import configure_bench_parser, configure_trace_parser
 
@@ -168,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
     configure_faults_parser(faults_p)
     faults_p.set_defaults(handler=_dispatch_faults)
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="OS-level chaos harness: SIGKILL/SIGSTOP workers and corrupt "
+        "store entries under supervision, then verify the invariants",
+    )
+    configure_chaos_parser(chaos_p)
+    chaos_p.set_defaults(handler=_dispatch_chaos)
+
     trace_p = sub.add_parser(
         "trace", help="run one traced experiment and export the trace"
     )
@@ -193,7 +204,15 @@ def _parse_ids(raw: str) -> Optional[List[int]]:
         raise SystemExit(f"--ids must be comma-separated integers: {exc}") from exc
 
 
-def _render(artifact: str, exps, iterations: int, out, mode: str = "model", workers: int = 1) -> None:
+def _render(
+    artifact: str,
+    exps,
+    iterations: int,
+    out,
+    mode: str = "model",
+    workers: int = 1,
+    policy=None,
+) -> None:
     if artifact == "table1":
         rows = table1_data(exps)
         print(banner("Table I: matrix benchmark suite"), file=out)
@@ -205,7 +224,7 @@ def _render(artifact: str, exps, iterations: int, out, mode: str = "model", work
             file=out,
         )
     elif artifact == "fig3":
-        data = fig3_data(exps, iterations, mode=mode, workers=workers)
+        data = fig3_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         series = [data[h] for h in FIG3_HOPS]
         rel = [100 * (1 - v / series[0]) for v in series]
         print(banner("Fig. 3: single-core performance vs hops to MC"), file=out)
@@ -216,7 +235,7 @@ def _render(artifact: str, exps, iterations: int, out, mode: str = "model", work
             file=out,
         )
     elif artifact == "fig5":
-        std, dr = fig5_data(exps, iterations, mode=mode, workers=workers)
+        std, dr = fig5_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         print(banner("Fig. 5: standard vs distance-reduction mapping"), file=out)
         print(
             format_series(
@@ -231,14 +250,14 @@ def _render(artifact: str, exps, iterations: int, out, mode: str = "model", work
             file=out,
         )
     elif artifact == "fig6":
-        rows = fig6_data(exps, iterations, mode=mode, workers=workers)
+        rows = fig6_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         cols = ["id", "name"]
         for n in FIG6_CORE_COUNTS:
             cols += [f"wsKB/core@{n}", f"MFLOPS@{n}"]
         print(banner("Fig. 6: performance vs working set"), file=out)
         print(format_table(rows, cols, floatfmt=".1f"), file=out)
     elif artifact == "fig7":
-        with_l2, without_l2 = fig7_data(exps, iterations, mode=mode, workers=workers)
+        with_l2, without_l2 = fig7_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         on = [average_gflops(with_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
         off = [average_gflops(without_l2[n]) * 1000 for n in FIG7_CORE_COUNTS]
         print(banner("Fig. 7: L2 caches disabled"), file=out)
@@ -256,12 +275,12 @@ def _render(artifact: str, exps, iterations: int, out, mode: str = "model", work
             file=out,
         )
     elif artifact == "fig8":
-        rows = fig8_data(exps, iterations, mode=mode, workers=workers)
+        rows = fig8_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         cols = ["id", "name"] + [f"speedup@{n}" for n in FIG6_CORE_COUNTS]
         print(banner("Fig. 8: no-x-miss kernel speedup"), file=out)
         print(format_table(rows, cols), file=out)
     elif artifact == "fig9":
-        results = fig9_data(exps, iterations, mode=mode, workers=workers)
+        results = fig9_data(exps, iterations, mode=mode, workers=workers, policy=policy)
         perf, eff = fig9_summary(results)
         print(banner("Fig. 9(a): performance per configuration"), file=out)
         print(
@@ -289,7 +308,7 @@ def _render(artifact: str, exps, iterations: int, out, mode: str = "model", work
             file=out,
         )
     elif artifact == "fig10":
-        rows = sorted(fig10_data(exps, iterations, mode=mode, workers=workers), key=lambda r: r["gflops"])
+        rows = sorted(fig10_data(exps, iterations, mode=mode, workers=workers, policy=policy), key=lambda r: r["gflops"])
         print(banner("Fig. 10: architectural comparison"), file=out)
         print(
             format_table(
@@ -456,9 +475,13 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
         if not exps:
             raise SystemExit("no matrices selected; check --ids")
         mode = "sim" if args.exact else DEFAULT_MODE
+        policy = policy_from_args(args)
         artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
         for artifact in artifacts:
-            _render(artifact, exps, args.iterations, stream, mode=mode, workers=args.workers)
+            _render(
+                artifact, exps, args.iterations, stream,
+                mode=mode, workers=args.workers, policy=policy,
+            )
     return 0
 
 
@@ -484,6 +507,12 @@ def _dispatch_faults(args, out=None) -> int:
     from .faults.cli import run_faults
 
     return run_faults(args, out=out)
+
+
+def _dispatch_chaos(args, out=None) -> int:
+    from .faults.chaos import run_chaos
+
+    return run_chaos(args, out=out)
 
 
 def _dispatch_trace(args, out=None) -> int:

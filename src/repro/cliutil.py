@@ -15,7 +15,14 @@ import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional, TextIO
 
-__all__ = ["add_output_flag", "add_json_flag", "resolve_format", "open_output"]
+__all__ = [
+    "add_output_flag",
+    "add_json_flag",
+    "add_supervise_flags",
+    "policy_from_args",
+    "resolve_format",
+    "open_output",
+]
 
 
 def add_output_flag(p: argparse.ArgumentParser) -> None:
@@ -36,6 +43,59 @@ def add_json_flag(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit JSON (shorthand for --format json)",
     )
+
+
+def add_supervise_flags(p: argparse.ArgumentParser) -> None:
+    """The uniform supervised-execution flags (``docs/FAULTS.md``).
+
+    Giving any of them turns the self-healing supervisor on
+    (:func:`policy_from_args`); leaving all unset keeps the bare pool.
+    """
+    from .core.supervise import ON_FAILURE_LADDER
+
+    g = p.add_argument_group("supervised execution")
+    g.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per task attempt; a hung worker is "
+        "SIGKILLed at the deadline and the task retried with backoff "
+        "(default: no timeout)",
+    )
+    g.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-pool retries per task before the degradation ladder / "
+        "quarantine (default 2 when supervision is enabled)",
+    )
+    g.add_argument(
+        "--on-failure",
+        choices=ON_FAILURE_LADDER,
+        default=None,
+        help="after the last retry: 'quarantine' records the poison point "
+        "and continues, 'serial' reruns it in the parent process first, "
+        "'model' additionally reruns on the analytic model, 'raise' "
+        "aborts the sweep (default quarantine)",
+    )
+
+
+def policy_from_args(args: argparse.Namespace):
+    """A ``SupervisePolicy`` when any supervise flag was given, else None."""
+    from .core.supervise import SupervisePolicy
+
+    kwargs = {}
+    if getattr(args, "task_timeout", None) is not None:
+        kwargs["task_timeout"] = args.task_timeout
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    if getattr(args, "on_failure", None) is not None:
+        kwargs["on_failure"] = args.on_failure
+    if not kwargs:
+        return None
+    return SupervisePolicy(**kwargs)
 
 
 def resolve_format(args: argparse.Namespace) -> str:

@@ -11,6 +11,7 @@
 - :mod:`~repro.core.roofline` — the SCC's own roofline model.
 - :mod:`~repro.core.campaign` — persistent, resumable experiment sweeps.
 - :mod:`~repro.core.parallel` — process-pool sharding for sweeps.
+- :mod:`~repro.core.supervise` — self-healing supervised execution.
 - :mod:`~repro.core.diagrams` — ASCII renderings of Figs. 1/2/4.
 - :mod:`~repro.core.blocked` — BCSR timing on the SCC model.
 """
@@ -25,6 +26,13 @@ from .campaign import (
     run_campaign_point,
 )
 from .parallel import CampaignWorkerCrash, iter_ordered, parallel_map
+from .supervise import (
+    QuarantinedTaskError,
+    SupervisePolicy,
+    TaskOutcome,
+    supervised_iter_ordered,
+    supervised_parallel_map,
+)
 from .diagrams import chip_diagram, csr_example, mapping_diagram
 from .comparison import COMPARISON_SYSTEMS, ArchitectureModel, comparison_table
 from .experiment import (
@@ -75,6 +83,11 @@ __all__ = [
     "run_campaign_point",
     "iter_ordered",
     "parallel_map",
+    "QuarantinedTaskError",
+    "SupervisePolicy",
+    "TaskOutcome",
+    "supervised_iter_ordered",
+    "supervised_parallel_map",
     "DEFAULT_MODE",
     "chip_diagram",
     "csr_example",

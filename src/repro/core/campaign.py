@@ -23,11 +23,19 @@ Robustness contract (the parts a crashed or faulty sweep relies on):
   sweep, and are *not* retried on resume (delete the record or repair
   to retry);
 - with a ``fault_plan`` the sweep runs the fault-tolerant driver and
-  records the fault/recovery counters per point.
+  records the fault/recovery counters per point;
+- with a :class:`~repro.core.supervise.SupervisePolicy` the pool runs
+  under the self-healing supervisor: worker deaths, hangs and task
+  errors are retried with deterministic backoff, and a point that
+  fails every attempt is recorded as ``quarantined`` (reason,
+  attempts, tracebacks) — unlike ``timeout``/``failed``, a quarantined
+  point *is* retryable: the next ``run`` reruns it and its successful
+  record supersedes the quarantine marker.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import warnings
@@ -35,7 +43,7 @@ from dataclasses import dataclass
 from functools import partial
 from itertools import product
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..rcce.errors import RCCEBudgetExceededError, RCCEError
 from ..scc.chip import PRESETS
@@ -49,6 +57,7 @@ from .experiment import (
     SpMVExperiment,
 )
 from .parallel import CampaignWorkerCrash, iter_ordered, maybe_crash
+from .supervise import SupervisePolicy, TaskOutcome, supervised_iter_ordered
 
 __all__ = [
     "result_record",
@@ -209,6 +218,16 @@ def _point_task(ctx: CampaignContext, pt: CampaignPoint) -> dict:
     return run_campaign_point(pt, ctx, _WORKER_EXPERIMENTS)
 
 
+def _supervised_point_task(ctx: CampaignContext, pt: CampaignPoint) -> dict:
+    """Supervised-pool task: the supervisor itself applies the crash and
+    chaos hooks per attempt, so this wrapper only executes the point."""
+    return run_campaign_point(pt, ctx, _WORKER_EXPERIMENTS)
+
+
+def _point_identity(pt: CampaignPoint) -> str:
+    return pt.key()
+
+
 def _iter_jsonl(path: Path, tolerate_trailing: bool = True):
     """Yield (lineno, record) from a campaign file, defensively.
 
@@ -299,19 +318,38 @@ class Campaign:
 
         Failed and timed-out points count as completed — rerunning a
         point that deterministically times out would wedge every resume.
+        Quarantined points (supervised runs only) are *retryable*: their
+        keys are excluded unless a later record superseded the
+        quarantine, so the next ``run`` picks them up again.
         """
-        done = set()
+        last_status: Dict[str, str] = {}
         if self.path.exists():
             for _lineno, rec in _iter_jsonl(self.path):
                 if "_key" in rec:
-                    done.add(rec["_key"])
-        return done
+                    last_status[rec["_key"]] = rec.get("status", "ok")
+        return {k for k, status in last_status.items() if status != "quarantined"}
 
     def load(self) -> List[dict]:
-        """All records on disk (without the internal resume key)."""
+        """All records on disk (without the internal resume key).
+
+        A ``quarantined`` record that a later record for the same point
+        supersedes (the point was rerun after the fault cleared) is
+        dropped — it documents a transient failure, not a result; the
+        raw line stays in the file for audits.
+        """
         records = []
         if self.path.exists():
-            for _lineno, rec in _iter_jsonl(self.path):
+            rows = list(_iter_jsonl(self.path))
+            last_index: Dict[str, int] = {}
+            for i, (_lineno, rec) in enumerate(rows):
+                if "_key" in rec:
+                    last_index[rec["_key"]] = i
+            for i, (_lineno, rec) in enumerate(rows):
+                if (
+                    rec.get("status") == "quarantined"
+                    and last_index.get(rec.get("_key"), i) > i
+                ):
+                    continue
                 rec = dict(rec)
                 rec.pop("_key", None)
                 records.append(rec)
@@ -404,8 +442,45 @@ class Campaign:
         """Execute one point in-process (thin wrapper for the serial path)."""
         return run_campaign_point(pt, self._context(), self._experiments)
 
+    def _fallbacks(
+        self, ctx: CampaignContext, policy: SupervisePolicy
+    ) -> List[Tuple[str, Callable[[CampaignPoint], dict]]]:
+        """The graceful-degradation ladder implied by ``policy.on_failure``.
+
+        ``serial`` reruns the point in the parent process (no pool, no
+        fork — rules out pool-side failures); ``model`` additionally
+        retries on the analytic fast path with faults disabled, trading
+        exactness for a record instead of a hole.
+        """
+        ladder: List[Tuple[str, Callable[[CampaignPoint], dict]]] = []
+        if policy.on_failure in ("serial", "model"):
+            ladder.append(
+                ("serial", lambda pt: run_campaign_point(pt, ctx, self._experiments))
+            )
+        if policy.on_failure == "model" and ctx.mode != "model":
+            model_ctx = dataclasses.replace(ctx, mode="model", fault_plan=None)
+            ladder.append(
+                ("model", lambda pt: run_campaign_point(pt, model_ctx, self._experiments))
+            )
+        return ladder
+
+    def _quarantine_record(self, pt: CampaignPoint, outcome: TaskOutcome) -> dict:
+        """The persistent record of a poison point (keeps the grid fields)."""
+        rec = outcome.quarantine_record()
+        rec.update(
+            matrix=entry_by_id(pt.mid).name,
+            n_cores=pt.n_cores,
+            config=pt.config,
+            mapping=pt.mapping,
+            kernel=pt.kernel,
+        )
+        return rec
+
     def run(
-        self, points: Iterable[CampaignPoint], workers: int = 1
+        self,
+        points: Iterable[CampaignPoint],
+        workers: int = 1,
+        policy: Optional[SupervisePolicy] = None,
     ) -> Tuple[int, int]:
         """Execute all points not yet on disk; returns (ran, skipped).
 
@@ -421,6 +496,16 @@ class Campaign:
         :class:`CampaignWorkerCrash`, and a rerun resumes the remainder
         with no duplicates or gaps.  Duplicate points in ``points``
         count as skipped, same as points already on disk.
+
+        With a ``policy`` the sweep runs under the self-healing
+        supervisor (:mod:`repro.core.supervise`): worker deaths, hangs
+        (``policy.task_timeout``) and unexpected task errors are retried
+        in-pool with deterministic backoff; a point failing every
+        attempt walks the ``policy.on_failure`` degradation ladder and,
+        if nothing rescues it, is persisted as a ``quarantined`` record
+        the next ``run`` will retry.  Recovered points produce records
+        byte-identical to an undisturbed run — retry bookkeeping lives
+        only in quarantine records and in :attr:`last_supervise`.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -438,6 +523,8 @@ class Campaign:
             done.add(pt.key())
             pending.append(pt)
         ctx = self._context()
+        if policy is not None:
+            return self._run_supervised(pending, skipped, ctx, workers, policy)
         if workers == 1:
             runner = ((pt, run_campaign_point(pt, ctx, self._experiments))
                       for pt in pending)
@@ -450,6 +537,45 @@ class Campaign:
                 rec["scale"] = self.scale
                 self._append(fh, rec)
                 ran += 1
+        return ran, skipped
+
+    def _run_supervised(
+        self,
+        pending: List[CampaignPoint],
+        skipped: int,
+        ctx: CampaignContext,
+        workers: int,
+        policy: SupervisePolicy,
+    ) -> Tuple[int, int]:
+        """The supervised execution path of :meth:`run`."""
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        ran = 0
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                for outcome in supervised_iter_ordered(
+                    partial(_supervised_point_task, ctx),
+                    pending,
+                    workers,
+                    policy,
+                    identity=_point_identity,
+                    fallbacks=self._fallbacks(ctx, policy),
+                    metrics=registry,
+                ):
+                    pt = outcome.item
+                    rec = (
+                        outcome.value
+                        if outcome.ok
+                        else self._quarantine_record(pt, outcome)
+                    )
+                    rec["_key"] = pt.key()
+                    rec["scale"] = self.scale
+                    self._append(fh, rec)
+                    ran += 1
+        finally:
+            #: ``supervise.*`` counters of the most recent supervised run.
+            self.last_supervise = registry.flat_summary()
         return ran, skipped
 
     # -- analysis --------------------------------------------------------------
@@ -482,7 +608,7 @@ class Campaign:
         )
 
     def status_counts(self) -> Dict[str, int]:
-        """How many records ended in each status (ok/timeout/failed)."""
+        """How many records ended in each status (ok/timeout/failed/quarantined)."""
         counts: Dict[str, int] = {}
         for rec in self.load():
             status = rec.get("status", "ok")

@@ -30,6 +30,7 @@ from .experiment import DEFAULT_ITERATIONS, ExperimentResult, SpMVExperiment
 from .mapping import single_core_at_distance
 from .metrics import average_gflops, average_mflops_per_watt
 from .parallel import parallel_map
+from .supervise import SupervisePolicy, supervised_parallel_map
 
 __all__ = [
     "suite_experiments",
@@ -102,11 +103,25 @@ def run_suite_batch(task: Tuple[int, float, str, List[dict]]) -> List[Experiment
     return [exp.run(**spec) for spec in specs]
 
 
+def _model_fallback(task: Tuple[int, float, str, List[dict]]) -> List[ExperimentResult]:
+    """Degradation-ladder rung: rerun a suite batch on the analytic model."""
+    mid, scale, name, specs = task
+    return run_suite_batch(
+        (mid, scale, name, [dict(spec, mode="model") for spec in specs])
+    )
+
+
+def _task_identity(task: Tuple[int, float, str, List[dict]]) -> str:
+    mid, scale, name, _specs = task
+    return f"suite:{mid}:{scale}:{name}"
+
+
 def _batch_run(
     experiments: Experiments,
     jobs: Sequence[Tuple[int, dict]],
     mode: str,
     workers: int,
+    policy: Optional[SupervisePolicy] = None,
 ) -> List[ExperimentResult]:
     """Run ``jobs`` — ``(experiment index, run kwargs)`` — preserving order.
 
@@ -119,8 +134,17 @@ def _batch_run(
     Experiments lacking a ``suite_ref`` (built outside
     :func:`suite_experiments`) cannot be rebuilt in a worker; they fall
     back to serial with a warning.
+
+    With a ``policy`` the fan-out runs under the self-healing supervisor
+    (even at ``workers=1``, a single supervised worker): crashed or hung
+    workers are retried per policy and, when ``policy.on_failure``
+    requests it, a failing batch is rerun serially in the parent and
+    then on ``mode="model"``.  A figure sweep cannot tolerate holes —
+    a batch surviving neither retries nor the ladder raises
+    :class:`~repro.core.supervise.QuarantinedTaskError`.
     """
-    if workers > 1 and any(
+    supervised = policy is not None
+    if (workers > 1 or supervised) and any(
         experiments[i][1].suite_ref is None for i, _kw in jobs
     ):
         warnings.warn(
@@ -129,7 +153,8 @@ def _batch_run(
             stacklevel=3,
         )
         workers = 1
-    if workers <= 1:
+        supervised = False
+    if workers <= 1 and not supervised:
         return [experiments[i][1].run(mode=mode, **kw) for i, kw in jobs]
     by_exp: Dict[int, List[int]] = {}
     for j, (i, _kw) in enumerate(jobs):
@@ -141,8 +166,25 @@ def _batch_run(
         tasks.append(
             (mid, scale, exp.name, [dict(jobs[j][1], mode=mode) for j in job_ids])
         )
+    if supervised:
+        assert policy is not None
+        fallbacks: List[Tuple[str, object]] = []
+        if policy.on_failure in ("serial", "model"):
+            fallbacks.append(("serial", run_suite_batch))
+        if policy.on_failure == "model" and mode != "model":
+            fallbacks.append(("model", _model_fallback))
+        batches = supervised_parallel_map(
+            run_suite_batch,
+            tasks,
+            max(1, workers),
+            policy,
+            identity=_task_identity,
+            fallbacks=fallbacks,  # type: ignore[arg-type]
+        )
+    else:
+        batches = parallel_map(run_suite_batch, tasks, workers)
     out: List[ExperimentResult] = [None] * len(jobs)  # type: ignore[list-item]
-    for job_ids, batch in zip(by_exp.values(), parallel_map(run_suite_batch, tasks, workers)):
+    for job_ids, batch in zip(by_exp.values(), batches):
         for j, result in zip(job_ids, batch):
             out[j] = result
     return out
@@ -173,6 +215,7 @@ def fig3_data(
     iterations: int = DEFAULT_ITERATIONS,
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> Dict[int, float]:
     """Suite-average MFLOPS/s of one core at each hop distance."""
     jobs, hops = [], []
@@ -183,7 +226,7 @@ def fig3_data(
             )
             hops.append(h)
     perf: Dict[int, List[ExperimentResult]] = {h: [] for h in FIG3_HOPS}
-    for h, r in zip(hops, _batch_run(experiments, jobs, mode, workers)):
+    for h, r in zip(hops, _batch_run(experiments, jobs, mode, workers, policy)):
         perf[h].append(r)
     return {h: average_gflops(rs) * 1000 for h, rs in perf.items()}
 
@@ -194,6 +237,7 @@ def fig5_data(
     core_counts: Sequence[int] = tuple(FIG5_CORE_COUNTS),
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> Tuple[List[float], List[float]]:
     """(standard, distance-reduction) suite-average MFLOPS/s per count."""
     jobs, slots = [], []
@@ -204,7 +248,7 @@ def fig5_data(
             for mapping, dest in (("standard", std), ("distance_reduction", dr)):
                 jobs.append((i, dict(n_cores=n, mapping=mapping, iterations=iterations)))
                 slots.append(dest[n])
-    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers, policy)):
         dest.append(r)
     return (
         [average_gflops(std[n]) * 1000 for n in core_counts],
@@ -218,6 +262,7 @@ def fig6_data(
     core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> List[dict]:
     """Per-matrix performance and per-core working set at each count."""
     jobs = [
@@ -225,7 +270,7 @@ def fig6_data(
         for i, _ in enumerate(experiments)
         for n in core_counts
     ]
-    results = iter(_batch_run(experiments, jobs, mode, workers))
+    results = iter(_batch_run(experiments, jobs, mode, workers, policy))
     rows = []
     for mid, exp in experiments:
         row: dict = {"id": mid, "name": exp.name}
@@ -243,6 +288,7 @@ def fig7_data(
     core_counts: Sequence[int] = tuple(FIG7_CORE_COUNTS),
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> Tuple[Dict[int, List[ExperimentResult]], Dict[int, List[ExperimentResult]]]:
     """Per-count result lists with L2 enabled and disabled."""
     no_l2 = CONF0.with_l2(False)
@@ -255,7 +301,7 @@ def fig7_data(
             slots.append(with_l2[n])
             jobs.append((i, dict(n_cores=n, config=no_l2, iterations=iterations)))
             slots.append(without_l2[n])
-    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers, policy)):
         dest.append(r)
     return with_l2, without_l2
 
@@ -266,6 +312,7 @@ def fig8_data(
     core_counts: Sequence[int] = tuple(FIG6_CORE_COUNTS),
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> List[dict]:
     """Per-matrix no-x-miss speedups at each core count."""
     jobs = []
@@ -273,7 +320,7 @@ def fig8_data(
         for n in core_counts:
             jobs.append((i, dict(n_cores=n, iterations=iterations)))
             jobs.append((i, dict(n_cores=n, kernel="no_x_miss", iterations=iterations)))
-    results = iter(_batch_run(experiments, jobs, mode, workers))
+    results = iter(_batch_run(experiments, jobs, mode, workers, policy))
     rows = []
     for mid, exp in experiments:
         row: dict = {"id": mid, "name": exp.name}
@@ -293,6 +340,7 @@ def fig9_data(
     configs: Sequence[SCCConfig] = (CONF0, CONF1, CONF2),
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> Dict[str, Dict[int, List[ExperimentResult]]]:
     """Per-config, per-count result lists."""
     results: Dict[str, Dict[int, List[ExperimentResult]]] = {
@@ -304,7 +352,7 @@ def fig9_data(
             for n in core_counts:
                 jobs.append((i, dict(n_cores=n, config=cfg, iterations=iterations)))
                 slots.append(results[cfg.name][n])
-    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers)):
+    for dest, r in zip(slots, _batch_run(experiments, jobs, mode, workers, policy)):
         dest.append(r)
     return results
 
@@ -330,13 +378,14 @@ def fig10_data(
     iterations: int = DEFAULT_ITERATIONS,
     mode: str = DEFAULT_MODE,
     workers: int = 1,
+    policy: Optional[SupervisePolicy] = None,
 ) -> List[dict]:
     """The Fig. 10 comparison table with measured SCC entries."""
     jobs = []
     for i, _ in enumerate(experiments):
         jobs.append((i, dict(n_cores=48, config=CONF0, iterations=iterations)))
         jobs.append((i, dict(n_cores=48, config=CONF1, iterations=iterations)))
-    results = _batch_run(experiments, jobs, mode, workers)
+    results = _batch_run(experiments, jobs, mode, workers, policy)
     scc0, scc1 = results[0::2], results[1::2]
     return comparison_table(
         {

@@ -24,9 +24,11 @@ bind fixed context with :func:`functools.partial`.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
@@ -102,6 +104,8 @@ def iter_ordered(
     func: Callable[[_T], Any],
     items: Iterable[_T],
     workers: int,
+    *,
+    window_factor: int = 4,
 ) -> Iterator[Tuple[_T, Any]]:
     """Yield ``(item, func(item))`` in submission order, ``workers`` wide.
 
@@ -110,29 +114,66 @@ def iter_ordered(
     callers never need their own fallback.  On an abrupt worker death
     the already-completed in-order prefix is yielded first, then
     :class:`CampaignWorkerCrash` is raised.
+
+    ``items`` may be an arbitrarily long lazy iterable: at most
+    ``window_factor * workers`` tasks are in flight at once (submitted
+    but not yet yielded), so neither all task arguments nor all pending
+    results are ever held in memory at the same time.
     """
-    items = list(items)
-    ctx = fork_context() if workers > 1 and len(items) > 1 else None
-    if workers > 1 and len(items) > 1 and ctx is None:  # pragma: no cover
+    stream = iter(items)
+    head = list(itertools.islice(stream, 2))
+    parallel = workers > 1 and len(head) > 1
+    ctx = fork_context() if parallel else None
+    if parallel and ctx is None:  # pragma: no cover - platform-dependent
         warnings.warn(
             "multiprocessing 'fork' start method unavailable on this "
             "platform; running serially",
             stacklevel=2,
         )
     if ctx is None:
-        for item in items:
+        for item in itertools.chain(head, stream):
             yield item, func(item)
         return
-    n_workers = min(workers, len(items), available_parallelism())
+    stream = itertools.chain(head, stream)
+    n_workers = min(workers, available_parallelism())
+    window = max(2, window_factor * n_workers)
+    pending: deque = deque()  # (item, future), submission order
     done = 0
+    exhausted = False
     with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-        futures = [pool.submit(func, item) for item in items]
-        try:
-            for item, fut in zip(items, futures):
-                yield item, fut.result()
-                done += 1
-        except BrokenProcessPool as exc:
-            raise CampaignWorkerCrash(done, len(items) - done) from exc
+        while True:
+            while not exhausted and len(pending) < window:
+                try:
+                    item = next(stream)
+                except StopIteration:
+                    exhausted = True
+                    break
+                try:
+                    fut = pool.submit(func, item)
+                except BrokenProcessPool as exc:
+                    # The pool broke while earlier futures were still
+                    # outstanding: hand the caller the completed
+                    # in-order prefix before reporting the crash.
+                    while pending:
+                        qitem, qfut = pending[0]
+                        if not qfut.done() or qfut.exception() is not None:
+                            break
+                        pending.popleft()
+                        yield qitem, qfut.result()
+                        done += 1
+                    remaining = 1 + len(pending) + sum(1 for _ in stream)
+                    raise CampaignWorkerCrash(done, remaining) from exc
+                pending.append((item, fut))
+            if not pending:
+                return
+            item, fut = pending.popleft()
+            try:
+                result = fut.result()
+            except BrokenProcessPool as exc:
+                remaining = 1 + len(pending) + sum(1 for _ in stream)
+                raise CampaignWorkerCrash(done, remaining) from exc
+            yield item, result
+            done += 1
 
 
 def parallel_map(

@@ -1,0 +1,709 @@
+"""Self-healing supervised execution: retry, timeout, quarantine.
+
+The paper's artifacts are hours-long sweeps — the full matrix suite
+crossed with 1–48 cores, mappings and frequency configs — and a single
+crashed or hung worker must not abort a campaign.  The bare pool in
+:mod:`repro.core.parallel` surfaces any worker death as
+:class:`~repro.core.parallel.CampaignWorkerCrash` and tears the sweep
+down; this module wraps the same fork-based sharding in a *supervisor*
+that keeps the campaign running through real failures:
+
+- **timeouts** — each task carries a wall-clock deadline; a hung worker
+  (SIGSTOP'd, livelocked, wedged in a syscall) is SIGKILLed at the
+  deadline and a fresh worker is forked in its place;
+- **retries** — a failed attempt (worker death, timeout, or an
+  unexpected exception) is retried up to
+  :attr:`SupervisePolicy.max_retries` times with bounded exponential
+  backoff plus *deterministic* jitter — the delay is a pure function of
+  ``(seed, task identity, attempt)``, so a replayed campaign produces a
+  byte-identical retry schedule;
+- **quarantine** — a task that fails every attempt (a *poison point*)
+  is reported as a structured :class:`TaskOutcome` with reason,
+  attempt count and tracebacks instead of killing the sweep; callers
+  (``Campaign``) persist it as a ``status: "quarantined"`` record that
+  resume treats as retryable;
+- **degradation** — before quarantining, the supervisor walks an
+  optional fallback ladder (e.g. rerun serially in the parent, then on
+  ``mode="model"``) supplied by the caller and selected via
+  ``--on-failure``.
+
+Workers talk to the supervisor over one private pipe each — never a
+shared queue — so a SIGKILLed worker can corrupt only its own channel,
+which the supervisor observes as EOF and handles like any other death.
+Results are yielded in submission order with a bounded in-flight
+window, preserving the bitwise serial≡parallel contract of
+:mod:`repro.core.parallel`.
+
+Chaos hook: :data:`CHAOS_ENV` generalizes the single-identity
+``REPRO_FAULT_WORKER_CRASH`` crash hook to a *seeded fault schedule* —
+a JSON map from task identity to an OS-level action (``kill``: abrupt
+``os._exit``; ``stop``: SIGSTOP yourself and hang; ``raise``: throw)
+applied on selected attempts.  ``repro chaos``
+(:mod:`repro.faults.chaos`) uses it to prove the core invariant: under
+any chaos schedule the surviving records are bitwise identical to the
+clean run and the quarantined set is exactly the injected poison set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import os
+import signal
+import time
+import traceback
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..obs.metrics import MetricsRegistry
+from .parallel import available_parallelism, fork_context, in_worker, maybe_crash
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_ACTIONS",
+    "ON_FAILURE_LADDER",
+    "ChaosInjectedError",
+    "QuarantinedTaskError",
+    "SupervisePolicy",
+    "TaskFailure",
+    "TaskOutcome",
+    "backoff_delay",
+    "chaos_spec",
+    "maybe_chaos",
+    "supervised_iter_ordered",
+    "supervised_parallel_map",
+]
+
+#: environment variable holding a JSON chaos schedule: a map from task
+#: identity to ``{"action": "kill"|"stop"|"raise", "attempts": [1, ...]
+#: | "all"}``.  Honoured only inside worker processes, like the legacy
+#: single-identity ``REPRO_FAULT_WORKER_CRASH`` hook it generalizes.
+CHAOS_ENV = "REPRO_FAULT_CHAOS"
+
+#: the OS-level actions a chaos schedule may request per attempt.
+CHAOS_ACTIONS = ("kill", "stop", "raise")
+
+#: the graceful-degradation ladder selectable via ``--on-failure``:
+#: ``quarantine`` records the poison point and continues; ``serial``
+#: retries once in the parent process first; ``model`` additionally
+#: retries on the analytic fast path; ``raise`` aborts the sweep.
+ON_FAILURE_LADDER = ("quarantine", "serial", "model", "raise")
+
+#: worker exit code used by the ``kill`` chaos action (distinct from the
+#: legacy crash hook's 17, so post-mortems can tell them apart).
+_CHAOS_EXIT = 23
+
+
+class ChaosInjectedError(RuntimeError):
+    """Raised inside a worker by the ``raise`` chaos action."""
+
+
+class QuarantinedTaskError(RuntimeError):
+    """A task exhausted every attempt and the caller chose to abort.
+
+    Carries the full :class:`TaskOutcome` so the caller can inspect the
+    per-attempt failure history.
+    """
+
+    def __init__(self, outcome: "TaskOutcome") -> None:
+        self.outcome = outcome
+        last = outcome.failures[-1] if outcome.failures else None
+        super().__init__(
+            f"task {outcome.identity!r} failed all {outcome.attempts} attempt(s)"
+            + (f"; last failure: {last.kind}" if last else "")
+        )
+
+
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """Retry/timeout/backoff knobs of the supervised executor.
+
+    The backoff delay before retry attempt ``k`` (the k-th attempt
+    overall, k >= 2) is ``min(backoff_max, backoff_base *
+    backoff_factor**(k-2))`` scaled by ``1 + backoff_jitter * u`` where
+    ``u`` is a deterministic uniform draw from ``(seed, identity, k)``
+    — seeded jitter, so retry schedules replay byte-identically.
+    """
+
+    #: wall-clock seconds a single attempt may take before the worker is
+    #: SIGKILLed and the attempt counts as a timeout (None = no limit,
+    #: hung workers are then indistinguishable from slow ones).
+    task_timeout: Optional[float] = None
+    #: retries after the first attempt; a task is quarantined after
+    #: ``max_retries + 1`` failed attempts.
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    #: jitter fraction in [0, 1]: the delay is stretched by up to this
+    #: fraction, deterministically per (seed, identity, attempt).
+    backoff_jitter: float = 0.25
+    #: seed of the deterministic jitter stream.
+    seed: int = 0
+    #: what to do when a task exhausts every attempt (see
+    #: :data:`ON_FAILURE_LADDER`); callers translate ``serial``/``model``
+    #: into a concrete fallback ladder.
+    on_failure: str = "quarantine"
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base and backoff_max must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}")
+        if self.on_failure not in ON_FAILURE_LADDER:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_LADDER}, got {self.on_failure!r}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total in-pool attempts before the fallback ladder/quarantine."""
+        return self.max_retries + 1
+
+
+def backoff_delay(policy: SupervisePolicy, identity: str, attempt: int) -> float:
+    """Deterministic backoff before ``attempt`` (attempt >= 2) of a task.
+
+    A pure function of ``(policy, identity, attempt)``: bounded
+    exponential growth with seeded jitter, so a replayed campaign waits
+    exactly the same schedule.
+    """
+    base = policy.backoff_base * policy.backoff_factor ** max(0, attempt - 2)
+    delay = min(policy.backoff_max, base)
+    if policy.backoff_jitter and delay > 0.0:
+        digest = hashlib.sha256(
+            f"{policy.seed}:{identity}:{attempt}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0**64
+        delay *= 1.0 + policy.backoff_jitter * u
+    return delay
+
+
+@dataclass
+class TaskFailure:
+    """One failed attempt of a supervised task."""
+
+    attempt: int
+    kind: str  #: ``crash`` | ``timeout`` | ``error`` | ``fallback:<label>``
+    detail: str  #: exit description or formatted traceback
+
+
+@dataclass
+class TaskOutcome:
+    """What became of one supervised task, success or quarantine."""
+
+    item: Any
+    identity: str
+    ok: bool
+    value: Any = None
+    attempts: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+    #: label of the fallback rung that rescued the task, if any.
+    fallback: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        """In-pool attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+    def quarantine_record(self) -> Dict[str, Any]:
+        """The structured ``status: "quarantined"`` record body."""
+        reason = self.failures[-1].kind if self.failures else "error"
+        return {
+            "status": "quarantined",
+            "reason": reason,
+            "attempts": self.attempts,
+            "tracebacks": [
+                f"attempt {f.attempt} [{f.kind}]: {f.detail}" for f in self.failures
+            ],
+        }
+
+
+# -- chaos schedule hook ---------------------------------------------------
+
+_CHAOS_CACHE: Tuple[Optional[str], Dict[str, Dict[str, Any]]] = (None, {})
+
+
+def chaos_spec() -> Dict[str, Dict[str, Any]]:
+    """The parsed :data:`CHAOS_ENV` schedule (cached per env value)."""
+    global _CHAOS_CACHE
+    raw = os.environ.get(CHAOS_ENV)
+    if raw == _CHAOS_CACHE[0]:
+        return _CHAOS_CACHE[1]
+    spec: Dict[str, Dict[str, Any]] = {}
+    if raw:
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict):
+            spec = {
+                str(key): entry for key, entry in obj.items() if isinstance(entry, dict)
+            }
+    _CHAOS_CACHE = (raw, spec)
+    return spec
+
+
+def maybe_chaos(identity: str, attempt: int) -> None:
+    """Apply the scheduled chaos action for this (task, attempt), if any.
+
+    Only active inside worker processes — the supervisor itself is never
+    a chaos target.  ``kill`` dies abruptly (skipping all finalizers,
+    like a kernel OOM kill), ``stop`` SIGSTOPs the worker so it hangs
+    until the supervisor's deadline SIGKILLs it, ``raise`` throws
+    :class:`ChaosInjectedError` through the task function.
+    """
+    if not in_worker():
+        return
+    entry = chaos_spec().get(identity)
+    if not entry:
+        return
+    attempts = entry.get("attempts", "all")
+    if attempts != "all" and attempt not in attempts:
+        return
+    action = entry.get("action")
+    if action == "kill":
+        os._exit(_CHAOS_EXIT)
+    elif action == "stop":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif action == "raise":
+        raise ChaosInjectedError(
+            f"chaos schedule injected a failure for {identity!r} (attempt {attempt})"
+        )
+
+
+# -- the supervised pool ---------------------------------------------------
+
+_T = TypeVar("_T")
+
+#: supervisor poll granularity: the longest the parent sleeps before
+#: re-checking deadlines even when no worker has reported.
+_POLL_S = 0.1
+
+
+def _worker_main(
+    func: Callable[[Any], Any],
+    identity_of: Callable[[Any], str],
+    conn: Any,
+) -> None:
+    """Worker loop: recv ``(task_id, attempt, item)``, send the outcome.
+
+    Runs in a forked child, so ``func``/``identity_of`` arrive by
+    inheritance (no pickling).  Any exception — including injected chaos
+    — is reported as a formatted traceback; an abrupt death is seen by
+    the supervisor as EOF on this worker's private pipe.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        task_id, attempt, item = msg
+        try:
+            identity = identity_of(item)
+            maybe_crash(identity)  # legacy single-identity hook
+            maybe_chaos(identity, attempt)
+            value = func(item)
+        except BaseException:  # noqa: BLE001 - report, never die silently
+            payload = (task_id, False, traceback.format_exc())
+        else:
+            payload = (task_id, True, value)
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One supervised child process with its private duplex pipe."""
+
+    def __init__(self, ctx, func, identity_of) -> None:
+        self._ctx = ctx
+        self._func = func
+        self._identity_of = identity_of
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main, args=(func, identity_of, child_conn), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (works on SIGSTOP'd processes too)."""
+        try:
+            if self.process.pid is not None:
+                os.kill(self.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+        self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def shutdown(self) -> None:
+        """Polite stop: sentinel, short join, then force-kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+@dataclass
+class _Task:
+    item: Any
+    identity: str
+    attempts: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+
+
+def supervised_iter_ordered(
+    func: Callable[[_T], Any],
+    items: Iterable[_T],
+    workers: int,
+    policy: Optional[SupervisePolicy] = None,
+    *,
+    identity: Callable[[_T], str] = str,
+    fallbacks: Sequence[Tuple[str, Callable[[_T], Any]]] = (),
+    metrics: Optional[MetricsRegistry] = None,
+    window_factor: int = 4,
+) -> Iterator[TaskOutcome]:
+    """Yield a :class:`TaskOutcome` per item, in submission order.
+
+    The self-healing analogue of
+    :func:`repro.core.parallel.iter_ordered`: worker deaths, hangs and
+    task exceptions are retried per ``policy`` instead of raising
+    :class:`~repro.core.parallel.CampaignWorkerCrash`, and a task that
+    exhausts every attempt (and every ``fallbacks`` rung, tried in the
+    parent process) is yielded as a quarantined outcome — unless
+    ``policy.on_failure == "raise"``, which raises
+    :class:`QuarantinedTaskError`.
+
+    At most ``window_factor * workers`` tasks are admitted beyond the
+    oldest unyielded one, so arbitrarily long sweeps hold O(window)
+    task state, and ``items`` may be a lazy iterable.  ``metrics``
+    receives ``supervise.*`` counters: ``tasks``, ``retries``,
+    ``timeouts``, ``worker_crashes``, ``respawns``, ``quarantines``,
+    ``fallbacks`` and ``backoff_seconds``.
+
+    Platforms without the ``fork`` start method degrade to an
+    in-process loop with retry/fallback/quarantine semantics but no
+    timeout enforcement (there is no worker to kill), with a warning.
+    """
+    policy = policy or SupervisePolicy()
+    m = metrics if metrics is not None else MetricsRegistry()
+
+    def count(name: str, amount: float = 1) -> None:
+        m.counter(f"supervise.{name}").inc(amount)
+
+    ctx = fork_context()
+    if ctx is None:  # pragma: no cover - platform-dependent
+        warnings.warn(
+            "multiprocessing 'fork' start method unavailable; supervising "
+            "in-process (retries apply, task timeouts cannot be enforced)",
+            stacklevel=2,
+        )
+        yield from _serial_supervised(func, items, policy, identity, fallbacks, count)
+        return
+
+    n_workers = max(1, min(workers, available_parallelism()))
+    window = max(2, window_factor * n_workers)
+    it = iter(items)
+    tasks: Dict[int, _Task] = {}
+    results: Dict[int, TaskOutcome] = {}
+    ready: deque = deque()
+    delayed: List[Tuple[float, int]] = []
+    next_id = 0
+    next_emit = 0
+    exhausted = False
+    pool: List[_Worker] = []
+
+    def respawn(w: _Worker) -> _Worker:
+        count("respawns")
+        w.kill()
+        fresh = _Worker(ctx, func, identity)
+        pool[pool.index(w)] = fresh
+        return fresh
+
+    def complete(task_id: int, outcome: TaskOutcome) -> None:
+        results[task_id] = outcome
+        del tasks[task_id]
+
+    def exhausted_task(task_id: int) -> None:
+        t = tasks[task_id]
+        for label, fb in fallbacks:
+            try:
+                value = fb(t.item)
+            except Exception:  # noqa: BLE001 - every rung may fail
+                t.failures.append(
+                    TaskFailure(t.attempts, f"fallback:{label}", traceback.format_exc())
+                )
+                continue
+            count("fallbacks")
+            complete(
+                task_id,
+                TaskOutcome(
+                    t.item, t.identity, ok=True, value=value,
+                    attempts=t.attempts, failures=t.failures, fallback=label,
+                ),
+            )
+            return
+        count("quarantines")
+        outcome = TaskOutcome(
+            t.item, t.identity, ok=False,
+            attempts=t.attempts, failures=t.failures,
+        )
+        if policy.on_failure == "raise":
+            raise QuarantinedTaskError(outcome)
+        complete(task_id, outcome)
+
+    def failure(task_id: int, kind: str, detail: str) -> None:
+        t = tasks[task_id]
+        t.failures.append(TaskFailure(t.attempts, kind, detail))
+        if t.attempts >= policy.max_attempts:
+            exhausted_task(task_id)
+        else:
+            count("retries")
+            delay = backoff_delay(policy, t.identity, t.attempts + 1)
+            count("backoff_seconds", delay)
+            heapq.heappush(delayed, (time.monotonic() + delay, task_id))
+
+    def handle_report(w: _Worker) -> None:
+        task_id = w.task
+        try:
+            reported_id, ok, payload = w.conn.recv()
+        except (EOFError, OSError):
+            # The worker died abruptly (SIGKILL, os._exit, segfault) —
+            # possibly mid-send, which corrupts only its private pipe.
+            count("worker_crashes")
+            respawn(w)
+            if task_id is not None and task_id in tasks:
+                failure(
+                    task_id,
+                    "crash",
+                    f"worker process died abruptly (exitcode "
+                    f"{w.process.exitcode})",
+                )
+            return
+        w.task = None
+        w.deadline = None
+        if reported_id not in tasks:  # late report for a timed-out task
+            return
+        if ok:
+            t = tasks[reported_id]
+            complete(
+                reported_id,
+                TaskOutcome(
+                    t.item, t.identity, ok=True, value=payload,
+                    attempts=t.attempts, failures=t.failures,
+                ),
+            )
+        else:
+            failure(reported_id, "error", payload)
+
+    try:
+        pool = [_Worker(ctx, func, identity) for _ in range(n_workers)]
+        while True:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, task_id = heapq.heappop(delayed)
+                ready.append(task_id)
+            while not exhausted and (next_id - next_emit) < window:
+                try:
+                    item = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                tasks[next_id] = _Task(item=item, identity=identity(item))
+                ready.append(next_id)
+                count("tasks")
+                next_id += 1
+            for w in pool:
+                if not ready:
+                    break
+                if w.task is not None:
+                    continue
+                if not w.alive():
+                    count("worker_crashes")
+                    w = respawn(w)
+                task_id = ready.popleft()
+                t = tasks[task_id]
+                t.attempts += 1
+                w.task = task_id
+                w.deadline = (
+                    now + policy.task_timeout if policy.task_timeout else None
+                )
+                try:
+                    w.conn.send((task_id, t.attempts, t.item))
+                except (BrokenPipeError, OSError):
+                    count("worker_crashes")
+                    w = respawn(w)
+                    w.task = task_id
+                    w.deadline = (
+                        now + policy.task_timeout if policy.task_timeout else None
+                    )
+                    w.conn.send((task_id, t.attempts, t.item))
+            while next_emit in results:
+                yield results.pop(next_emit)
+                next_emit += 1
+            if exhausted and not tasks and next_emit == next_id:
+                return
+            timeout = _POLL_S
+            for w in pool:
+                if w.task is not None and w.deadline is not None:
+                    timeout = min(timeout, max(0.0, w.deadline - now))
+            if delayed:
+                timeout = min(timeout, max(0.0, delayed[0][0] - now))
+            busy = [w for w in pool if w.task is not None]
+            if busy:
+                reported = _wait_connections([w.conn for w in busy], timeout)
+                for w in list(busy):
+                    if w.conn in reported:
+                        handle_report(w)
+            elif delayed:
+                time.sleep(max(0.0, min(timeout, delayed[0][0] - now)))
+            now = time.monotonic()
+            for w in list(pool):
+                if w.task is None:
+                    continue
+                if w.deadline is not None and now >= w.deadline:
+                    task_id = w.task
+                    count("timeouts")
+                    respawn(w)
+                    failure(
+                        task_id,
+                        "timeout",
+                        f"attempt exceeded task_timeout="
+                        f"{policy.task_timeout}s; worker SIGKILLed",
+                    )
+                elif not w.alive():
+                    task_id = w.task
+                    count("worker_crashes")
+                    exitcode = w.process.exitcode
+                    respawn(w)
+                    failure(
+                        task_id,
+                        "crash",
+                        f"worker process died abruptly (exitcode {exitcode})",
+                    )
+    finally:
+        for w in pool:
+            if w.task is not None:
+                w.kill()
+            else:
+                w.shutdown()
+
+
+def _serial_supervised(
+    func, items, policy, identity, fallbacks, count
+) -> Iterator[TaskOutcome]:
+    """Fork-less fallback: in-process retries, no timeout enforcement."""
+    for item in items:
+        ident = identity(item)
+        count("tasks")
+        failures: List[TaskFailure] = []
+        outcome: Optional[TaskOutcome] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                count("retries")
+                delay = backoff_delay(policy, ident, attempt)
+                count("backoff_seconds", delay)
+                time.sleep(delay)
+            try:
+                value = func(item)
+            except Exception:  # noqa: BLE001
+                failures.append(TaskFailure(attempt, "error", traceback.format_exc()))
+                continue
+            outcome = TaskOutcome(
+                item, ident, ok=True, value=value, attempts=attempt, failures=failures
+            )
+            break
+        if outcome is None:
+            attempts = policy.max_attempts
+            for label, fb in fallbacks:
+                try:
+                    value = fb(item)
+                except Exception:  # noqa: BLE001
+                    failures.append(
+                        TaskFailure(attempts, f"fallback:{label}", traceback.format_exc())
+                    )
+                    continue
+                count("fallbacks")
+                outcome = TaskOutcome(
+                    item, ident, ok=True, value=value, attempts=attempts,
+                    failures=failures, fallback=label,
+                )
+                break
+        if outcome is None:
+            count("quarantines")
+            outcome = TaskOutcome(
+                item, ident, ok=False, attempts=policy.max_attempts, failures=failures
+            )
+            if policy.on_failure == "raise":
+                raise QuarantinedTaskError(outcome)
+        yield outcome
+
+
+def supervised_parallel_map(
+    func: Callable[[_T], Any],
+    items: Iterable[_T],
+    workers: int,
+    policy: Optional[SupervisePolicy] = None,
+    *,
+    identity: Callable[[_T], str] = str,
+    fallbacks: Sequence[Tuple[str, Callable[[_T], Any]]] = (),
+    metrics: Optional[MetricsRegistry] = None,
+) -> List[Any]:
+    """Order-preserving supervised map; raises on any quarantined task.
+
+    Figure sweeps cannot tolerate holes — every grid point feeds an
+    average — so a task that survives neither the retries nor the
+    fallback ladder raises :class:`QuarantinedTaskError` here regardless
+    of ``policy.on_failure``.
+    """
+    out: List[Any] = []
+    for outcome in supervised_iter_ordered(
+        func, items, workers, policy,
+        identity=identity, fallbacks=fallbacks, metrics=metrics,
+    ):
+        if not outcome.ok:
+            raise QuarantinedTaskError(outcome)
+        out.append(outcome.value)
+    return out

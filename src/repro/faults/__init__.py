@@ -13,6 +13,13 @@ Three layers:
   acks, bounded retry with backoff, dedup, liveness probes) that the
   fault-tolerant SpMV driver in :mod:`repro.core.experiment` runs on.
 
+A fourth layer attacks the *pipeline* rather than the simulated chip:
+:mod:`repro.faults.chaos` (``repro chaos``) SIGKILLs/SIGSTOPs live
+campaign workers and corrupts content-store entries under the
+self-healing supervisor of :mod:`repro.core.supervise`, asserting that
+surviving records stay bitwise identical to a clean run and that
+exactly the injected poison points are quarantined.
+
 See ``docs/FAULTS.md`` for the taxonomy and recovery semantics.
 """
 

@@ -16,7 +16,14 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
-from ..cliutil import add_json_flag, add_output_flag, open_output, resolve_format
+from ..cliutil import (
+    add_json_flag,
+    add_output_flag,
+    add_supervise_flags,
+    open_output,
+    policy_from_args,
+    resolve_format,
+)
 from .plan import EXAMPLE_PLANS, load_plan
 
 __all__ = [
@@ -81,6 +88,7 @@ def configure_faults_parser(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
     )
+    add_supervise_flags(p)
     add_json_flag(p)
     add_output_flag(p)
 
@@ -211,7 +219,26 @@ def run_faults(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
             raise SystemExit("no matrices selected; check --ids")
 
         opts = (plan, args.cores, args.scale, args.iterations, args.budget)
-        rows = parallel_map(partial(_fault_run_task, opts), ids, workers)
+        task = partial(_fault_run_task, opts)
+        policy = policy_from_args(args)
+        if policy is not None:
+            # Supervised path: crashed/hung runs are retried per policy;
+            # 'serial'/'model' degrade to an in-parent rerun (fault runs
+            # need the event-driven runtime, so there is no model rung).
+            from ..core.supervise import supervised_parallel_map
+
+            fallbacks = (
+                [("serial", task)]
+                if policy.on_failure in ("serial", "model")
+                else []
+            )
+            rows = supervised_parallel_map(
+                task, ids, workers, policy,
+                identity=lambda mid: f"faults:{mid}",
+                fallbacks=fallbacks,
+            )
+        else:
+            rows = parallel_map(task, ids, workers)
         all_verified = all(row["verified"] for row in rows)
         for row in rows:
             row["verified"] = "yes" if row["verified"] else "NO"

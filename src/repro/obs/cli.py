@@ -13,12 +13,15 @@ medians of warmed repeats so the snapshot reports overhead, not noise.
 The snapshot also benchmarks the *exact replay* engines — the scalar
 cache oracle against the set-parallel vectorized engine
 (:mod:`repro.scc.vecreplay`) on a Table-I-scale trace — and records the
-speedup plus a bitwise-equality check of their counts.
+speedup plus a bitwise-equality check of their counts, and measures the
+supervised executor's overhead over the bare fork pool on the same
+sweep (the ``supervise_overhead`` entry).
 ``bench gate`` re-measures the *simulated* throughput (deterministic,
 CI-stable) and fails when it regressed more than ``--max-regression``
-against a committed baseline snapshot, or when the vectorized replay
+against a committed baseline snapshot, when the vectorized replay
 speedup falls below ``--min-replay-speedup`` (or stops matching the
-scalar oracle bit for bit).
+scalar oracle bit for bit), or when supervision overhead exceeds
+``--max-supervise-overhead``.
 """
 
 from __future__ import annotations
@@ -266,6 +269,16 @@ def configure_bench_parser(p: argparse.ArgumentParser) -> None:
         "scalar oracle drops below this, or the engines' counts stop "
         "matching bitwise; 0 skips the check (default 25)",
     )
+    p.add_argument(
+        "--max-supervise-overhead",
+        type=float,
+        default=0.5,
+        help="'gate' fails when the supervised executor's wall-clock "
+        "overhead over the bare pool exceeds this fraction; the bound "
+        "is deliberately loose (measured overhead is a few percent) "
+        "because the measurement is wall-clock; 0 skips the check "
+        "(default 0.5)",
+    )
     add_json_flag(p)
     add_output_flag(p)
 
@@ -313,6 +326,16 @@ def _time_sweep(args: argparse.Namespace) -> float:
     """Wall-clock seconds of a core-count sweep sharded over --workers."""
     from ..core.figures import run_suite_batch
     from ..core.parallel import parallel_map
+
+    tasks = _sweep_tasks(args)
+    parallel_map(run_suite_batch, tasks, args.workers)  # warmup
+    t0 = time.perf_counter()
+    parallel_map(run_suite_batch, tasks, args.workers)
+    return time.perf_counter() - t0
+
+
+def _sweep_tasks(args: argparse.Namespace) -> list:
+    """The core-count sweep as ``run_suite_batch`` task tuples."""
     from ..sparse.suite import entry_by_id
 
     name = entry_by_id(args.matrix_id).name
@@ -322,14 +345,79 @@ def _time_sweep(args: argparse.Namespace) -> float:
         iterations=args.iterations,
         mode=args.mode,
     )
-    tasks = [
+    return [
         (args.matrix_id, args.scale, name, [dict(spec, n_cores=n)])
         for n in BENCH_SWEEP_COUNTS
     ]
-    parallel_map(run_suite_batch, tasks, args.workers)  # warmup
-    t0 = time.perf_counter()
-    parallel_map(run_suite_batch, tasks, args.workers)
-    return time.perf_counter() - t0
+
+
+def _measure_supervise(args: argparse.Namespace) -> dict:
+    """Supervised-vs-bare pool overhead (the ``supervise_overhead`` entry).
+
+    Runs the sweep task list through the bare ``parallel_map`` pool and
+    through :func:`~repro.core.supervise.supervised_parallel_map` under
+    the default policy.  No faults are injected, so every task succeeds
+    on attempt 1 and the wall-clock delta is pure supervision
+    machinery: per-worker pipes, deadline polling, backoff bookkeeping
+    and metrics accounting.  Both legs use at least two workers so each
+    exercises a real fork pool, and measurements come in adjacent
+    (bare, supervised) pairs with the fastest-bare pair kept — the same
+    drift defense the tracer-overhead measurement uses.  The supervise
+    counters of the final run ride along as evidence that nothing was
+    retried or respawned during timing.
+    """
+    from ..core.figures import run_suite_batch
+    from ..core.parallel import parallel_map
+    from ..core.supervise import SupervisePolicy, supervised_parallel_map
+    from .metrics import MetricsRegistry, summary_prefix
+
+    workers = max(2, args.workers)
+    tasks = _sweep_tasks(args)
+    policy = SupervisePolicy()
+
+    def identity(task: tuple) -> str:
+        return f"bench:{task[0]}:{task[3][0]['n_cores']}"
+
+    def bare() -> float:
+        t0 = time.perf_counter()
+        parallel_map(run_suite_batch, tasks, workers)
+        return time.perf_counter() - t0
+
+    def supervised(registry: MetricsRegistry) -> float:
+        t0 = time.perf_counter()
+        supervised_parallel_map(
+            run_suite_batch,
+            tasks,
+            workers,
+            policy,
+            identity=identity,
+            metrics=registry,
+        )
+        return time.perf_counter() - t0
+
+    bare()  # warmup: populate matrix/trace caches, untimed
+    supervised(MetricsRegistry())
+    pairs = []
+    for _ in range(3):
+        registry = MetricsRegistry()
+        pairs.append((bare(), supervised(registry), registry))
+    bare_s, supervised_s, registry = min(pairs, key=lambda p: p[0])
+    counters = {
+        key: int(value)
+        for key, value in summary_prefix(
+            registry.flat_summary(), "supervise"
+        ).items()
+        if isinstance(value, (int, float))
+    }
+    return {
+        "workers": workers,
+        "tasks": len(tasks),
+        "max_retries": policy.max_retries,
+        "wallclock_bare_s": bare_s,
+        "wallclock_supervised_s": supervised_s,
+        "overhead_pct": 100.0 * (supervised_s - bare_s) / bare_s,
+        "counters": counters,
+    }
 
 
 def _measure_replay(args: argparse.Namespace) -> dict:
@@ -425,6 +513,7 @@ def _measure_snapshot(args: argparse.Namespace) -> dict:
         "tracer_overhead_pct": 100.0 * (traced_s - untraced_s) / untraced_s,
         "sweep_core_counts": list(BENCH_SWEEP_COUNTS),
         "sweep_wallclock_s": _time_sweep(args),
+        "supervise_overhead": _measure_supervise(args),
         "replay": _measure_replay(args),
     }
 
@@ -456,7 +545,14 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
     replay_ok = args.min_replay_speedup <= 0 or (
         replay["bitwise_match"] and replay["speedup"] >= args.min_replay_speedup
     )
-    failed = regression > args.max_regression or not replay_ok
+    supervise = snapshot["supervise_overhead"]
+    supervise_ok = (
+        args.max_supervise_overhead <= 0
+        or supervise["overhead_pct"] <= 100.0 * args.max_supervise_overhead
+    )
+    failed = (
+        regression > args.max_regression or not replay_ok or not supervise_ok
+    )
     verdict = {
         "baseline": args.baseline,
         "baseline_mflops": base_mflops,
@@ -466,6 +562,8 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
         "replay_speedup": replay["speedup"],
         "min_replay_speedup": args.min_replay_speedup,
         "replay_bitwise_match": replay["bitwise_match"],
+        "supervise_overhead_pct": supervise["overhead_pct"],
+        "max_supervise_overhead_pct": 100.0 * args.max_supervise_overhead,
         "status": "fail" if failed else "ok",
         "snapshot": snapshot,
     }

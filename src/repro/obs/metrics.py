@@ -30,6 +30,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "metric_key",
     "merge_flat_summaries",
+    "summary_prefix",
 ]
 
 #: default histogram bounds: decades from 1 ns to 1000 s, which brackets
@@ -259,3 +260,22 @@ def merge_flat_summaries(
             else:
                 merged[key] = float(merged.get(key, 0.0)) + float(value)  # type: ignore[arg-type]
     return dict(sorted(merged.items()))
+
+
+def summary_prefix(
+    summary: Dict[str, object], prefix: str
+) -> Dict[str, object]:
+    """Entries of a flat summary under one dotted namespace, prefix stripped.
+
+    ``summary_prefix(s, "supervise")`` turns
+    ``{"supervise.retries": 2.0, "mesh.flits": 9.0}`` into
+    ``{"retries": 2.0}`` — the shape consumers embed in their own
+    reports (``repro chaos``, the bench snapshot's supervision entry)
+    without dragging along unrelated instruments.  Keys are sorted.
+    """
+    lead = prefix + "."
+    return {
+        key[len(lead):]: value
+        for key, value in sorted(summary.items())
+        if key.startswith(lead)
+    }

@@ -19,31 +19,57 @@ Keying rules (the invalidation contract, see ``docs/MODEL.md``):
   concurrent writers — fork-pool campaign workers — race benignly: the
   last rename wins and every reader sees a complete file.
 
+Every entry carries a SHA-256 integrity seal over its own contents
+(JSON entries are framed as ``{"sha256": ..., "payload": ...}``; array
+bundles embed a reserved ``__sha256__`` member), verified on every
+read.  An entry that fails verification — truncated, bit-flipped,
+unparseable, or written by a pre-integrity version — is treated as a
+miss and *quarantined* to a ``corrupt/`` subdirectory of the
+namespace, never silently deleted: the evidence stays on disk for
+post-mortems while the caller transparently recomputes.  Failed writes
+(most commonly ENOSPC) drop the entry and warn once per process per
+error type instead of failing the run.
+
 The store lives under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``); set ``REPRO_NO_DISK_CACHE=1`` to disable it
-entirely (every ``get`` misses, every ``put`` is dropped).  A corrupt
-or truncated entry is treated as a miss and deleted, never raised.
+entirely (every ``get`` misses, every ``put`` is dropped).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io
 import json
 import os
 import tempfile
+import warnings
+import zipfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 import numpy as np
 
 __all__ = [
+    "STORE_ENOSPC_ENV",
     "cache_enabled",
     "default_cache_dir",
     "digest_arrays",
     "digest_parts",
     "ContentStore",
 ]
+
+#: fault-injection hook: when set to a non-empty value, every store
+#: write fails with an injected ENOSPC ``OSError`` inside the atomic
+#: write path — exactly the surface a full disk hits.  Used by
+#: ``repro chaos`` and the store tests; harmless in production.
+STORE_ENOSPC_ENV = "REPRO_FAULT_STORE_ENOSPC"
+
+#: reserved array-bundle member holding the integrity seal.
+_SEAL_NAME = "__sha256__"
+
+#: errnos already warned about by failed writes (once per process each).
+_WARNED_ERRNOS: Set[int] = set()
 
 
 def cache_enabled() -> bool:
@@ -83,6 +109,42 @@ def digest_parts(*parts: Any) -> str:
     return h.hexdigest()
 
 
+def _canonical_json(obj: Dict[str, Any]) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _bundle_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over an array bundle: sorted names, dtypes, shapes, bytes."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _warn_write_failure(exc: OSError, path: Path) -> None:
+    """Warn about a dropped store write, once per process per errno."""
+    code = exc.errno if exc.errno is not None else -1
+    if code in _WARNED_ERRNOS:
+        return
+    _WARNED_ERRNOS.add(code)
+    if code == errno.ENOSPC:
+        message = (
+            f"no space left on device while writing cache entry "
+            f"{path.name!r}; store writes are being dropped and results "
+            f"recomputed (shown once per process)"
+        )
+    else:
+        message = (
+            f"cache write of {path.name!r} failed ({exc}); entry dropped "
+            f"(shown once per process per error type)"
+        )
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
 class ContentStore:
     """A flat directory of content-addressed JSON / array-bundle entries."""
 
@@ -95,67 +157,136 @@ class ContentStore:
         """On-disk path of an entry (two-level fan-out keeps dirs small)."""
         return self._dir / key[:2] / f"{key}.{ext}"
 
-    def _write_atomic(self, path: Path, payload: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where entries failing integrity verification are quarantined."""
+        return self._dir / "corrupt"
+
+    def _write_atomic(self, path: Path, payload: bytes) -> bool:
+        """Write-then-rename; on failure clean up, warn once, return False."""
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError as exc:
+            _warn_write_failure(exc, path)
+            return False
+        fh = None
+        try:
+            if os.environ.get(STORE_ENOSPC_ENV):
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected by {STORE_ENOSPC_ENV}: no space left on device",
+                )
+            fh = os.fdopen(fd, "wb")
+            fh.write(payload)
+            fh.close()
             os.replace(tmp, path)
-        except OSError:
+            return True
+        except OSError as exc:
+            # Close the fd exactly once: os.fdopen only takes ownership
+            # when it succeeds; a file object tolerates double close.
+            if fh is None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            else:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            _warn_write_failure(exc, path)
+            return False
 
-    def _drop(self, path: Path) -> None:
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry into ``corrupt/`` (kept, not deleted)."""
         try:
-            path.unlink()
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            dest = self.corrupt_dir / path.name
+            os.replace(path, dest)
+            return dest
         except OSError:
-            pass
+            return None
 
     # -- JSON entries ------------------------------------------------------
 
     def get_json(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored dict, or None on miss/corruption (corrupt files die)."""
+        """The stored dict, or None on miss; corrupt entries are quarantined.
+
+        Integrity is verified on every read: the entry's recorded
+        ``sha256`` must match a fresh digest of its payload.  Anything
+        else — truncation, bit flips, a legacy unsealed entry — is a
+        miss, with the bad file moved to :attr:`corrupt_dir`.
+        """
         if not cache_enabled():
             return None
         path = self.path_for(key, "json")
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                obj = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            if path.exists():
-                self._drop(path)
+                frame = json.load(fh)
+        except FileNotFoundError:
             return None
-        return obj if isinstance(obj, dict) else None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(frame, dict)
+            or not isinstance(frame.get("payload"), dict)
+            or not isinstance(frame.get("sha256"), str)
+        ):
+            self._quarantine(path)
+            return None
+        payload = frame["payload"]
+        if hashlib.sha256(_canonical_json(payload)).hexdigest() != frame["sha256"]:
+            self._quarantine(path)
+            return None
+        return payload
 
     def put_json(self, key: str, obj: Dict[str, Any]) -> None:
-        """Store a JSON-serializable dict atomically (no-op when disabled)."""
+        """Store a JSON-serializable dict atomically with an integrity seal."""
         if not cache_enabled():
             return
-        payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
-        self._write_atomic(self.path_for(key, "json"), payload)
+        digest = hashlib.sha256(_canonical_json(obj)).hexdigest()
+        frame = _canonical_json({"sha256": digest, "payload": obj})
+        self._write_atomic(self.path_for(key, "json"), frame)
 
     # -- array-bundle entries ----------------------------------------------
 
     def get_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
-        """The stored array bundle, or None on miss/corruption."""
+        """The stored array bundle, or None on miss; corrupt ones quarantined."""
         if not cache_enabled():
             return None
         path = self.path_for(key, "npz")
         try:
             with np.load(path) as npz:
-                return {name: npz[name] for name in npz.files}
-        except (OSError, ValueError, EOFError, KeyError):
-            if path.exists():
-                self._drop(path)
+                arrays = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
             return None
+        except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile):
+            self._quarantine(path)
+            return None
+        seal = arrays.pop(_SEAL_NAME, None)
+        if (
+            seal is None
+            or seal.dtype != np.uint8
+            or seal.shape != (32,)
+            or seal.tobytes().hex() != _bundle_digest(arrays)
+        ):
+            self._quarantine(path)
+            return None
+        return arrays
 
     def put_arrays(self, key: str, **arrays: np.ndarray) -> None:
-        """Store named arrays atomically as one uncompressed ``.npz``."""
+        """Store named arrays atomically as one sealed uncompressed ``.npz``."""
+        if _SEAL_NAME in arrays:
+            raise ValueError(f"array name {_SEAL_NAME!r} is reserved for the seal")
         if not cache_enabled():
             return
+        seal = np.frombuffer(bytes.fromhex(_bundle_digest(arrays)), dtype=np.uint8)
         buf = io.BytesIO()
-        np.savez(buf, **arrays)
+        np.savez(buf, **arrays, **{_SEAL_NAME: seal})
         self._write_atomic(self.path_for(key, "npz"), buf.getvalue())

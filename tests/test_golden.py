@@ -105,6 +105,21 @@ class TestGoldenCampaign:
     def test_workers4_reproduces_fixture_bitwise(self, tmp_path):
         assert self._run(tmp_path, workers=4) == self.GOLDEN.read_bytes()
 
+    def test_supervised_run_reproduces_fixture_bitwise(self, tmp_path):
+        """Supervision must be invisible in the output: the self-healing
+        executor's records are the same bytes as the bare pool's."""
+        from repro.core import SupervisePolicy
+
+        campaign = Campaign(
+            "golden_campaign", tmp_path, scale=0.05, iterations=2, mode="model"
+        )
+        points = Campaign.grid(
+            ids=(24, 30), core_counts=(1, 4), configs=("conf0", "conf1")
+        )
+        policy = SupervisePolicy(task_timeout=60.0, max_retries=2)
+        assert campaign.run(points, workers=4, policy=policy) == (len(points), 0)
+        assert campaign.path.read_bytes() == self.GOLDEN.read_bytes()
+
 
 class TestGoldenSuiteStats:
     def test_suite_fingerprint(self):

@@ -10,6 +10,7 @@ campaign aggregation exact.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -25,6 +26,7 @@ from repro.core.parallel import (
     maybe_crash,
     parallel_map,
 )
+from repro.core.supervise import CHAOS_ENV, SupervisePolicy
 from repro.obs.metrics import merge_flat_summaries
 
 pytestmark = pytest.mark.skipif(
@@ -62,6 +64,36 @@ class TestPrimitives:
     def test_iter_ordered_yields_item_result_pairs(self):
         pairs = list(iter_ordered(_square, [3, 1, 2], workers=2))
         assert pairs == [(3, 9), (1, 1), (2, 4)]
+
+    def test_iter_ordered_bounds_in_flight_submissions(self):
+        pulled = []
+
+        def gen():
+            for x in range(500):
+                pulled.append(x)
+                yield x
+
+        it = iter_ordered(_square, gen(), workers=2)
+        try:
+            item, result = next(it)
+            assert (item, result) == (0, 0)
+            # sliding window: ~window_factor * workers in flight, not 500
+            assert len(pulled) < 500
+            assert len(pulled) <= 2 + 4 * 2 + 1
+        finally:
+            it.close()
+
+    def test_iter_ordered_serial_path_stays_lazy(self):
+        pulled = []
+
+        def gen():
+            for x in range(100):
+                pulled.append(x)
+                yield x
+
+        it = iter_ordered(_square, gen(), workers=1)
+        next(it)
+        assert len(pulled) <= 3  # only the two-item peek plus one
 
     def test_fork_unavailable_degrades_to_serial(self, monkeypatch):
         import repro.core.parallel as par
@@ -144,6 +176,99 @@ class TestCampaignParallel:
         summary = par.metrics_summary()
         assert summary == serial.metrics_summary()
         assert summary  # collect_metrics actually recorded something
+
+
+class TestSupervisedCampaign:
+    """Campaign.run under a SupervisePolicy: self-healing, same bytes."""
+
+    POLICY = SupervisePolicy(max_retries=2, backoff_base=0.0, backoff_jitter=0.0)
+
+    def test_supervised_run_bitwise_identical_to_serial(self, tmp_path):
+        points = Campaign.grid(**GRID)
+        serial = _campaign(tmp_path, "sup_serial")
+        sup = _campaign(tmp_path, "sup_par")
+        serial.run(points)
+        assert sup.run(points, workers=4, policy=self.POLICY) == (len(points), 0)
+        assert sup.path.read_bytes() == serial.path.read_bytes()
+        assert sup.last_supervise["supervise.tasks"] == len(points)
+
+    def test_transient_kill_heals_with_identical_bytes(self, tmp_path, monkeypatch):
+        points = Campaign.grid(**GRID)
+        serial = _campaign(tmp_path, "heal_ref")
+        serial.run(points)
+        # SIGKILL the worker running point 3 on its first attempt only
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            json.dumps({points[3].key(): {"action": "kill", "attempts": [1]}}),
+        )
+        healed = _campaign(tmp_path, "heal_run")
+        assert healed.run(points, workers=2, policy=self.POLICY) == (
+            len(points),
+            0,
+        )
+        # recovered records carry no retry metadata: bytes stay identical
+        assert healed.path.read_bytes() == serial.path.read_bytes()
+        assert healed.last_supervise["supervise.retries"] >= 1
+        assert healed.last_supervise["supervise.worker_crashes"] >= 1
+
+    def test_poison_point_quarantines_then_reruns_after_clearing(
+        self, tmp_path, monkeypatch
+    ):
+        points = Campaign.grid(**GRID)
+        serial = _campaign(tmp_path, "poison_ref")
+        serial.run(points)
+        target = points[5]
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            json.dumps({target.key(): {"action": "kill", "attempts": "all"}}),
+        )
+        c = _campaign(tmp_path, "poison_run")
+        assert c.run(points, workers=2, policy=self.POLICY) == (len(points), 0)
+        # the poison point persisted as a structured quarantine record
+        assert c.status_counts().get("quarantined") == 1
+        quarantined = [
+            rec for rec in c.load() if rec.get("status") == "quarantined"
+        ]
+        assert len(quarantined) == 1
+        rec = quarantined[0]
+        assert rec["reason"] == "crash"
+        assert rec["attempts"] == self.POLICY.max_attempts
+        assert len(rec["tracebacks"]) == self.POLICY.max_attempts
+        assert rec["n_cores"] == target.n_cores
+        # quarantined points are retryable: excluded from the resume set
+        assert target.key() not in c.completed_keys()
+        assert len(c.completed_keys()) == len(points) - 1
+
+        # fault clears -> resume reruns exactly the quarantined point
+        monkeypatch.delenv(CHAOS_ENV)
+        assert c.run(points, workers=2, policy=self.POLICY) == (
+            1,
+            len(points) - 1,
+        )
+        assert c.completed_keys() == {pt.key() for pt in points}
+        # the healed record supersedes the quarantine marker in load()
+        assert c.status_counts() == {"ok": len(points)}
+        assert c.summarize() == serial.summarize()
+
+    def test_on_failure_serial_rescues_in_parent(self, tmp_path, monkeypatch):
+        points = Campaign.grid(**GRID)
+        serial = _campaign(tmp_path, "ladder_ref")
+        serial.run(points)
+        # poison in the pool: every in-pool attempt of point 0 dies; the
+        # serial fallback runs in the parent, where chaos is inert.
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            json.dumps({points[0].key(): {"action": "kill", "attempts": "all"}}),
+        )
+        policy = SupervisePolicy(
+            max_retries=0, backoff_base=0.0, backoff_jitter=0.0,
+            on_failure="serial",
+        )
+        c = _campaign(tmp_path, "ladder_run")
+        assert c.run(points, workers=2, policy=policy) == (len(points), 0)
+        assert c.status_counts() == {"ok": len(points)}
+        assert c.path.read_bytes() == serial.path.read_bytes()
+        assert c.last_supervise["supervise.fallbacks"] == 1
 
 
 class TestMergeFlatSummaries:

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
+import repro.store
 from repro.store import (
+    STORE_ENOSPC_ENV,
     ContentStore,
     cache_enabled,
     default_cache_dir,
@@ -47,13 +51,15 @@ class TestJsonEntries:
         store.put_json(key, {"hits": 3, "misses": 1})
         assert store.get_json(key) == {"hits": 3, "misses": 1}
 
-    def test_corrupt_entry_is_a_miss_and_dies(self, store):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, store):
         key = digest_parts("k", 2)
         store.put_json(key, {"ok": True})
         path = store.path_for(key, "json")
         path.write_text("{truncated")
         assert store.get_json(key) is None
-        assert not path.exists()  # corrupt file deleted, not re-read
+        # the evidence is moved to corrupt/, never deleted or re-read
+        assert not path.exists()
+        assert (store.corrupt_dir / path.name).read_text() == "{truncated"
 
     def test_non_dict_payload_rejected(self, store):
         key = digest_parts("k", 3)
@@ -61,6 +67,26 @@ class TestJsonEntries:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("[1, 2, 3]")
         assert store.get_json(key) is None
+
+    def test_bit_flip_in_payload_is_a_miss(self, store):
+        key = digest_parts("k", 5)
+        store.put_json(key, {"mflops": 24.55})
+        path = store.path_for(key, "json")
+        # valid JSON, valid frame shape — but the payload no longer
+        # matches its recorded sha256, so the read must reject it.
+        frame = json.loads(path.read_text())
+        frame["payload"]["mflops"] = 9999.0
+        path.write_text(json.dumps(frame))
+        assert store.get_json(key) is None
+        assert (store.corrupt_dir / path.name).exists()
+
+    def test_legacy_unsealed_entry_is_a_miss(self, store):
+        key = digest_parts("k", 6)
+        path = store.path_for(key, "json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"mflops": 24.55}')  # pre-integrity format
+        assert store.get_json(key) is None
+        assert (store.corrupt_dir / path.name).exists()
 
     def test_two_level_fanout(self, store):
         key = digest_parts("k", 4)
@@ -80,8 +106,78 @@ class TestArrayEntries:
     def test_corrupt_bundle_is_a_miss(self, store):
         key = digest_parts("a", 2)
         store.put_arrays(key, x=np.arange(5))
-        store.path_for(key, "npz").write_bytes(b"not an npz")
+        path = store.path_for(key, "npz")
+        path.write_bytes(b"not an npz")
         assert store.get_arrays(key) is None
+        assert (store.corrupt_dir / path.name).exists()
+
+    def test_truncated_bundle_is_a_miss(self, store):
+        key = digest_parts("a", 3)
+        store.put_arrays(key, x=np.arange(512, dtype=np.float64))
+        path = store.path_for(key, "npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert store.get_arrays(key) is None
+        assert (store.corrupt_dir / path.name).exists()
+
+    def test_missing_seal_is_a_miss(self, store):
+        key = digest_parts("a", 4)
+        path = store.path_for(key, "npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        import io
+
+        buf = io.BytesIO()
+        np.savez(buf, x=np.arange(5))  # legacy bundle: no __sha256__
+        path.write_bytes(buf.getvalue())
+        assert store.get_arrays(key) is None
+        assert (store.corrupt_dir / path.name).exists()
+
+    def test_seal_name_is_reserved(self, store):
+        with pytest.raises(ValueError, match="reserved"):
+            store.put_arrays(digest_parts("a", 5), __sha256__=np.arange(3))
+
+    def test_quarantine_preserves_round_trip_after_rewrite(self, store):
+        key = digest_parts("a", 6)
+        store.put_arrays(key, x=np.arange(4))
+        store.path_for(key, "npz").write_bytes(b"junk")
+        assert store.get_arrays(key) is None
+        store.put_arrays(key, x=np.arange(4))  # recompute-and-rewrite
+        np.testing.assert_array_equal(store.get_arrays(key)["x"], np.arange(4))
+
+
+class TestFailedWrites:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(repro.store, "_WARNED_ERRNOS", set())
+
+    def test_enospc_warns_once_and_drops_the_entry(self, store, monkeypatch):
+        monkeypatch.setenv(STORE_ENOSPC_ENV, "1")
+        key = digest_parts("k", 1)
+        with pytest.warns(RuntimeWarning, match="no space left"):
+            store.put_json(key, {"doomed": True})
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.put_json(key, {"doomed": True})  # second failure: silent
+            store.put_arrays(digest_parts("a", 1), x=np.arange(3))
+        assert not [w for w in caught if "no space left" in str(w.message)]
+        assert store.get_json(key) is None
+
+    def test_enospc_leaves_no_temp_files(self, store, monkeypatch):
+        monkeypatch.setenv(STORE_ENOSPC_ENV, "1")
+        with pytest.warns(RuntimeWarning):
+            store.put_json(digest_parts("k", 2), {"doomed": True})
+        assert not list(store.root.rglob("*.tmp"))
+
+    def test_recovery_after_space_returns(self, store, monkeypatch):
+        monkeypatch.setenv(STORE_ENOSPC_ENV, "1")
+        key = digest_parts("k", 3)
+        with pytest.warns(RuntimeWarning):
+            store.put_json(key, {"v": 1})
+        monkeypatch.delenv(STORE_ENOSPC_ENV)
+        store.put_json(key, {"v": 2})
+        assert store.get_json(key) == {"v": 2}
 
 
 class TestEnvControl:
