@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cross-architecture SpMV comparison from a single campaign spec.
+
+The machine zoo (``repro.machine``) models three many-core targets
+behind one interface: the Intel SCC the paper measured, the Xeon Phi
+(Saule, Kaya & Catalyurek, arXiv:1302.1078) and the Phytium FT-2000+
+(arXiv:1911.08779).  One :class:`~repro.core.Campaign` grid pins each
+point to a machine via the ``machines=`` dimension, every machine runs
+the same matrices at its full core count, and
+:func:`~repro.core.figures.machine_comparison_data` folds the records
+into a Fig-10-style table: suite-average GFLOPS/s and MFLOPS/W per
+architecture.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import Campaign
+from repro.core.figures import machine_comparison_data
+from repro.machine import get_machine, list_machines
+
+IDS = [7, 24, 30]                 # sme3Dc, pdb1HYS, Na5
+SCALE = 0.2
+ITERATIONS = 8
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_machines_"))
+
+    # One campaign spec: every registered machine, full chip, same suite.
+    points = []
+    for machine_id in list_machines():
+        full_chip = get_machine(machine_id).topology.n_cores
+        points += Campaign.grid(IDS, [full_chip], machines=[machine_id])
+    print(f"grid: {len(points)} points over {len(list_machines())} machines "
+          f"-> {workdir}/machines.jsonl\n")
+
+    campaign = Campaign(
+        "machines", workdir, scale=SCALE, iterations=ITERATIONS, mode="model"
+    )
+    ran, skipped = campaign.run(points)
+    print(f"ran {ran}, skipped {skipped} (resume-safe like any campaign)\n")
+
+    rows = machine_comparison_data(campaign.load())
+    print(f"{'machine':14s} {'label':10s} {'cores':>5s} "
+          f"{'GFLOPS/s':>9s} {'watts':>7s} {'MFLOPS/W':>9s}")
+    for row in rows:
+        print(f"{row['machine']:14s} {row['label']:10s} {row['n_cores']:5d} "
+              f"{row['gflops']:9.3f} {row['watts']:7.1f} "
+              f"{row['mflops_per_watt']:9.2f}")
+
+    out = workdir / "machine_comparison.json"
+    out.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    print(f"\ncomparison table written to {out}")
+
+
+if __name__ == "__main__":
+    main()

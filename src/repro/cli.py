@@ -55,7 +55,9 @@ from .core.figures import (
 )
 from .core.metrics import average_gflops
 from .core.report import banner, format_series, format_table
-from .scc.chip import CONF0, CONF1, CONF2
+from .machine.base import DEFAULT_MACHINE
+from .machine.registry import get_machine, list_machines
+from .scc.chip import CONF0, CONF1
 
 __all__ = ["main", "build_parser", "COMMANDS", "ARTIFACTS"]
 
@@ -102,6 +104,13 @@ def _configure_run_parser(p: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes to shard the sweep over (default 1 = serial)",
+    )
+    p.add_argument(
+        "--machine",
+        choices=list_machines(),
+        default=DEFAULT_MACHINE,
+        help="machine model to run the sweep on (default %(default)s; "
+        "see docs/MACHINES.md)",
     )
     p.add_argument(
         "--exact",
@@ -292,16 +301,17 @@ def _render(
             ),
             file=out,
         )
+        machine = exps[0][1].machine
         print(banner("Fig. 9(b): full-system power efficiency"), file=out)
         print(
             format_table(
                 [
                     {
                         "config": cfg.name,
-                        "watts": cfg.full_chip_power(),
+                        "watts": machine.chip_power(cfg),
                         "MFLOPS/W": eff[cfg.name],
                     }
-                    for cfg in (CONF0, CONF1, CONF2)
+                    for cfg in machine.presets.values()
                 ],
                 ["config", "watts", "MFLOPS/W"],
             ),
@@ -462,6 +472,20 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
         raise SystemExit(f"--iterations must be >= 1, got {args.iterations}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    machine = get_machine(getattr(args, "machine", DEFAULT_MACHINE))
+    if args.exact and not machine.supports_mode("sim"):
+        raise SystemExit(
+            f"--exact needs the event-driven runtime, which machine "
+            f"{machine.machine_id!r} does not carry (supported modes: "
+            f"{', '.join(machine.supported_modes)}); drop --exact or use "
+            f"--machine {DEFAULT_MACHINE}"
+        )
+    if args.validate_exact and machine.machine_id != DEFAULT_MACHINE:
+        raise SystemExit(
+            f"--validate-exact replays SCC cache traces and is only "
+            f"meaningful on --machine {DEFAULT_MACHINE}, "
+            f"got {machine.machine_id!r}"
+        )
     with open_output(args, out) as stream:
         if args.validate_exact:
             return _render_exact_validation(args, stream)
@@ -471,7 +495,9 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
             )
         if args.artifact == "validate":
             return _render_validation(stream)
-        exps = suite_experiments(scale=args.scale, ids=_parse_ids(args.ids))
+        exps = suite_experiments(
+            scale=args.scale, ids=_parse_ids(args.ids), machine=machine.machine_id
+        )
         if not exps:
             raise SystemExit("no matrices selected; check --ids")
         mode = "sim" if args.exact else DEFAULT_MODE

@@ -45,8 +45,9 @@ from itertools import product
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..machine.base import DEFAULT_MACHINE
+from ..machine.registry import get_machine
 from ..rcce.errors import RCCEBudgetExceededError, RCCEError
-from ..scc.chip import PRESETS
 from ..sim import ProcessFailure, SimulationError
 from ..sparse.suite import build_matrix, entry_by_id
 from .experiment import (
@@ -91,11 +92,21 @@ def result_record(r: ExperimentResult) -> dict:
     this wrapper is kept so existing campaign/analysis code keeps
     working and will be removed in a future release.
     """
+    warnings.warn(
+        "result_record(r) is deprecated; call r.to_record() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return r.to_record()
 
 
 def fault_tolerant_record(r: FaultTolerantResult) -> dict:
     """Deprecated alias for :meth:`FaultTolerantResult.to_record`."""
+    warnings.warn(
+        "fault_tolerant_record(r) is deprecated; call r.to_record() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return r.to_record()
 
 
@@ -108,10 +119,14 @@ class CampaignPoint:
     config: str
     mapping: str
     kernel: str
+    #: machine registry id; "" inherits the campaign's machine.  Kept
+    #: out of the default key so pre-zoo resume files stay valid.
+    machine: str = ""
 
     def key(self) -> str:
         """Stable string identity used for resume bookkeeping."""
-        return f"{self.mid}:{self.n_cores}:{self.config}:{self.mapping}:{self.kernel}"
+        base = f"{self.mid}:{self.n_cores}:{self.config}:{self.mapping}:{self.kernel}"
+        return f"{base}:{self.machine}" if self.machine else base
 
 
 @dataclass(frozen=True)
@@ -130,12 +145,32 @@ class CampaignContext:
     point_budget: Optional[float] = None
     collect_metrics: bool = False
     fault_plan: Optional[object] = None
+    #: default machine of points that don't pin one themselves.
+    machine: str = DEFAULT_MACHINE
+
+
+def _grid_fields(pt: CampaignPoint, machine_id: str) -> dict:
+    """The identifying fields a failure record carries.
+
+    ``machine`` appears only off the default machine so pre-zoo record
+    bytes (the golden campaign fixture) are untouched.
+    """
+    fields = {
+        "matrix": entry_by_id(pt.mid).name,
+        "n_cores": pt.n_cores,
+        "config": pt.config,
+        "mapping": pt.mapping,
+        "kernel": pt.kernel,
+    }
+    if machine_id != DEFAULT_MACHINE:
+        fields["machine"] = machine_id
+    return fields
 
 
 def run_campaign_point(
     pt: CampaignPoint,
     ctx: CampaignContext,
-    cache: Dict[Tuple[int, float], SpMVExperiment],
+    cache: Dict[Tuple[int, float, str], SpMVExperiment],
 ) -> dict:
     """Execute one grid point, mapping failures to structured records.
 
@@ -143,12 +178,14 @@ def run_campaign_point(
     within one process — so serial and parallel execution produce
     bitwise-identical records.
     """
-    exp = cache.get((pt.mid, ctx.scale))
+    machine_id = pt.machine or ctx.machine
+    exp = cache.get((pt.mid, ctx.scale, machine_id))
     if exp is None:
         entry = entry_by_id(pt.mid)
-        exp = cache[(pt.mid, ctx.scale)] = SpMVExperiment(
-            build_matrix(pt.mid, scale=ctx.scale), name=entry.name
+        exp = cache[(pt.mid, ctx.scale, machine_id)] = SpMVExperiment(
+            build_matrix(pt.mid, scale=ctx.scale), name=entry.name, machine=machine_id
         )
+    presets = exp.machine.presets
     tracer = None
     if ctx.collect_metrics:
         # categories=() drops every trace event but leaves the
@@ -160,7 +197,7 @@ def run_campaign_point(
         if ctx.fault_plan is not None:
             result = exp.run_fault_tolerant(
                 n_cores=pt.n_cores,
-                config=PRESETS[pt.config],
+                config=presets[pt.config],
                 mapping=pt.mapping,
                 plan=ctx.fault_plan,
                 iterations=ctx.iterations,
@@ -170,7 +207,7 @@ def run_campaign_point(
         else:
             result = exp.run(
                 n_cores=pt.n_cores,
-                config=PRESETS[pt.config],
+                config=presets[pt.config],
                 mapping=pt.mapping,
                 kernel=pt.kernel,
                 iterations=ctx.iterations,
@@ -185,11 +222,7 @@ def run_campaign_point(
     except RCCEBudgetExceededError as exc:
         return {
             "status": "timeout",
-            "matrix": entry_by_id(pt.mid).name,
-            "n_cores": pt.n_cores,
-            "config": pt.config,
-            "mapping": pt.mapping,
-            "kernel": pt.kernel,
+            **_grid_fields(pt, machine_id),
             "budget_s": exc.budget,
             "stuck_ues": list(exc.running_ues),
             "error": str(exc),
@@ -197,11 +230,7 @@ def run_campaign_point(
     except (RCCEError, ProcessFailure, SimulationError) as exc:
         return {
             "status": "failed",
-            "matrix": entry_by_id(pt.mid).name,
-            "n_cores": pt.n_cores,
-            "config": pt.config,
-            "mapping": pt.mapping,
-            "kernel": pt.kernel,
+            **_grid_fields(pt, machine_id),
             "error_type": type(exc).__name__,
             "error": str(exc),
         }
@@ -209,7 +238,7 @@ def run_campaign_point(
 
 #: per-worker-process experiment memo for :func:`_point_task` (inherited
 #: empty at fork, filled as the worker sees matrices).
-_WORKER_EXPERIMENTS: Dict[Tuple[int, float], SpMVExperiment] = {}
+_WORKER_EXPERIMENTS: Dict[Tuple[int, float, str], SpMVExperiment] = {}
 
 
 def _point_task(ctx: CampaignContext, pt: CampaignPoint) -> dict:
@@ -278,6 +307,7 @@ class Campaign:
         point_budget: Optional[float] = None,
         collect_metrics: bool = False,
         mode: str = "sim",
+        machine: str = DEFAULT_MACHINE,
     ) -> None:
         if not name or "/" in name:
             raise ValueError(f"campaign name must be a simple identifier, got {name!r}")
@@ -292,7 +322,10 @@ class Campaign:
                 "fault_plan requires mode='sim': fault injection lives in the "
                 "event-driven runtime, which the analytic model does not run"
             )
+        get_machine(machine)  # fail fast (KeyError with suggestions) on typos
         self.name = name
+        #: default machine of every point that doesn't pin its own.
+        self.machine = machine
         self.output_dir = Path(output_dir)
         self.output_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.output_dir / f"{name}.jsonl"
@@ -309,7 +342,7 @@ class Campaign:
         #: the analytic fast path (``model``, same numbers to the
         #: tolerance in ``docs/PERFORMANCE.md``).
         self.mode = mode
-        self._experiments: Dict[Tuple[int, float], SpMVExperiment] = {}
+        self._experiments: Dict[Tuple[int, float, str], SpMVExperiment] = {}
 
     # -- persistence ----------------------------------------------------
 
@@ -411,14 +444,17 @@ class Campaign:
             point_budget=self.point_budget,
             collect_metrics=self.collect_metrics,
             fault_plan=self.fault_plan,
+            machine=self.machine,
         )
 
     def _experiment(self, mid: int) -> SpMVExperiment:
-        key = (mid, self.scale)
+        key = (mid, self.scale, self.machine)
         if key not in self._experiments:
             entry = entry_by_id(mid)
             self._experiments[key] = SpMVExperiment(
-                build_matrix(mid, scale=self.scale), name=entry.name
+                build_matrix(mid, scale=self.scale),
+                name=entry.name,
+                machine=self.machine,
             )
         return self._experiments[key]
 
@@ -429,12 +465,19 @@ class Campaign:
         configs: Sequence[str] = ("conf0",),
         mappings: Sequence[str] = ("distance_reduction",),
         kernels: Sequence[str] = ("csr",),
+        machines: Sequence[str] = ("",),
     ) -> List[CampaignPoint]:
-        """The cartesian product as explicit points."""
+        """The cartesian product as explicit points.
+
+        ``machines`` adds the cross-architecture dimension: registry
+        ids pin each point to a zoo machine, the default ``""`` defers
+        to the campaign's machine (keeping pre-zoo keys and fixture
+        bytes unchanged).
+        """
         return [
-            CampaignPoint(mid, n, cfg, mapping, kernel)
-            for mid, n, cfg, mapping, kernel in product(
-                ids, core_counts, configs, mappings, kernels
+            CampaignPoint(mid, n, cfg, mapping, kernel, machine)
+            for mid, n, cfg, mapping, kernel, machine in product(
+                ids, core_counts, configs, mappings, kernels, machines
             )
         ]
 
@@ -467,13 +510,7 @@ class Campaign:
     def _quarantine_record(self, pt: CampaignPoint, outcome: TaskOutcome) -> dict:
         """The persistent record of a poison point (keeps the grid fields)."""
         rec = outcome.quarantine_record()
-        rec.update(
-            matrix=entry_by_id(pt.mid).name,
-            n_cores=pt.n_cores,
-            config=pt.config,
-            mapping=pt.mapping,
-            kernel=pt.kernel,
-        )
+        rec.update(_grid_fields(pt, pt.machine or self.machine))
         return rec
 
     def run(
@@ -513,9 +550,17 @@ class Campaign:
         pending: List[CampaignPoint] = []
         skipped = 0
         for pt in points:
-            if pt.config not in PRESETS:
+            machine = get_machine(pt.machine or self.machine)
+            if pt.config not in machine.presets:
                 raise ValueError(
-                    f"unknown config {pt.config!r}; choose from {sorted(PRESETS)}"
+                    f"unknown config {pt.config!r} for machine "
+                    f"{machine.machine_id!r}; choose from {sorted(machine.presets)}"
+                )
+            if self.fault_plan is None and not machine.supports_mode(self.mode):
+                raise ValueError(
+                    f"machine {machine.machine_id!r} supports modes "
+                    f"{machine.supported_modes}, but this campaign runs "
+                    f"mode={self.mode!r}"
                 )
             if pt.key() in done:
                 skipped += 1

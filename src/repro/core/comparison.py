@@ -75,12 +75,15 @@ COMPARISON_SYSTEMS: Tuple[ArchitectureModel, ...] = (
 def comparison_table(
     scc_entries: Dict[str, Tuple[float, float]],
     bytes_per_flop: float = DEFAULT_BYTES_PER_FLOP,
+    source: str = "scc-model",
 ) -> List[dict]:
     """Fig. 10 as data.
 
     ``scc_entries`` maps a label (e.g. ``"SCC conf0"``) to the measured
-    (average GFLOPS/s, full-system watts) of the architecture model.
-    Returns one row per system, sorted as in the paper's figure.
+    (average GFLOPS/s, full-system watts) of the architecture model;
+    ``source`` tags those measured rows (the roofline competitors are
+    always tagged ``"roofline"``).  Returns one row per system, sorted
+    as in the paper's figure.
     """
     rows = [
         {
@@ -101,7 +104,7 @@ def comparison_table(
                 "gflops": gflops,
                 "mflops_per_watt": gflops * 1000.0 / watts,
                 "watts": watts,
-                "source": "scc-model",
+                "source": source,
             }
         )
     return rows

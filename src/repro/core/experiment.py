@@ -1,6 +1,8 @@
-"""The SpMV experiment runner: one matrix on the modeled SCC.
+"""The SpMV experiment runner: one matrix on a modeled many-core.
 
-:class:`SpMVExperiment` wires every substrate together.  For a run it
+:class:`SpMVExperiment` wires every substrate of one machine together
+(the paper's SCC by default; any :mod:`repro.machine` zoo member via
+``machine=``).  For a run it
 
 1. partitions the matrix row-wise with balanced nonzeros (the paper's
    scheme) for the requested UE count;
@@ -28,14 +30,11 @@ from typing import Any, Counter as TCounter, Dict, List, Optional, Sequence, Tup
 
 import numpy as np
 
+from ..machine.base import DEFAULT_MACHINE, MachineConfig, MachineModel, Topology
+from ..machine.registry import get_machine
 from ..rcce.errors import RCCEBudgetExceededError, RCCETimeoutError
 from ..rcce.runtime import RCCERuntime
-from ..scc.chip import CONF0, SCCConfig
 from ..scc.core_model import AccessSummary
-from ..scc.memory import MemorySystem
-from ..scc.mesh import MeshNetwork
-from ..scc.params import DEFAULT_TIMING, L2_BYTES, P54CTimingParams
-from ..scc.topology import SCCTopology
 from ..sparse.csr import CSRMatrix
 from ..sparse.fastpath import BatchedTraces, batch_access_summaries, batch_traces
 from ..sparse.partition import (
@@ -65,6 +64,29 @@ __all__ = [
     "FT_WORK_TAG",
     "FT_RESULT_TAG",
 ]
+
+#: names this module used to re-export from the SCC layer; served via
+#: module ``__getattr__`` with a DeprecationWarning so old call sites
+#: (``from repro.core.experiment import SCCConfig``) keep working.
+_DEPRECATED_SCC_ALIASES = {"SCCConfig", "CONF0"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SCC_ALIASES:
+        import warnings
+
+        from ..scc import chip as _chip
+
+        warnings.warn(
+            f"repro.core.experiment.{name} is deprecated; generic code "
+            "should use repro.machine.MachineConfig (the structural "
+            "config type) or get_machine(...).presets — import "
+            f"{name} from repro.scc.chip if you really mean the SCC.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_chip, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: SpMV repetitions per timed run, matching the usual benchmarking loop.
 DEFAULT_ITERATIONS = 16
@@ -156,6 +178,8 @@ class ExperimentResult(ResultBase):
     power_watts: float = 0.0             #: full-chip power of the config
     ws_per_core_bytes: float = 0.0
     y: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    #: machine the run was modeled on (registry id).
+    machine: str = DEFAULT_MACHINE
 
     @property
     def mflops_per_watt(self) -> float:
@@ -167,6 +191,10 @@ class ExperimentResult(ResultBase):
         rec["power_watts"] = self.power_watts
         rec["mflops_per_watt"] = self.mflops_per_watt
         rec["ws_per_core_bytes"] = self.ws_per_core_bytes
+        # Records stay byte-identical to the pre-zoo format on the
+        # default machine (the golden campaign fixture contract).
+        if self.machine != DEFAULT_MACHINE:
+            rec["machine"] = self.machine
         return rec
 
 
@@ -412,7 +440,13 @@ def _ft_ue_body(
 
 
 class SpMVExperiment:
-    """Run the paper's SpMV study for one matrix on the SCC model."""
+    """Run the paper's SpMV study for one matrix on a modeled machine.
+
+    ``machine`` is a registry id (``"scc-48"``, ``"xeonphi-61"``,
+    ``"ft2000plus-64"``) or a :class:`repro.machine.MachineModel`;
+    omitted, the paper's SCC is used and every number is bitwise
+    identical to the pre-zoo code path.
+    """
 
     #: available row-partitioning schemes; the paper uses ``balanced``.
     PARTITIONERS = {
@@ -424,10 +458,11 @@ class SpMVExperiment:
         self,
         a: CSRMatrix,
         name: str = "matrix",
-        topology: Optional[SCCTopology] = None,
-        timing: P54CTimingParams = DEFAULT_TIMING,
+        topology: Optional[Topology] = None,
+        timing: Optional[Any] = None,
         x_capacity_fraction: float = DEFAULT_X_CAPACITY_FRACTION,
         partitioner: str = "balanced",
+        machine: Union[str, MachineModel, None] = None,
     ) -> None:
         if partitioner not in self.PARTITIONERS:
             raise ValueError(
@@ -436,8 +471,9 @@ class SpMVExperiment:
             )
         self.a = a
         self.name = name
-        self.topology = topology or SCCTopology()
-        self.timing = timing
+        self.machine = get_machine(machine if machine is not None else DEFAULT_MACHINE)
+        self.topology = topology or self.machine.topology
+        self.timing = timing if timing is not None else self.machine.timing
         self.x_capacity_fraction = x_capacity_fraction
         self.partitioner = partitioner
         self._trace_cache: Dict[int, List[UETrace]] = {}
@@ -447,21 +483,23 @@ class SpMVExperiment:
         self._ws_cache: Dict[int, float] = {}
 
     #: set by :func:`repro.core.figures.suite_experiments` to the
-    #: ``(matrix_id, scale)`` that rebuilds this experiment's matrix —
-    #: worker processes reconstruct from this instead of pickling CSR data.
-    suite_ref: Optional[Tuple[int, float]] = None
+    #: ``(matrix_id, scale)`` (plus the machine id for non-default
+    #: machines) that rebuilds this experiment's matrix — worker
+    #: processes reconstruct from this instead of pickling CSR data.
+    suite_ref: Optional[Tuple] = None
 
     # Model-mode caches shared across experiments (class-level): barrier
     # schedules, solver arrays, chip power and the stateless chip
     # substrates depend on mapping/config/topology geometry — never on
-    # the matrix — and SCCTopology instances are interchangeable.  Keys
-    # include the topology class so exotic subclasses never alias.
+    # the matrix — and a machine's topology instances are
+    # interchangeable.  Keys include the machine id and the topology
+    # class so zoo members and exotic subclasses never alias.
     _shared_mapping_cache: Dict[Tuple, Tuple[int, ...]] = {}
     _shared_schedule_cache: Dict[Tuple, List[Tuple[int, int, float]]] = {}
     _shared_solver_cache: Dict = {}
-    _shared_power_cache: Dict[SCCConfig, float] = {}
-    _shared_memsys_cache: Dict[Tuple, MemorySystem] = {}
-    _shared_mesh_cache: Dict[Tuple, MeshNetwork] = {}
+    _shared_power_cache: Dict[Tuple, float] = {}
+    _shared_memsys_cache: Dict[Tuple, Any] = {}
+    _shared_mesh_cache: Dict[Tuple, Any] = {}
 
     # -- cached analyses ---------------------------------------------------
 
@@ -475,9 +513,13 @@ class SpMVExperiment:
     def traces(self, n_ues: int) -> List[UETrace]:
         """Per-UE stream characterization (frequency/mapping independent)."""
         if n_ues not in self._trace_cache:
+            cache_geom = self.machine.cache
             self._trace_cache[n_ues] = characterize_partition(
                 self.a,
                 self.partition(n_ues),
+                line_bytes=cache_geom.line_bytes,
+                l1_bytes=cache_geom.l1_bytes,
+                l2_bytes=cache_geom.l2_bytes,
                 x_capacity_fraction=self.x_capacity_fraction,
             )
         return self._trace_cache[n_ues]
@@ -499,7 +541,7 @@ class SpMVExperiment:
                 iterations=iterations,
                 l2_enabled=l2_enabled,
                 no_x_miss=no_x_miss,
-                l2_bytes=L2_BYTES,
+                l2_bytes=self.machine.cache.l2_bytes,
             )
             self._summary_cache[key] = summ
         return summ
@@ -537,6 +579,7 @@ class SpMVExperiment:
                     l2_enabled=l2_enabled,
                     engine="vectorized",
                     tracer=tracer,
+                    machine_key=self.machine.cache_key(),
                 )
                 summ.append(
                     AccessSummary(
@@ -552,19 +595,20 @@ class SpMVExperiment:
 
     def _resolve_mapping(self, mapping: str, n_cores: int) -> Tuple[int, ...]:
         """Memoized policy-name mapping resolution (pure in its inputs)."""
-        key = (mapping, n_cores, self.topology.__class__)
+        key = (mapping, n_cores, self.machine.machine_id, self.topology.__class__)
         cache = SpMVExperiment._shared_mapping_cache
         cores = cache.get(key)
         if cores is None:
             cores = cache[key] = tuple(get_mapping(mapping)(n_cores, self.topology))
         return cores
 
-    def _chip_power(self, config: SCCConfig) -> float:
+    def _chip_power(self, config: MachineConfig) -> float:
         """Memoized full-chip power of a configuration."""
+        key = (self.machine.machine_id, config)
         cache = SpMVExperiment._shared_power_cache
-        p = cache.get(config)
+        p = cache.get(key)
         if p is None:
-            p = cache[config] = config.full_chip_power()
+            p = cache[key] = self.machine.chip_power(config)
         return p
 
     def _ws_per_core(self, n_cores: int) -> float:
@@ -574,27 +618,36 @@ class SpMVExperiment:
             ws = self._ws_cache[n_cores] = working_set_per_core(self.a, n_cores)
         return ws
 
-    def _model_memory(self, config: SCCConfig) -> MemorySystem:
+    def _model_memory(self, config: MachineConfig) -> Any:
         """Shared untraced memory system for the fast path (stateless reads)."""
-        key = (self.topology.__class__, config.mem_mhz)
+        key = (self.machine.machine_id, self.topology.__class__, config.mem_mhz)
         cache = SpMVExperiment._shared_memsys_cache
         mem = cache.get(key)
         if mem is None:
-            mem = cache[key] = MemorySystem(self.topology, mem_mhz=config.mem_mhz)
+            mem = cache[key] = self.machine.memory_system(
+                config, topology=self.topology
+            )
         return mem
 
-    def _model_mesh(self, config: SCCConfig) -> MeshNetwork:
-        """Shared untraced, undegraded mesh for the fast path."""
-        key = (self.topology.__class__, config.mesh_mhz)
+    def _model_mesh(self, config: MachineConfig) -> Any:
+        """Shared untraced, undegraded interconnect for the fast path."""
+        key = (self.machine.machine_id, self.topology.__class__, config.mesh_mhz)
         cache = SpMVExperiment._shared_mesh_cache
         mesh = cache.get(key)
         if mesh is None:
-            mesh = cache[key] = MeshNetwork(self.topology, mesh_mhz=config.mesh_mhz)
+            mesh = cache[key] = self.machine.interconnect(
+                config, topology=self.topology
+            )
         return mesh
 
-    def _barrier_schedule(self, core_map: List[int], mesh: MeshNetwork):
+    def _barrier_schedule(self, core_map: List[int], mesh: Any):
         """Memoized resolved barrier schedule for one mapping."""
-        key = (tuple(core_map), mesh.mesh_mhz, self.topology.__class__)
+        key = (
+            tuple(core_map),
+            mesh.mesh_mhz,
+            self.machine.machine_id,
+            self.topology.__class__,
+        )
         cache = SpMVExperiment._shared_schedule_cache
         sched = cache.get(key)
         if sched is None:
@@ -606,7 +659,7 @@ class SpMVExperiment:
     def run(
         self,
         n_cores: int = 48,
-        config: SCCConfig = CONF0,
+        config: Optional[MachineConfig] = None,
         mapping: Union[str, Sequence[int]] = "distance_reduction",
         kernel: str = "csr",
         iterations: int = DEFAULT_ITERATIONS,
@@ -648,7 +701,19 @@ class SpMVExperiment:
         if kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         if mode not in MODES:
-            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+            raise ValueError(
+                f"mode must be one of {MODES}, got {mode!r} "
+                f"(machine {self.machine.machine_id!r})"
+            )
+        if not self.machine.supports_mode(mode):
+            raise ValueError(
+                f"machine {self.machine.machine_id!r} supports modes "
+                f"{self.machine.supported_modes}, got {mode!r}; the "
+                "event-driven runtime and the trace-exact replay engine "
+                "exist only for the SCC"
+            )
+        if config is None:
+            config = self.machine.default_config
         if isinstance(mapping, str):
             core_map = list(self._resolve_mapping(mapping, n_cores))
             mapping_name = mapping
@@ -682,11 +747,11 @@ class SpMVExperiment:
                 iterations=iterations,
                 l2_enabled=config.l2_enabled,
                 no_x_miss=(kernel == "no_x_miss"),
-                l2_bytes=L2_BYTES,
+                l2_bytes=self.machine.cache.l2_bytes,
             )
             for t in traces
         ]
-        mem = MemorySystem(self.topology, mem_mhz=config.mem_mhz, tracer=tracer)
+        mem = self.machine.memory_system(config, topology=self.topology, tracer=tracer)
         timings = solve_core_times(summaries, core_map, config, mem, self.timing)
 
         durations = [t.time for t in timings]
@@ -721,6 +786,7 @@ class SpMVExperiment:
             power_watts=self._chip_power(config),
             ws_per_core_bytes=self._ws_per_core(n_cores),
             y=y,
+            machine=self.machine.machine_id,
         )
 
     def _run_analytic(
@@ -728,7 +794,7 @@ class SpMVExperiment:
         n_cores: int,
         core_map: List[int],
         mapping_name: str,
-        config: SCCConfig,
+        config: MachineConfig,
         kernel: str,
         iterations: int,
         verify: bool,
@@ -810,12 +876,13 @@ class SpMVExperiment:
             power_watts=self._chip_power(config),
             ws_per_core_bytes=self._ws_per_core(n_cores),
             y=y,
+            machine=self.machine.machine_id,
         )
 
     def run_fault_tolerant(
         self,
         n_cores: int = 48,
-        config: SCCConfig = CONF0,
+        config: Optional[MachineConfig] = None,
         mapping: Union[str, Sequence[int]] = "distance_reduction",
         plan: Optional[Any] = None,
         iterations: int = DEFAULT_ITERATIONS,
@@ -844,6 +911,13 @@ class SpMVExperiment:
         ``time_budget`` bounds the run in simulated seconds
         (:class:`~repro.rcce.errors.RCCEBudgetExceededError` past it).
         """
+        if not self.machine.supports_mode("sim"):
+            raise ValueError(
+                f"machine {self.machine.machine_id!r} has no event-driven "
+                "runtime; fault-tolerant runs require the SCC (sim mode)"
+            )
+        if config is None:
+            config = self.machine.default_config
         if isinstance(mapping, str):
             core_map = get_mapping(mapping)(n_cores, self.topology)
             mapping_name = mapping
@@ -922,7 +996,23 @@ class SpMVExperiment:
     def sweep_cores(
         self,
         core_counts: Sequence[int],
+        machine: Union[str, MachineModel, None] = None,
         **kwargs,
     ) -> List[ExperimentResult]:
-        """Run the same configuration across several core counts."""
-        return [self.run(n_cores=n, **kwargs) for n in core_counts]
+        """Run the same configuration across several core counts.
+
+        ``machine`` reruns the sweep on another zoo member: a sibling
+        experiment is built over the same matrix (partitions and traces
+        are machine-dependent, so per-experiment caches cannot be
+        shared) and the sweep runs there.
+        """
+        exp: SpMVExperiment = self
+        if machine is not None and get_machine(machine) is not self.machine:
+            exp = SpMVExperiment(
+                self.a,
+                name=self.name,
+                x_capacity_fraction=self.x_capacity_fraction,
+                partitioner=self.partitioner,
+                machine=machine,
+            )
+        return [exp.run(n_cores=n, **kwargs) for n in core_counts]

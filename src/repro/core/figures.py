@@ -22,7 +22,8 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..scc.chip import CONF0, CONF1, CONF2, SCCConfig
+from ..machine.base import DEFAULT_MACHINE, MachineConfig
+from ..machine.registry import get_machine
 from ..sparse.stats import working_set_mbytes
 from ..sparse.suite import SUITE, build_matrix
 from .comparison import comparison_table
@@ -43,6 +44,7 @@ __all__ = [
     "fig8_data",
     "fig9_data",
     "fig10_data",
+    "machine_comparison_data",
     "DEFAULT_MODE",
     "FIG5_CORE_COUNTS",
     "FIG6_CORE_COUNTS",
@@ -65,55 +67,65 @@ Experiments = Sequence[Tuple[int, SpMVExperiment]]
 def suite_experiments(
     scale: float = 1.0,
     ids: Optional[Sequence[int]] = None,
+    machine: Optional[str] = None,
 ) -> List[Tuple[int, SpMVExperiment]]:
     """(matrix id, experiment) pairs over the Table I suite.
 
-    Each experiment carries its ``suite_ref`` (matrix id, scale) so
+    Each experiment carries its ``suite_ref`` — ``(matrix id, scale)``,
+    plus the machine id when targeting a non-default machine — so
     worker processes can rebuild it deterministically for parallel
-    sweeps.
+    sweeps.  ``machine`` selects the modeled target
+    (:func:`repro.machine.get_machine`); the default is the SCC.
     """
     out = []
+    machine_id = get_machine(machine or DEFAULT_MACHINE).machine_id
     for e in SUITE:
         if ids is not None and e.mid not in ids:
             continue
-        exp = SpMVExperiment(build_matrix(e.mid, scale=scale), name=e.name)
-        exp.suite_ref = (e.mid, scale)
+        exp = SpMVExperiment(build_matrix(e.mid, scale=scale), name=e.name, machine=machine_id)
+        if machine_id == DEFAULT_MACHINE:
+            exp.suite_ref = (e.mid, scale)
+        else:
+            exp.suite_ref = (e.mid, scale, machine_id)
         out.append((e.mid, exp))
     return out
 
 
 #: per-worker-process experiment memo for :func:`run_suite_batch`.
-_WORKER_SUITE: Dict[Tuple[int, float], SpMVExperiment] = {}
+_WORKER_SUITE: Dict[Tuple[int, float, str], SpMVExperiment] = {}
 
 
-def run_suite_batch(task: Tuple[int, float, str, List[dict]]) -> List[ExperimentResult]:
+def run_suite_batch(task: Tuple) -> List[ExperimentResult]:
     """Pool-worker task: one suite experiment, several runs.
 
-    ``task`` is ``(matrix id, scale, name, [run kwargs, ...])``; the
-    experiment is rebuilt (and memoized) in the worker process and each
-    kwargs dict goes straight to :meth:`SpMVExperiment.run`, results in
-    order.
+    ``task`` is ``(matrix id, scale, name, [run kwargs, ...])`` with an
+    optional fifth element naming the machine; the experiment is
+    rebuilt (and memoized) in the worker process and each kwargs dict
+    goes straight to :meth:`SpMVExperiment.run`, results in order.
     """
-    mid, scale, name, specs = task
-    exp = _WORKER_SUITE.get((mid, scale))
+    mid, scale, name, specs = task[:4]
+    machine = task[4] if len(task) > 4 else DEFAULT_MACHINE
+    exp = _WORKER_SUITE.get((mid, scale, machine))
     if exp is None:
-        exp = _WORKER_SUITE[(mid, scale)] = SpMVExperiment(
-            build_matrix(mid, scale=scale), name=name
+        exp = _WORKER_SUITE[(mid, scale, machine)] = SpMVExperiment(
+            build_matrix(mid, scale=scale), name=name, machine=machine
         )
     return [exp.run(**spec) for spec in specs]
 
 
-def _model_fallback(task: Tuple[int, float, str, List[dict]]) -> List[ExperimentResult]:
+def _model_fallback(task: Tuple) -> List[ExperimentResult]:
     """Degradation-ladder rung: rerun a suite batch on the analytic model."""
-    mid, scale, name, specs = task
-    return run_suite_batch(
-        (mid, scale, name, [dict(spec, mode="model") for spec in specs])
-    )
+    mid, scale, name, specs = task[:4]
+    retask = (mid, scale, name, [dict(spec, mode="model") for spec in specs])
+    return run_suite_batch(retask + tuple(task[4:]))
 
 
-def _task_identity(task: Tuple[int, float, str, List[dict]]) -> str:
-    mid, scale, name, _specs = task
-    return f"suite:{mid}:{scale}:{name}"
+def _task_identity(task: Tuple) -> str:
+    mid, scale, name, _specs = task[:4]
+    ident = f"suite:{mid}:{scale}:{name}"
+    if len(task) > 4:
+        ident += f":{task[4]}"
+    return ident
 
 
 def _batch_run(
@@ -162,10 +174,10 @@ def _batch_run(
     tasks = []
     for i, job_ids in by_exp.items():
         _mid, exp = experiments[i]
-        mid, scale = exp.suite_ref  # type: ignore[misc]
-        tasks.append(
-            (mid, scale, exp.name, [dict(jobs[j][1], mode=mode) for j in job_ids])
-        )
+        ref = exp.suite_ref  # type: ignore[misc]
+        mid, scale = ref[0], ref[1]
+        task = (mid, scale, exp.name, [dict(jobs[j][1], mode=mode) for j in job_ids])
+        tasks.append(task + tuple(ref[2:]))
     if supervised:
         assert policy is not None
         fallbacks: List[Tuple[str, object]] = []
@@ -219,10 +231,17 @@ def fig3_data(
 ) -> Dict[int, float]:
     """Suite-average MFLOPS/s of one core at each hop distance."""
     jobs, hops = [], []
-    for i, _ in enumerate(experiments):
+    for i, (_mid, exp) in enumerate(experiments):
         for h in FIG3_HOPS:
             jobs.append(
-                (i, dict(n_cores=1, mapping=single_core_at_distance(h), iterations=iterations))
+                (
+                    i,
+                    dict(
+                        n_cores=1,
+                        mapping=single_core_at_distance(h, exp.topology),
+                        iterations=iterations,
+                    ),
+                )
             )
             hops.append(h)
     perf: Dict[int, List[ExperimentResult]] = {h: [] for h in FIG3_HOPS}
@@ -291,7 +310,8 @@ def fig7_data(
     policy: Optional[SupervisePolicy] = None,
 ) -> Tuple[Dict[int, List[ExperimentResult]], Dict[int, List[ExperimentResult]]]:
     """Per-count result lists with L2 enabled and disabled."""
-    no_l2 = CONF0.with_l2(False)
+    machine = experiments[0][1].machine if experiments else get_machine()
+    no_l2 = machine.default_config.with_l2(False)
     with_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
     without_l2: Dict[int, List[ExperimentResult]] = {n: [] for n in core_counts}
     jobs, slots = [], []
@@ -337,12 +357,15 @@ def fig9_data(
     experiments: Experiments,
     iterations: int = DEFAULT_ITERATIONS,
     core_counts: Sequence[int] = tuple(FIG9_CORE_COUNTS),
-    configs: Sequence[SCCConfig] = (CONF0, CONF1, CONF2),
+    configs: Optional[Sequence[MachineConfig]] = None,
     mode: str = DEFAULT_MODE,
     workers: int = 1,
     policy: Optional[SupervisePolicy] = None,
 ) -> Dict[str, Dict[int, List[ExperimentResult]]]:
-    """Per-config, per-count result lists."""
+    """Per-config, per-count result lists (default: the machine's presets)."""
+    if configs is None:
+        machine = experiments[0][1].machine if experiments else get_machine()
+        configs = tuple(machine.presets.values())
     results: Dict[str, Dict[int, List[ExperimentResult]]] = {
         cfg.name: {n: [] for n in core_counts} for cfg in configs
     }
@@ -380,16 +403,58 @@ def fig10_data(
     workers: int = 1,
     policy: Optional[SupervisePolicy] = None,
 ) -> List[dict]:
-    """The Fig. 10 comparison table with measured SCC entries."""
+    """The Fig. 10 comparison table with measured entries for the
+    experiments' machine (SCC in the paper's original figure)."""
+    machine = experiments[0][1].machine if experiments else get_machine()
+    label = machine.comparison_label or machine.machine_id
+    conf0 = machine.presets["conf0"]
+    conf1 = machine.presets.get("conf1", conf0)
+    n_cores = machine.topology.n_cores
     jobs = []
     for i, _ in enumerate(experiments):
-        jobs.append((i, dict(n_cores=48, config=CONF0, iterations=iterations)))
-        jobs.append((i, dict(n_cores=48, config=CONF1, iterations=iterations)))
+        jobs.append((i, dict(n_cores=n_cores, config=conf0, iterations=iterations)))
+        jobs.append((i, dict(n_cores=n_cores, config=conf1, iterations=iterations)))
     results = _batch_run(experiments, jobs, mode, workers, policy)
-    scc0, scc1 = results[0::2], results[1::2]
+    m0, m1 = results[0::2], results[1::2]
     return comparison_table(
         {
-            "SCC conf0": (average_gflops(scc0), CONF0.full_chip_power()),
-            "SCC conf1": (average_gflops(scc1), CONF1.full_chip_power()),
-        }
+            f"{label} conf0": (average_gflops(m0), machine.chip_power(conf0)),
+            f"{label} conf1": (average_gflops(m1), machine.chip_power(conf1)),
+        },
+        source="scc-model" if machine.machine_id == DEFAULT_MACHINE else "machine-model",
     )
+
+
+def machine_comparison_data(records: Sequence[dict]) -> List[dict]:
+    """Cross-architecture Fig-10-style rows from campaign records.
+
+    ``records`` are campaign result dicts (see
+    :meth:`repro.core.experiment.ExperimentResult.to_record`); records
+    without a ``"machine"`` field belong to the default machine.  Each
+    machine contributes one row — suite-average GFLOPS/s, full-chip
+    watts at its ``conf0`` preset, and the resulting MFLOPS/W — in
+    registry order.
+    """
+    by_machine: Dict[str, List[dict]] = {}
+    for rec in records:
+        if "error" in rec:
+            continue
+        by_machine.setdefault(rec.get("machine", DEFAULT_MACHINE), []).append(rec)
+    rows = []
+    for machine_id in sorted(by_machine, key=lambda m: (m != DEFAULT_MACHINE, m)):
+        machine = get_machine(machine_id)
+        recs = by_machine[machine_id]
+        gflops = sum(r["mflops"] for r in recs) / len(recs) / 1000.0
+        watts = machine.chip_power(machine.default_config)
+        rows.append(
+            {
+                "machine": machine_id,
+                "label": machine.comparison_label or machine_id,
+                "n_cores": machine.topology.n_cores,
+                "runs": len(recs),
+                "gflops": gflops,
+                "watts": watts,
+                "mflops_per_watt": gflops * 1000.0 / watts if watts else 0.0,
+            }
+        )
+    return rows

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..machine.base import Topology
 from ..scc.topology import N_CORES, SCCTopology
 
 __all__ = [
@@ -29,25 +30,26 @@ __all__ = [
 ]
 
 
-def _check_n(n_ues: int) -> None:
-    if not 1 <= n_ues <= N_CORES:
-        raise ValueError(f"n_ues must be in [1, {N_CORES}], got {n_ues}")
+def _check_n(n_ues: int, topology: Optional[Topology] = None) -> None:
+    limit = topology.n_cores if topology is not None else N_CORES
+    if not 1 <= n_ues <= limit:
+        raise ValueError(f"n_ues must be in [1, {limit}], got {n_ues}")
 
 
-def standard_mapping(n_ues: int, topology: Optional[SCCTopology] = None) -> List[int]:
+def standard_mapping(n_ues: int, topology: Optional[Topology] = None) -> List[int]:
     """RCCE default: rank == core id."""
-    _check_n(n_ues)
+    _check_n(n_ues, topology)
     return list(range(n_ues))
 
 
-def distance_reduction_mapping(n_ues: int, topology: Optional[SCCTopology] = None) -> List[int]:
+def distance_reduction_mapping(n_ues: int, topology: Optional[Topology] = None) -> List[int]:
     """Paper's proposal: cores sorted by (hops to their MC, core id)."""
-    _check_n(n_ues)
+    _check_n(n_ues, topology)
     topo = topology or SCCTopology()
     return list(topo.cores_by_distance()[:n_ues])
 
 
-def single_core_at_distance(hops: int, topology: Optional[SCCTopology] = None) -> List[int]:
+def single_core_at_distance(hops: int, topology: Optional[Topology] = None) -> List[int]:
     """A one-core map whose core sits ``hops`` from its MC (Fig. 3)."""
     topo = topology or SCCTopology()
     cores = topo.cores_at_distance(hops)

@@ -22,21 +22,14 @@ bisection; each core then sees ``max(T*, latency_c)``.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..machine.base import MachineConfig
 from ..rcce.mpb import chunked_transfer_time
-from ..scc.chip import SCCConfig
 from ..scc.core_model import AccessSummary, core_time
-from ..scc.memory import MemorySystem
-from ..scc.params import (
-    DEFAULT_TIMING,
-    LAT_CORE_CYCLES,
-    LAT_MEM_CYCLES,
-    LAT_MESH_CYCLES_PER_HOP,
-    P54CTimingParams,
-)
+from ..scc.params import DEFAULT_TIMING, P54CTimingParams
 from ..sparse.fastpath import (
     BatchedSummaries,
     base_compute_times,
@@ -124,8 +117,8 @@ def _controller_line_time(
 def solve_core_times(
     summaries: Sequence[AccessSummary],
     core_map: Sequence[int],
-    config: SCCConfig,
-    mem: MemorySystem,
+    config: MachineConfig,
+    mem: Any,
     timing: P54CTimingParams = DEFAULT_TIMING,
 ) -> List[CoreTiming]:
     """Exact per-core times under MC bandwidth sharing."""
@@ -174,8 +167,8 @@ def solve_core_times(
 
 def _chip_arrays(
     core_map: Sequence[int],
-    config: SCCConfig,
-    mem: MemorySystem,
+    config: MachineConfig,
+    mem: Any,
     cache: Optional[Dict] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float], List[Tuple]]:
     """(freqs, latencies, mc_index, capacities, groups) for one mapping+config.
@@ -185,10 +178,17 @@ def _chip_arrays(
     :func:`repro.sparse.fastpath.equilibrium_line_times`.  All five are
     pure functions of the mapping, the config and the memory geometry —
     the expensive per-core topology lookups are memoized in ``cache``
-    (keyed so distinct configs/mappings never collide) when callers
-    sweep many runs.
+    (keyed so distinct machines/configs/mappings never collide) when
+    callers sweep many runs.  The Eq.-1-form latency coefficients come
+    from the memory system itself, so every zoo machine's values flow
+    through the same vectorized path.
     """
-    key = (tuple(core_map), config, mem.line_bytes)
+    key = (
+        tuple(core_map),
+        config,
+        mem.line_bytes,
+        getattr(mem, "machine_id", "scc-48"),
+    )
     if cache is not None and key in cache:
         return cache[key]
     cores = list(core_map)
@@ -202,9 +202,9 @@ def _chip_arrays(
         freqs,
         config.mesh_mhz,
         mem.mem_mhz,
-        LAT_CORE_CYCLES,
-        LAT_MESH_CYCLES_PER_HOP,
-        LAT_MEM_CYCLES,
+        mem.lat_core_cycles,
+        mem.lat_mesh_cycles_per_hop,
+        mem.lat_mem_cycles,
     )
     by_mc: Dict[int, List[int]] = {}
     for i, mc_i in enumerate(mc_index.tolist()):
@@ -219,8 +219,8 @@ def _chip_arrays(
 def solve_core_times_batched(
     batch: BatchedSummaries,
     core_map: Sequence[int],
-    config: SCCConfig,
-    mem: MemorySystem,
+    config: MachineConfig,
+    mem: Any,
     timing: P54CTimingParams = DEFAULT_TIMING,
     cache: Optional[Dict] = None,
 ) -> List[CoreTiming]:

@@ -112,6 +112,13 @@ def configure_chaos_parser(p: argparse.ArgumentParser) -> None:
         help="in-pool retries before quarantine (default 2)",
     )
     p.add_argument(
+        "--machine",
+        type=str,
+        default="scc-48",
+        help="machine model the chaos campaign runs on (default scc-48; "
+        "see docs/MACHINES.md)",
+    )
+    p.add_argument(
         "--skip-store-leg",
         action="store_true",
         help="skip the store corruption / ENOSPC leg",
@@ -229,6 +236,7 @@ def _run_worker_leg(args: argparse.Namespace, workdir: Path) -> dict:
         scale=args.scale,
         iterations=args.iterations,
         mode="model",
+        machine=getattr(args, "machine", "scc-48"),
     )
     with _env(CHAOS_ENV, None):
         reference = Campaign("chaos_reference", **common)

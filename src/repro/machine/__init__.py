@@ -1,0 +1,74 @@
+"""``repro.machine`` — the multi-architecture model zoo.
+
+The abstract machine description (:mod:`repro.machine.base`) plus the
+registered targets:
+
+- ``scc-48`` — the paper's 48-core Intel SCC (sim / model /
+  exact-trace), delegating to :mod:`repro.scc` with zero drift;
+- ``xeonphi-61`` — 61-core Knights Corner, bidirectional ring, GDDR5
+  bandwidth band (Saule, Kaya & Catalyurek, arXiv:1302.1078);
+- ``ft2000plus-64`` — 64-core Phytium FT-2000+, 8 NUMA panels with
+  per-panel DDR4 MCs (Chen et al., arXiv:1911.08779).
+
+Entry point::
+
+    from repro.machine import get_machine
+    phi = get_machine("xeonphi-61")
+    SpMVExperiment(a, machine=phi).run(n_cores=61, mode="model")
+
+See docs/MACHINES.md for the interface contract and how to add a
+machine.
+"""
+
+from .base import (
+    DEFAULT_MACHINE,
+    CacheGeometry,
+    CoreTimingParams,
+    InterconnectModel,
+    MachineConfig,
+    MachineModel,
+    MachineParams,
+    MemorySystemModel,
+    PowerModel,
+    Topology,
+    UniformMachineConfig,
+)
+from .ft2000plus import FT2000PlusMachine
+from .generic import (
+    BandwidthController,
+    HopInterconnect,
+    TableMemorySystem,
+    TableTopology,
+    panel_topology,
+    ring_topology,
+)
+from .registry import MACHINE_REGISTRY, get_machine, list_machines, register_machine
+from .sccmachine import SCCMachine
+from .xeonphi import XeonPhiMachine
+
+__all__ = [
+    "DEFAULT_MACHINE",
+    "CacheGeometry",
+    "CoreTimingParams",
+    "InterconnectModel",
+    "MachineConfig",
+    "MachineModel",
+    "MachineParams",
+    "MemorySystemModel",
+    "PowerModel",
+    "Topology",
+    "UniformMachineConfig",
+    "BandwidthController",
+    "HopInterconnect",
+    "TableMemorySystem",
+    "TableTopology",
+    "panel_topology",
+    "ring_topology",
+    "MACHINE_REGISTRY",
+    "get_machine",
+    "list_machines",
+    "register_machine",
+    "SCCMachine",
+    "XeonPhiMachine",
+    "FT2000PlusMachine",
+]

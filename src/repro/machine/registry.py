@@ -1,0 +1,74 @@
+"""The machine registry: stable ids -> lazily built singletons.
+
+``get_machine("scc-48")`` is the one public entry point the rest of
+the package (experiments, campaigns, figures, CLI, chaos harness)
+resolves machines through.  Typo'd ids raise ``KeyError`` with
+closest-match suggestions so ``--machine xeonphi61`` fails usefully.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Tuple, Union
+
+from .base import DEFAULT_MACHINE, MachineModel
+from .ft2000plus import FT2000PlusMachine
+from .sccmachine import SCCMachine
+from .xeonphi import XeonPhiMachine
+
+__all__ = [
+    "MACHINE_REGISTRY",
+    "get_machine",
+    "list_machines",
+    "register_machine",
+]
+
+#: id -> factory.  Mutated only through :func:`register_machine`.
+MACHINE_REGISTRY: Dict[str, Callable[[], MachineModel]] = {
+    "scc-48": SCCMachine,
+    "xeonphi-61": XeonPhiMachine,
+    "ft2000plus-64": FT2000PlusMachine,
+}
+
+_INSTANCES: Dict[str, MachineModel] = {}
+
+
+def get_machine(machine: Union[str, MachineModel] = DEFAULT_MACHINE) -> MachineModel:
+    """Resolve a machine id (or pass a model through) to its singleton.
+
+    Raises ``KeyError`` naming the registered machines — and the
+    closest matches to what was typed — for unknown ids.
+    """
+    if isinstance(machine, MachineModel):
+        return machine
+    try:
+        factory = MACHINE_REGISTRY[machine]
+    except KeyError:
+        close = difflib.get_close_matches(str(machine), MACHINE_REGISTRY, n=3, cutoff=0.4)
+        hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+        raise KeyError(
+            f"unknown machine {machine!r}; registered machines: "
+            f"{sorted(MACHINE_REGISTRY)}{hint}"
+        ) from None
+    inst = _INSTANCES.get(machine)
+    if inst is None:
+        inst = _INSTANCES[machine] = factory()
+        if inst.machine_id != machine:
+            raise ValueError(
+                f"machine registered as {machine!r} reports "
+                f"machine_id={inst.machine_id!r}"
+            )
+    return inst
+
+
+def list_machines() -> Tuple[str, ...]:
+    """Registered machine ids, default first, then sorted."""
+    rest = sorted(m for m in MACHINE_REGISTRY if m != DEFAULT_MACHINE)
+    return (DEFAULT_MACHINE, *rest) if DEFAULT_MACHINE in MACHINE_REGISTRY else tuple(rest)
+
+
+def register_machine(machine_id: str, factory: Callable[[], MachineModel]) -> None:
+    """Register an out-of-tree machine (see docs/MACHINES.md)."""
+    if machine_id in MACHINE_REGISTRY:
+        raise ValueError(f"machine {machine_id!r} is already registered")
+    MACHINE_REGISTRY[machine_id] = factory

@@ -483,6 +483,60 @@ def _measure_replay(args: argparse.Namespace) -> dict:
     }
 
 
+def _measure_machines(args: argparse.Namespace) -> dict:
+    """Per-machine analytic-path timings (the ``machines`` entry).
+
+    One model-mode run per registered machine
+    (:func:`repro.machine.list_machines`) on the same matrix as the
+    main measurement: ``model_mflops``/``model_makespan_s`` are
+    deterministic per machine (the gate compares them against the
+    baseline), ``wallclock_model_s`` is a warmed median like every
+    other wall-clock figure in the snapshot.
+    """
+    from ..core.experiment import SpMVExperiment
+    from ..machine.registry import get_machine, list_machines
+    from ..sparse.suite import build_matrix, entry_by_id
+
+    entry = entry_by_id(args.matrix_id)
+    repeats = max(5, args.repeats)
+    out = {}
+    for machine_id in list_machines():
+        machine = get_machine(machine_id)
+        exp = _BENCH_EXPERIMENTS.get((args.matrix_id, args.scale, machine_id))
+        if exp is None:
+            exp = _BENCH_EXPERIMENTS[(args.matrix_id, args.scale, machine_id)] = (
+                SpMVExperiment(
+                    build_matrix(args.matrix_id, scale=args.scale),
+                    name=entry.name,
+                    machine=machine_id,
+                )
+            )
+        spec = dict(
+            n_cores=min(args.cores, machine.topology.n_cores),
+            mapping=args.mapping,
+            kernel=args.kernel,
+            iterations=args.iterations,
+            mode="model",
+        )
+        t0 = time.perf_counter()
+        result = exp.run(**spec)  # warmup, untimed
+        warm_s = time.perf_counter() - t0
+        batch = max(1, min(200, int(0.005 / max(warm_s, 1e-6))))
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(batch):
+                exp.run(**spec)
+            samples.append((time.perf_counter() - t0) / batch)
+        out[machine_id] = {
+            "n_cores": spec["n_cores"],
+            "model_mflops": result.mflops,
+            "model_makespan_s": result.makespan,
+            "wallclock_model_s": statistics.median(samples),
+        }
+    return out
+
+
 def _measure_snapshot(args: argparse.Namespace) -> dict:
     """The full ``bench snapshot`` measurement as a dict."""
     result = _traced_run(args, None)
@@ -515,6 +569,7 @@ def _measure_snapshot(args: argparse.Namespace) -> dict:
         "sweep_wallclock_s": _time_sweep(args),
         "supervise_overhead": _measure_supervise(args),
         "replay": _measure_replay(args),
+        "machines": _measure_machines(args),
     }
 
 
@@ -550,8 +605,25 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
         args.max_supervise_overhead <= 0
         or supervise["overhead_pct"] <= 100.0 * args.max_supervise_overhead
     )
+    # Per-machine model throughput (deterministic, like model_mflops);
+    # skipped for machines the committed baseline predates.
+    base_machines = baseline.get("machines", {})
+    machine_regressions = {}
+    machines_ok = True
+    for machine_id, fresh in snapshot["machines"].items():
+        base = base_machines.get(machine_id)
+        if not base:
+            continue
+        base_m = float(base.get("model_mflops", 0.0))
+        reg = (base_m - fresh["model_mflops"]) / base_m if base_m else 0.0
+        machine_regressions[machine_id] = 100.0 * reg
+        if reg > args.max_regression:
+            machines_ok = False
     failed = (
-        regression > args.max_regression or not replay_ok or not supervise_ok
+        regression > args.max_regression
+        or not replay_ok
+        or not supervise_ok
+        or not machines_ok
     )
     verdict = {
         "baseline": args.baseline,
@@ -564,6 +636,7 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
         "replay_bitwise_match": replay["bitwise_match"],
         "supervise_overhead_pct": supervise["overhead_pct"],
         "max_supervise_overhead_pct": 100.0 * args.max_supervise_overhead,
+        "machine_regressions_pct": machine_regressions,
         "status": "fail" if failed else "ok",
         "snapshot": snapshot,
     }

@@ -74,6 +74,15 @@ class MemoryController:
 class MemorySystem:
     """The four controllers plus the private-memory quadrant map."""
 
+    #: machine this memory system belongs to (cache-key discriminator
+    #: for the machine-generic solvers in :mod:`repro.core.timing`).
+    machine_id = "scc-48"
+    #: paper Eq. 1 coefficients, exposed in the machine-generic form
+    #: every :class:`repro.machine.base.MemorySystemModel` carries.
+    lat_core_cycles = float(LAT_CORE_CYCLES)
+    lat_mesh_cycles_per_hop = float(LAT_MESH_CYCLES_PER_HOP)
+    lat_mem_cycles = float(LAT_MEM_CYCLES)
+
     def __init__(
         self,
         topology: SCCTopology | None = None,

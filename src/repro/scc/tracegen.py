@@ -73,7 +73,9 @@ CHUNK_ACCESSES = 4_000_000
 
 #: bump when the replay algorithm or the cached payload shape changes;
 #: old disk entries are orphaned rather than reinterpreted.
-REPLAY_SCHEMA_VERSION = 1
+#: v2: the machine's :meth:`repro.machine.base.MachineModel.cache_key`
+#: entered the content address (multi-machine model zoo).
+REPLAY_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -221,16 +223,20 @@ def _replay_cache_key(
     no_x_miss: bool,
     l2_enabled: bool,
     layout: TraceLayout,
+    machine_key: str = "scc-48",
 ) -> str:
     """Disk-cache key: every input the replay result depends on.
 
     The matrix enters via its sparsity-pattern digest (values never
-    affect the trace); the cache geometry constants are included so a
-    parameter change can never resurface a stale count.
+    affect the trace); the cache geometry constants and the machine's
+    :meth:`~repro.machine.base.MachineModel.cache_key` are included so
+    a parameter change — or a different modeled machine — can never
+    resurface a stale count.
     """
     return digest_parts(
         "replay",
         REPLAY_SCHEMA_VERSION,
+        machine_key,
         a.pattern_digest(),
         row_start,
         row_stop,
@@ -385,6 +391,7 @@ def replay_trace(
     chunk_accesses: int = CHUNK_ACCESSES,
     use_disk_cache: Optional[bool] = None,
     tracer=None,
+    machine_key: str = "scc-48",
 ) -> TraceCounts:
     """Run ``iterations`` SpMV passes through an exact cache hierarchy.
 
@@ -426,7 +433,7 @@ def replay_trace(
     key = ""
     if store is not None:
         key = _replay_cache_key(
-            a, row_start, stop, iterations, no_x_miss, l2_enabled, layout
+            a, row_start, stop, iterations, no_x_miss, l2_enabled, layout, machine_key
         )
         entry = store.get_json(key)
         if entry is not None:

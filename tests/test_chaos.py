@@ -101,6 +101,18 @@ class TestHarnessEndToEnd:
         assert code == 0, report
         assert report["store_leg"]["skipped"]
 
+    def test_explicit_machine_smoke(self, tmp_path):
+        """--machine scc-48 is the default spelled out: same invariants."""
+        buf = io.StringIO()
+        code = chaos_main(
+            FAST + ["--seed", "1", "--json", "--skip-store-leg",
+                    "--machine", "scc-48"],
+            out=buf,
+        )
+        report = json.loads(buf.getvalue())
+        assert code == 0, report
+        assert report["violations"] == []
+
     def test_text_report_names_the_invariants(self):
         buf = io.StringIO()
         code = chaos_main(FAST + ["--seed", "2", "--skip-store-leg"], out=buf)

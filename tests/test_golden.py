@@ -88,9 +88,10 @@ class TestGoldenCampaign:
 
     GOLDEN = FIXTURES / "golden_campaign.jsonl"
 
-    def _run(self, tmp_path, workers):
+    def _run(self, tmp_path, workers, machine="scc-48"):
         campaign = Campaign(
-            "golden_campaign", tmp_path, scale=0.05, iterations=2, mode="model"
+            "golden_campaign", tmp_path, scale=0.05, iterations=2, mode="model",
+            machine=machine,
         )
         points = Campaign.grid(
             ids=(24, 30), core_counts=(1, 4), configs=("conf0", "conf1")
@@ -104,6 +105,13 @@ class TestGoldenCampaign:
 
     def test_workers4_reproduces_fixture_bitwise(self, tmp_path):
         assert self._run(tmp_path, workers=4) == self.GOLDEN.read_bytes()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_explicit_default_machine_is_driftfree(self, tmp_path, workers):
+        """Pinning machine='scc-48' (the pre-zoo implicit machine) must
+        reproduce the pre-zoo fixture bytes: the MachineModel indirection
+        introduced no behavioral drift."""
+        assert self._run(tmp_path, workers, machine="scc-48") == self.GOLDEN.read_bytes()
 
     def test_supervised_run_reproduces_fixture_bitwise(self, tmp_path):
         """Supervision must be invisible in the output: the self-healing
