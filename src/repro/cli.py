@@ -14,6 +14,9 @@ Usage::
     python -m repro chaos --seed 0 --workers 4
     python -m repro trace --cores 4 --export chrome --output trace.json
     python -m repro bench snapshot
+    python -m repro serve --workers 4
+    python -m repro submit --ids 7,24 --cores 1,4,16 --wait
+    python -m repro status
 
 Legacy invocations without the ``run`` subcommand (``python -m repro
 fig5``) keep working: artifact names are aliased to ``run <artifact>``.
@@ -25,7 +28,8 @@ benchmark harness additionally asserts the paper's findings, so use
 :mod:`repro.analysis` (see ``docs/ANALYSIS.md``); ``faults`` runs the
 fault-tolerant SpMV driver under a seeded fault plan (see
 ``docs/FAULTS.md``); ``trace`` and ``bench`` are the observability
-layer (see ``docs/OBSERVABILITY.md``).
+layer (see ``docs/OBSERVABILITY.md``); ``serve``/``submit``/``status``/
+``result`` are the campaign service (see ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -64,7 +68,10 @@ __all__ = ["main", "build_parser", "COMMANDS", "ARTIFACTS"]
 ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
 
 #: every first-class subcommand of the unified parser.
-COMMANDS = ("run", "lint", "check", "analyze", "faults", "chaos", "trace", "bench")
+COMMANDS = (
+    "run", "lint", "check", "analyze", "faults", "chaos", "trace", "bench",
+    "serve", "submit", "status", "result",
+)
 
 #: subcommands implemented by repro.analysis.cli (kept for callers that
 #: dispatch on these names; the unified parser mounts them directly).
@@ -199,6 +206,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_bench_parser(bench_p)
     bench_p.set_defaults(handler=_dispatch_bench)
+
+    from .serve.cli import (
+        configure_result_parser,
+        configure_serve_parser,
+        configure_status_parser,
+        configure_submit_parser,
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign server: HTTP job queue with store-backed "
+        "dedup over a supervised worker pool (see docs/SERVING.md)",
+    )
+    configure_serve_parser(serve_p)
+    serve_p.set_defaults(handler=_dispatch_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a campaign spec to a running `repro serve`"
+    )
+    configure_submit_parser(submit_p)
+    submit_p.set_defaults(handler=_dispatch_submit)
+
+    status_p = sub.add_parser(
+        "status", help="job states and dedup/simulation counts of the server"
+    )
+    configure_status_parser(status_p)
+    status_p.set_defaults(handler=_dispatch_status)
+
+    result_p = sub.add_parser(
+        "result", help="fetch a finished server job's records"
+    )
+    configure_result_parser(result_p)
+    result_p.set_defaults(handler=_dispatch_result)
 
     return p
 
@@ -551,6 +591,30 @@ def _dispatch_bench(args, out=None) -> int:
     from .obs.cli import run_bench
 
     return run_bench(args, out=out)
+
+
+def _dispatch_serve(args, out=None) -> int:
+    from .serve.cli import run_serve
+
+    return run_serve(args, out=out)
+
+
+def _dispatch_submit(args, out=None) -> int:
+    from .serve.cli import run_submit
+
+    return run_submit(args, out=out)
+
+
+def _dispatch_status(args, out=None) -> int:
+    from .serve.cli import run_status
+
+    return run_status(args, out=out)
+
+
+def _dispatch_result(args, out=None) -> int:
+    from .serve.cli import run_result
+
+    return run_result(args, out=out)
 
 
 def _normalize_argv(argv: List[str]) -> List[str]:

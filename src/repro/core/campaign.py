@@ -69,6 +69,7 @@ __all__ = [
     "CampaignIntegrityError",
     "CampaignWorkerCrash",
     "run_campaign_point",
+    "validate_points",
 ]
 
 
@@ -165,6 +166,40 @@ def _grid_fields(pt: CampaignPoint, machine_id: str) -> dict:
     if machine_id != DEFAULT_MACHINE:
         fields["machine"] = machine_id
     return fields
+
+
+def validate_points(
+    points: Iterable[CampaignPoint],
+    machine: str,
+    mode: str,
+    fault_plan: Optional[object] = None,
+) -> List[CampaignPoint]:
+    """Check every grid point against its machine before any work runs.
+
+    ``machine`` is the default a point with ``machine=""`` inherits.
+    Raises ``ValueError`` on an unknown config preset or a mode the
+    point's machine cannot run (a ``fault_plan`` implies the
+    event-driven driver, which validates its own mode), so a bad sweep
+    fails at submission instead of producing a file of failure records.
+    Shared by :meth:`Campaign.run` and the campaign server
+    (:mod:`repro.serve`).  Returns the points as a list.
+    """
+    validated = []
+    for pt in points:
+        m = get_machine(pt.machine or machine)
+        if pt.config not in m.presets:
+            raise ValueError(
+                f"unknown config {pt.config!r} for machine "
+                f"{m.machine_id!r}; choose from {sorted(m.presets)}"
+            )
+        if fault_plan is None and not m.supports_mode(mode):
+            raise ValueError(
+                f"machine {m.machine_id!r} supports modes "
+                f"{m.supported_modes}, but this campaign runs "
+                f"mode={mode!r}"
+            )
+        validated.append(pt)
+    return validated
 
 
 def run_campaign_point(
@@ -549,19 +584,7 @@ class Campaign:
         done = self.completed_keys()
         pending: List[CampaignPoint] = []
         skipped = 0
-        for pt in points:
-            machine = get_machine(pt.machine or self.machine)
-            if pt.config not in machine.presets:
-                raise ValueError(
-                    f"unknown config {pt.config!r} for machine "
-                    f"{machine.machine_id!r}; choose from {sorted(machine.presets)}"
-                )
-            if self.fault_plan is None and not machine.supports_mode(self.mode):
-                raise ValueError(
-                    f"machine {machine.machine_id!r} supports modes "
-                    f"{machine.supported_modes}, but this campaign runs "
-                    f"mode={self.mode!r}"
-                )
+        for pt in validate_points(points, self.machine, self.mode, self.fault_plan):
             if pt.key() in done:
                 skipped += 1
                 continue

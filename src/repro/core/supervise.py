@@ -227,6 +227,21 @@ class TaskOutcome:
         """In-pool attempts beyond the first."""
         return max(0, self.attempts - 1)
 
+    def failure_kinds(self) -> Dict[str, int]:
+        """Failure count per kind (``crash``/``timeout``/``error``/...).
+
+        The evidence a health board wants from an outcome: like the
+        simulated :class:`repro.faults.reliable.FailureDetector`, this
+        reports only *observed* deaths and hangs — there is no
+        heartbeat guessing, so a nonzero count is authoritative.  The
+        campaign server's per-pool worker health view is built from
+        these.
+        """
+        counts: Dict[str, int] = {}
+        for f in self.failures:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     def quarantine_record(self) -> Dict[str, Any]:
         """The structured ``status: "quarantined"`` record body."""
         reason = self.failures[-1].kind if self.failures else "error"

@@ -124,6 +124,14 @@ def configure_chaos_parser(p: argparse.ArgumentParser) -> None:
         help="skip the store corruption / ENOSPC leg",
     )
     p.add_argument(
+        "--serve",
+        action="store_true",
+        help="also attack a live campaign server: SIGKILL/SIGSTOP its "
+        "pool workers mid-job, poison points, then bit-flip a store "
+        "entry and resubmit — the server must survive it all "
+        "(docs/SERVING.md)",
+    )
+    p.add_argument(
         "--quarantine-records",
         type=str,
         default="",
@@ -394,6 +402,193 @@ def _run_store_leg(args: argparse.Namespace, workdir: Path) -> dict:
     }
 
 
+def _run_serve_leg(args: argparse.Namespace, workdir: Path) -> dict:
+    """Chaos against a live campaign server (``repro chaos --serve``).
+
+    The same schedule the worker leg injects — transient SIGKILLs, one
+    SIGSTOP, persistent poison kills — lands on the *server's* pool
+    workers mid-job, then a sealed store entry is bit-flipped and the
+    job resubmitted.  Invariants:
+
+    1. the submitted job completes (in-flight points finish or
+       quarantine per the PR 7 ladder) and the server process answers
+       ``/healthz`` throughout — it never dies;
+    2. surviving records are bitwise-identical (canonical JSON) to a
+       clean serial campaign of the same grid;
+    3. the job's quarantined point set is exactly the poison set, and
+       quarantines are *not* persisted to the store;
+    4. after the bit flip, resubmission quarantines the corrupt entry,
+       re-simulates exactly the flipped point plus the (retryable)
+       poison points, and serves every other point from the store.
+    """
+    with _env("REPRO_NO_DISK_CACHE", None):
+        return _serve_leg_impl(args, workdir)
+
+
+def _serve_leg_impl(args: argparse.Namespace, workdir: Path) -> dict:
+    from ..core.campaign import Campaign
+    from ..core.supervise import CHAOS_ENV, SupervisePolicy
+    from ..serve.client import ServeClient
+    from ..serve.protocol import CampaignSpec, point_store_key
+    from ..serve.server import STORE_NAMESPACE, CampaignServer
+    from ..store import ContentStore
+
+    ids = _parse_int_list(args.ids, "--ids")
+    cores = _parse_int_list(args.cores, "--cores")
+    configs = tuple(tok for tok in args.configs.split(",") if tok.strip())
+    violations: List[str] = []
+
+    spec = CampaignSpec(
+        ids=tuple(ids),
+        core_counts=tuple(cores),
+        configs=configs,
+        machine=getattr(args, "machine", "scc-48"),
+        scale=args.scale,
+        iterations=args.iterations,
+        mode="model",
+    )
+    points = spec.points()
+    ctx = spec.context()
+    keys = [pt.key() for pt in points]
+    schedule, transient, poison = build_chaos_schedule(keys, args.seed)
+
+    # Clean serial reference (no chaos, no server).
+    with _env(CHAOS_ENV, None):
+        reference = Campaign(
+            "serve_reference",
+            output_dir=workdir,
+            scale=args.scale,
+            iterations=args.iterations,
+            mode="model",
+            machine=spec.machine,
+        )
+        reference.run(points, workers=1)
+    ref_records = {}
+    for key, line in _campaign_lines(reference.path).items():
+        rec = json.loads(line)
+        rec.pop("_key", None)
+        ref_records[key] = json.dumps(rec, sort_keys=True)
+
+    store_root = workdir / "serve-cache"
+    policy = SupervisePolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        backoff_base=0.01,
+        seed=args.seed,
+        on_failure="quarantine",
+    )
+    server = CampaignServer(
+        data_dir=workdir / "serve-data",
+        workers=args.workers,
+        policy=policy,
+        store_root=store_root,
+    )
+    quarantined_keys: List[str] = []
+    resubmit_counts: Dict[str, object] = {}
+    try:
+        with _env(CHAOS_ENV, json.dumps(schedule)):
+            server.start()
+            client = ServeClient(server.url)
+            if not client.healthz().get("ok"):
+                violations.append("healthz not ok before submission")
+            job = client.submit(spec)
+            try:
+                result = client.wait(str(job["job_id"]), timeout=300.0)
+            except TimeoutError as exc:
+                violations.append(f"job did not complete under chaos: {exc}")
+                result = {"records": [], "origins": []}
+            if not client.healthz().get("ok"):
+                violations.append("healthz not ok right after the chaos job")
+
+        records = result.get("records") or []
+        origins = result.get("origins") or []
+        for pt, key, rec, origin in zip(points, keys, records, origins):
+            if origin == "quarantined":
+                quarantined_keys.append(key)
+                continue
+            got = json.dumps(rec, sort_keys=True)
+            if got != ref_records.get(key):
+                violations.append(
+                    f"surviving served record for {key!r} differs from the "
+                    f"clean serial run:\n  ref:   {ref_records.get(key)}"
+                    f"\n  serve: {got}"
+                )
+        if sorted(quarantined_keys) != sorted(poison):
+            violations.append(
+                f"served quarantined set {sorted(quarantined_keys)} != "
+                f"injected poison set {sorted(poison)}"
+            )
+        store = ContentStore(root=store_root, namespace=STORE_NAMESPACE)
+        for pt, key in zip(points, keys):
+            stored = store.get_json(point_store_key(pt, ctx)) is not None
+            if key in poison and stored:
+                violations.append(f"quarantined point {key!r} was persisted")
+            if key not in poison and not stored:
+                violations.append(f"surviving point {key!r} was not persisted")
+
+        # Bit-flip one survivor's sealed entry, clear the chaos schedule,
+        # resubmit: the flip must quarantine + re-simulate, everything
+        # else must dedup, and the server must still be standing.
+        flipped_key = None
+        rng = random.Random(args.seed)
+        for pt, key in zip(points, keys):
+            if key not in poison:
+                flipped_key = key
+                path = store.path_for(point_store_key(pt, ctx), "json")
+                blob = bytearray(path.read_bytes())
+                blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+                path.write_bytes(bytes(blob))
+                break
+        with _env(CHAOS_ENV, None):
+            job2 = client.submit(spec)
+            try:
+                result2 = client.wait(str(job2["job_id"]), timeout=300.0)
+            except TimeoutError as exc:
+                violations.append(f"resubmitted job did not complete: {exc}")
+                result2 = {}
+            resubmit_counts = {
+                k: result2.get(k)
+                for k in ("points", "dedup_hits", "simulated", "quarantined")
+            }
+            expected_simulated = 1 + len(poison)
+            if result2.get("simulated") != expected_simulated:
+                violations.append(
+                    f"resubmission after the bit flip simulated "
+                    f"{result2.get('simulated')} point(s), expected "
+                    f"{expected_simulated} (flipped + retryable poison)"
+                )
+            if result2.get("quarantined"):
+                violations.append(
+                    "resubmission without chaos still quarantined "
+                    f"{result2.get('quarantined')} point(s)"
+                )
+            for key, rec in zip(keys, result2.get("records") or []):
+                if json.dumps(rec, sort_keys=True) != ref_records.get(key):
+                    violations.append(
+                        f"post-flip record for {key!r} differs from the "
+                        f"clean serial run"
+                    )
+            health = client.healthz()
+            if not health.get("ok"):
+                violations.append("healthz not ok after the store bit flip leg")
+            if flipped_key is not None and not health.get("store_corrupt"):
+                violations.append(
+                    "bit-flipped entry was not quarantined to corrupt/"
+                )
+    finally:
+        server.stop()
+
+    return {
+        "schedule": schedule,
+        "transient": sorted(transient),
+        "poison": sorted(poison),
+        "points": len(points),
+        "quarantined": sorted(quarantined_keys),
+        "resubmit": resubmit_counts,
+        "violations": violations,
+    }
+
+
 def run_chaos(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
     """Execute ``repro chaos`` from a parsed namespace."""
     from ..core.report import banner
@@ -412,7 +607,16 @@ def run_chaos(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
                 if args.skip_store_leg
                 else _run_store_leg(args, workdir)
             )
-        violations = worker_leg["violations"] + store_leg["violations"]
+            serve_leg = (
+                _run_serve_leg(args, workdir)
+                if getattr(args, "serve", False)
+                else {"violations": [], "skipped": True}
+            )
+        violations = (
+            worker_leg["violations"]
+            + store_leg["violations"]
+            + serve_leg["violations"]
+        )
         report = {
             "seed": args.seed,
             "workers": args.workers,
@@ -420,6 +624,7 @@ def run_chaos(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
                 k: v for k, v in worker_leg.items() if k != "violations"
             },
             "store_leg": {k: v for k, v in store_leg.items() if k != "violations"},
+            "serve_leg": {k: v for k, v in serve_leg.items() if k != "violations"},
             "violations": violations,
             "ok": not violations,
         }
@@ -457,6 +662,13 @@ def run_chaos(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
             if not store_leg.get("skipped"):
                 print(
                     f"store: quarantined {store_leg['corrupt_quarantined']}",
+                    file=stream,
+                )
+            if not serve_leg.get("skipped"):
+                print(
+                    f"serve: {serve_leg['points']} points, quarantined "
+                    f"{len(serve_leg['quarantined'])}, resubmit "
+                    f"{serve_leg['resubmit']}",
                     file=stream,
                 )
             if violations:

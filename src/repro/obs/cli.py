@@ -30,6 +30,7 @@ import argparse
 import json
 import statistics
 import time
+from pathlib import Path
 from typing import Optional, TextIO
 
 from ..cliutil import add_json_flag, add_output_flag, open_output
@@ -537,6 +538,71 @@ def _measure_machines(args: argparse.Namespace) -> dict:
     return out
 
 
+def _measure_serve_dedup(args: argparse.Namespace) -> dict:
+    """Cold vs dedup-hit latency through the campaign server (the
+    ``serve_dedup`` entry).
+
+    An in-process :class:`repro.serve.CampaignServer` on an ephemeral
+    port, private store: the same spec is submitted twice over HTTP.
+    The first submission simulates every point (cold), the second must
+    be answered entirely from the content store — ``repeat_simulations``
+    / ``repeat_dedup_hits`` are deterministic (the gate's check), the
+    wall-clock speedup is informational like every latency figure here.
+    """
+    import tempfile
+
+    from ..core.parallel import fork_context
+    from ..store import cache_enabled
+
+    if fork_context() is None:  # pragma: no cover - platform-dependent
+        return {"skipped": "fork start method unavailable"}
+    if not cache_enabled():
+        return {"skipped": "disk cache disabled (REPRO_NO_DISK_CACHE)"}
+
+    from ..serve.client import ServeClient
+    from ..serve.protocol import CampaignSpec
+    from ..serve.server import CampaignServer
+
+    spec = CampaignSpec(
+        ids=(args.matrix_id,),
+        core_counts=tuple(sorted({1, args.cores})),
+        mappings=(args.mapping,),
+        kernels=(args.kernel,),
+        scale=args.scale,
+        iterations=args.iterations,
+        mode="model",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        tmp_path = Path(tmp)
+        server = CampaignServer(
+            tmp_path / "data", workers=2, store_root=tmp_path / "cache"
+        )
+        server.start()
+        try:
+            client = ServeClient(server.url)
+            t0 = time.perf_counter()
+            cold = client.wait(
+                str(client.submit(spec)["job_id"]), timeout=600.0, poll_s=0.01
+            )
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            hit = client.wait(
+                str(client.submit(spec)["job_id"]), timeout=600.0, poll_s=0.01
+            )
+            hit_s = time.perf_counter() - t0
+        finally:
+            server.stop()
+    return {
+        "points": cold["points"],
+        "cold_wallclock_s": cold_s,
+        "dedup_wallclock_s": hit_s,
+        "dedup_speedup": cold_s / hit_s if hit_s else float("inf"),
+        "cold_simulations": cold["simulated"],
+        "repeat_simulations": hit["simulated"],
+        "repeat_dedup_hits": hit["dedup_hits"],
+    }
+
+
 def _measure_snapshot(args: argparse.Namespace) -> dict:
     """The full ``bench snapshot`` measurement as a dict."""
     result = _traced_run(args, None)
@@ -570,6 +636,7 @@ def _measure_snapshot(args: argparse.Namespace) -> dict:
         "supervise_overhead": _measure_supervise(args),
         "replay": _measure_replay(args),
         "machines": _measure_machines(args),
+        "serve_dedup": _measure_serve_dedup(args),
     }
 
 
@@ -619,11 +686,19 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
         machine_regressions[machine_id] = 100.0 * reg
         if reg > args.max_regression:
             machines_ok = False
+    # Serve dedup (deterministic, baseline-free): resubmitting the same
+    # spec must simulate nothing and answer every point from the store.
+    serve = snapshot.get("serve_dedup", {})
+    serve_ok = bool(serve.get("skipped")) or (
+        serve.get("repeat_simulations") == 0
+        and serve.get("repeat_dedup_hits") == serve.get("points")
+    )
     failed = (
         regression > args.max_regression
         or not replay_ok
         or not supervise_ok
         or not machines_ok
+        or not serve_ok
     )
     verdict = {
         "baseline": args.baseline,
@@ -637,6 +712,9 @@ def _run_gate(args: argparse.Namespace, out: Optional[TextIO]) -> int:
         "supervise_overhead_pct": supervise["overhead_pct"],
         "max_supervise_overhead_pct": 100.0 * args.max_supervise_overhead,
         "machine_regressions_pct": machine_regressions,
+        "serve_dedup_ok": serve_ok,
+        "serve_repeat_simulations": serve.get("repeat_simulations"),
+        "serve_dedup_speedup": serve.get("dedup_speedup"),
         "status": "fail" if failed else "ok",
         "snapshot": snapshot,
     }

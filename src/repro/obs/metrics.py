@@ -20,6 +20,7 @@ determinism contract the tracer and the simulator itself honour.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
@@ -147,23 +148,32 @@ class MetricsRegistry:
     Re-requesting an existing ``(name, labels)`` pair returns the same
     instrument; requesting it as a *different* kind raises, so a name
     cannot silently be both a counter and a gauge.
+
+    Get-or-create is thread-safe (the campaign server's HTTP threads
+    and its scheduler share one registry).  Instrument *updates* are
+    not locked — they stay free on the simulator's hot paths — so
+    concurrent writers of the same instrument must serialize
+    themselves, the way :mod:`repro.serve` funnels every serve.*
+    mutation through its queue lock.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[_MetricKey, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls: type, name: str, labels: Labels, *args: object):
         key = (name, labels)
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, labels, *args)
-            self._metrics[key] = metric
-        elif type(metric) is not cls:
-            raise TypeError(
-                f"metric {metric_key(name, labels)!r} already registered as "
-                f"{type(metric).__name__}, requested as {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, *args)
+                self._metrics[key] = metric
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {metric_key(name, labels)!r} already registered as "
+                    f"{type(metric).__name__}, requested as {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str, **labels: object) -> Counter:
         """Get or create a counter."""
@@ -198,7 +208,9 @@ class MetricsRegistry:
         counters: Dict[str, float] = {}
         gauges: Dict[str, Dict[str, float]] = {}
         histograms: Dict[str, Dict] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
             key = metric_key(name, labels)
             if isinstance(metric, Counter):
                 counters[key] = metric.value
@@ -212,7 +224,9 @@ class MetricsRegistry:
         """One flat dict for campaign records: counters and gauges by
         value, histograms by their compact summary."""
         out: Dict[str, object] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
             key = metric_key(name, labels)
             if isinstance(metric, Counter):
                 out[key] = metric.value

@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: the sharded, dedup'ing campaign server.
+
+``repro serve`` exposes the whole simulation pipeline behind a small
+HTTP API: clients submit *campaign specs* (suite ids × core counts ×
+configs × mappings × kernels × machines, plus scale/iterations/mode),
+the server canonicalizes every grid point to its machine-keyed content
+store address, answers already-computed points straight from
+:mod:`repro.store` (a dedup hit costs no simulation), and shards the
+rest across a supervised fork pool with the PR 7 retry/quarantine
+ladder.  See ``docs/SERVING.md`` for the architecture and
+``tests/test_serve_e2e.py`` for the black-box contract.
+
+Layering: ``protocol`` (specs, store keys, HTTP shapes) ← ``queue``
+(dedup/claim invariants) ← ``server`` (threads, journal, HTTP) ∥
+``client`` (stdlib HTTP client) ← ``cli`` (the four subcommands).
+"""
+
+from .client import ServeClient, ServeError
+from .protocol import CampaignSpec, SpecError, point_store_key
+from .queue import Job, PointQueue
+from .server import CampaignServer
+
+__all__ = [
+    "CampaignServer",
+    "CampaignSpec",
+    "Job",
+    "PointQueue",
+    "ServeClient",
+    "ServeError",
+    "SpecError",
+    "point_store_key",
+]

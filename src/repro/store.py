@@ -202,6 +202,28 @@ class ContentStore:
             _warn_write_failure(exc, path)
             return False
 
+    def entry_count(self) -> int:
+        """Live entries in this namespace (corrupt/ quarantine excluded).
+
+        A cheap directory walk for dashboards and the ``/metrics``
+        endpoint of the campaign server — not part of any hot path.
+        """
+        if not self._dir.is_dir():
+            return 0
+        return sum(
+            1
+            for fanout in self._dir.iterdir()
+            if fanout.is_dir() and fanout.name != "corrupt"
+            for entry in fanout.iterdir()
+            if entry.suffix in (".json", ".npz")
+        )
+
+    def corrupt_count(self) -> int:
+        """Entries quarantined to ``corrupt/`` so far."""
+        if not self.corrupt_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.corrupt_dir.iterdir())
+
     def _quarantine(self, path: Path) -> Optional[Path]:
         """Move a corrupt entry into ``corrupt/`` (kept, not deleted)."""
         try:

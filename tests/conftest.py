@@ -15,6 +15,18 @@ from repro.scc import SCCTopology
 from repro.sparse import CSRMatrix, banded, power_law, random_uniform
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the content store at a per-test directory.
+
+    Keeps every test hermetic: no dedup hits leak between tests (or in
+    from the developer's real ~/.cache/repro), which the serve suites'
+    exact simulation counts depend on.  Tests that need a shared or
+    disabled store still win by monkeypatching over this.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture(scope="session")
 def topology() -> SCCTopology:
     return SCCTopology()
