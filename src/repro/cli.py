@@ -70,7 +70,7 @@ ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
 #: every first-class subcommand of the unified parser.
 COMMANDS = (
     "run", "lint", "check", "analyze", "faults", "chaos", "trace", "bench",
-    "serve", "submit", "status", "result",
+    "serve", "submit", "status", "result", "predict",
 )
 
 #: subcommands implemented by repro.analysis.cli (kept for callers that
@@ -125,6 +125,15 @@ def _configure_run_parser(p: argparse.ArgumentParser) -> None:
         help="replay every run on the event-driven simulator instead of "
         "the analytic fast path (same numbers, much slower; see "
         "docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("sim", "model", "exact-trace", "predict"),
+        default=None,
+        help="answer tier for every sweep point (default: model, or sim "
+        "with --exact); 'predict' answers from the machine's trained "
+        "predictor and falls back to the model when none is stored "
+        "(see docs/PREDICTOR.md)",
     )
     p.add_argument(
         "--validate-exact",
@@ -239,6 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_result_parser(result_p)
     result_p.set_defaults(handler=_dispatch_result)
+
+    from .predict.cli import configure_predict_parser
+
+    predict_p = sub.add_parser(
+        "predict",
+        help="train/evaluate/inspect the feature-based performance "
+        "predictor behind mode='predict' (see docs/PREDICTOR.md)",
+    )
+    configure_predict_parser(predict_p)
+    predict_p.set_defaults(handler=_dispatch_predict)
 
     return p
 
@@ -513,6 +532,15 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     machine = get_machine(getattr(args, "machine", DEFAULT_MACHINE))
+    if args.exact and args.mode not in (None, "sim"):
+        raise SystemExit(
+            f"--exact means --mode sim; drop one of them (got --mode {args.mode})"
+        )
+    if args.mode is not None and not machine.supports_mode(args.mode):
+        raise SystemExit(
+            f"machine {machine.machine_id!r} supports modes "
+            f"{', '.join(machine.supported_modes)}, got --mode {args.mode}"
+        )
     if args.exact and not machine.supports_mode("sim"):
         raise SystemExit(
             f"--exact needs the event-driven runtime, which machine "
@@ -540,7 +568,7 @@ def _run_artifacts(args: argparse.Namespace, out=None) -> int:
         )
         if not exps:
             raise SystemExit("no matrices selected; check --ids")
-        mode = "sim" if args.exact else DEFAULT_MODE
+        mode = args.mode or ("sim" if args.exact else DEFAULT_MODE)
         policy = policy_from_args(args)
         artifacts = ARTIFACTS if args.artifact == "all" else (args.artifact,)
         for artifact in artifacts:
@@ -615,6 +643,12 @@ def _dispatch_result(args, out=None) -> int:
     from .serve.cli import run_result
 
     return run_result(args, out=out)
+
+
+def _dispatch_predict(args, out=None) -> int:
+    from .predict.cli import run_predict
+
+    return run_predict(args, out=out)
 
 
 def _normalize_argv(argv: List[str]) -> List[str]:

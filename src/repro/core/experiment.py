@@ -99,8 +99,10 @@ KERNELS = ("csr", "no_x_miss")
 #: ``exact-trace`` replaces the analytic cache characterization with
 #: trace-exact per-UE hit/miss counts from the vectorized replay engine
 #: (:mod:`repro.scc.vecreplay`) — the validation path, now viable at
-#: full Table-I scale.
-MODES = ("sim", "model", "exact-trace")
+#: full Table-I scale; ``predict`` answers from a trained feature-based
+#: regressor (:mod:`repro.predict`) in microseconds, falling back to
+#: ``model`` when no artifact is available.
+MODES = ("sim", "model", "exact-trace", "predict")
 
 
 class ResultBase:
@@ -180,6 +182,9 @@ class ExperimentResult(ResultBase):
     y: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     #: machine the run was modeled on (registry id).
     machine: str = DEFAULT_MACHINE
+    #: True when the makespan came from the feature-based predictor
+    #: (``mode="predict"``), not from the timing composition.
+    predicted: bool = False
 
     @property
     def mflops_per_watt(self) -> float:
@@ -192,9 +197,12 @@ class ExperimentResult(ResultBase):
         rec["mflops_per_watt"] = self.mflops_per_watt
         rec["ws_per_core_bytes"] = self.ws_per_core_bytes
         # Records stay byte-identical to the pre-zoo format on the
-        # default machine (the golden campaign fixture contract).
+        # default machine (the golden campaign fixture contract);
+        # machine and predicted markers appear only off the default path.
         if self.machine != DEFAULT_MACHINE:
             rec["machine"] = self.machine
+        if self.predicted:
+            rec["predicted"] = True
         return rec
 
 
@@ -481,6 +489,11 @@ class SpMVExperiment:
         self._batch_cache: Dict[int, BatchedTraces] = {}
         self._summary_cache: Dict[Tuple, Any] = {}
         self._ws_cache: Dict[int, float] = {}
+        #: mode="predict" feature caches: the matrix-level extraction
+        #: (one O(nnz) pass, machine-independent) and the O(n_parts)
+        #: partition reductions per core count.
+        self._matrix_features: Optional[Any] = None
+        self._partition_features_cache: Dict[int, Any] = {}
 
     #: set by :func:`repro.core.figures.suite_experiments` to the
     #: ``(matrix_id, scale)`` (plus the machine id for non-default
@@ -654,6 +667,36 @@ class SpMVExperiment:
             sched = cache[key] = resolve_barrier_schedule(core_map, mesh)
         return sched
 
+    # -- mode="predict" features -------------------------------------------
+
+    def point_feature_vector(
+        self,
+        n_cores: int,
+        core_map: List[int],
+        config: MachineConfig,
+        kernel: str,
+        iterations: int,
+    ) -> np.ndarray:
+        """The full predictor feature vector of one campaign point.
+
+        This is the *only* extraction path — training
+        (:mod:`repro.predict.dataset`) and serving (``mode="predict"``)
+        both come through here, so the two can never skew.  The O(nnz)
+        matrix pass runs once per experiment, the O(n_parts) partition
+        reduction once per core count; per-point assembly is O(n_cores).
+        """
+        from ..sparse.features import matrix_features, partition_features, point_features
+
+        mf = self._matrix_features
+        if mf is None:
+            mf = self._matrix_features = matrix_features(self.a)
+        pf = self._partition_features_cache.get(n_cores)
+        if pf is None:
+            pf = self._partition_features_cache[n_cores] = partition_features(
+                self.a, self.partition(n_cores), mf
+            )
+        return point_features(mf, pf, self.machine, config, core_map, kernel, iterations)
+
     # -- the runner ---------------------------------------------------------
 
     def run(
@@ -725,6 +768,19 @@ class SpMVExperiment:
                     f"explicit mapping names {len(core_map)} cores but n_cores={n_cores}"
                 )
 
+        if mode == "predict":
+            return self._run_predict(
+                n_cores=n_cores,
+                core_map=core_map,
+                mapping_name=mapping_name,
+                config=config,
+                kernel=kernel,
+                iterations=iterations,
+                verify=verify,
+                x=x,
+                time_budget=time_budget,
+                tracer=tracer,
+            )
         if mode in ("model", "exact-trace"):
             return self._run_analytic(
                 n_cores=n_cores,
@@ -766,11 +822,7 @@ class SpMVExperiment:
         makespan = runtime.makespan(results)
         y = results[0].value if verify else None
         if tracer:
-            for t in timings:
-                m = tracer.metrics
-                m.counter("model.mem_lines", core=t.core).inc(int(t.mem_lines))
-                m.gauge("model.core_time_s", core=t.core).set(t.time)
-                m.histogram("model.mem_stall_fraction").observe(t.mem_stall_fraction)
+            self._emit_core_metrics(tracer, timings)
 
         return ExperimentResult(
             matrix_name=self.name,
@@ -856,11 +908,7 @@ class SpMVExperiment:
                 [kernel_fn(self.a, x_vec, r0, r1) for r0, r1 in self.partition(n_cores).ranges()]
             )
         if tracer:
-            for t in timings:
-                m = tracer.metrics
-                m.counter("model.mem_lines", core=t.core).inc(int(t.mem_lines))
-                m.gauge("model.core_time_s", core=t.core).set(t.time)
-                m.histogram("model.mem_stall_fraction").observe(t.mem_stall_fraction)
+            self._emit_core_metrics(tracer, timings)
 
         return ExperimentResult(
             matrix_name=self.name,
@@ -877,6 +925,105 @@ class SpMVExperiment:
             ws_per_core_bytes=self._ws_per_core(n_cores),
             y=y,
             machine=self.machine.machine_id,
+        )
+
+    @staticmethod
+    def _emit_core_metrics(tracer: Any, timings: Sequence[Any]) -> None:
+        """Publish per-core model summaries through the tracer's registry.
+
+        Uses the registry's one-pass series API (a single locked
+        create-or-get-and-update sweep over both per-core instrument
+        names, memoized label tuples, batched histogram observation),
+        so an *enabled* tracer costs a few dict lookups per run rather
+        than a locked get-or-create plus a method call per instrument
+        per core.
+        """
+        m = tracer.metrics
+        m.series_update(
+            "model.mem_lines",
+            "model.core_time_s",
+            "core",
+            [(t.core, int(t.mem_lines), t.time) for t in timings],
+        )
+        m.histogram_observe_many(
+            "model.mem_stall_fraction", [t.mem_stall_fraction for t in timings]
+        )
+
+    def _run_predict(
+        self,
+        n_cores: int,
+        core_map: List[int],
+        mapping_name: str,
+        config: MachineConfig,
+        kernel: str,
+        iterations: int,
+        verify: bool,
+        x: Optional[np.ndarray],
+        time_budget: Optional[float],
+        tracer: Optional[Any],
+    ) -> ExperimentResult:
+        """The microsecond tier: answer from the trained regressor.
+
+        No cache characterization, no contention solve, no barrier
+        recurrence — just the cached structural features of this
+        (matrix, partition, mapping) point pushed through the machine's
+        trained :class:`~repro.predict.regressor.PerfRegressor`.  When
+        no usable artifact exists, falls back to ``mode="model"``
+        (:func:`~repro.predict.artifact.get_predictor` warns once per
+        machine); the result then carries ``predicted=False``, so
+        callers can tell which tier actually answered.
+        """
+        from ..predict.artifact import get_predictor
+
+        predictor = get_predictor(self.machine)
+        if predictor is None:
+            return self._run_analytic(
+                n_cores=n_cores,
+                core_map=core_map,
+                mapping_name=mapping_name,
+                config=config,
+                kernel=kernel,
+                iterations=iterations,
+                verify=verify,
+                x=x,
+                time_budget=time_budget,
+                tracer=tracer,
+                exact=False,
+            )
+
+        feats = self.point_feature_vector(n_cores, core_map, config, kernel, iterations)
+        makespan = predictor.predict_makespan(feats, self.a.nnz, iterations)
+        if time_budget is not None and makespan > time_budget:
+            raise RCCEBudgetExceededError(time_budget, list(range(n_cores)), time_budget)
+
+        y = None
+        if verify:
+            # The numeric result never came from a model — compute it
+            # directly, outside anything a caller would time.
+            x_vec = x if x is not None else np.ones(self.a.n_cols)
+            kernel_fn = spmv_no_x_miss if kernel == "no_x_miss" else spmv_row_range
+            y = np.concatenate(
+                [kernel_fn(self.a, x_vec, r0, r1) for r0, r1 in self.partition(n_cores).ranges()]
+            )
+        if tracer:
+            tracer.metrics.counter("predict.answers").inc()
+
+        return ExperimentResult(
+            matrix_name=self.name,
+            n=self.a.n_rows,
+            nnz=self.a.nnz,
+            n_cores=n_cores,
+            config_name=config.name,
+            mapping=mapping_name,
+            kernel=kernel,
+            iterations=iterations,
+            makespan=makespan,
+            per_core=[],
+            power_watts=self._chip_power(config),
+            ws_per_core_bytes=self._ws_per_core(n_cores),
+            y=y,
+            machine=self.machine.machine_id,
+            predicted=True,
         )
 
     def run_fault_tolerant(

@@ -21,7 +21,8 @@ determinism contract the tracer and the simulator itself honour.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -44,6 +45,26 @@ _MetricKey = Tuple[str, Labels]
 
 def _labels_of(labels: Dict[str, object]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+#: memo of single-label tuples ``(("core", "3"),)`` for the series fast
+#: paths: the per-run emission rebuilds the same handful of label values
+#: every model run, and ``str()`` + tuple construction is a measurable
+#: slice of an enabled tracer's cost on microsecond-scale runs.  Label
+#: values are core/link/level ids, so the space is small and bounded;
+#: the cap is a safety valve, not an LRU.
+_SERIES_LABELS: Dict[Tuple[str, object], Labels] = {}
+_SERIES_LABELS_CAP = 4096
+
+
+def _series_label(label: str, value: object) -> Labels:
+    key = (label, value)
+    lt = _SERIES_LABELS.get(key)
+    if lt is None:
+        lt = ((label, str(value)),)
+        if len(_SERIES_LABELS) < _SERIES_LABELS_CAP:
+            _SERIES_LABELS[key] = lt
+    return lt
 
 
 def metric_key(name: str, labels: Labels) -> str:
@@ -97,9 +118,14 @@ class Histogram:
     def __init__(
         self, name: str, labels: Labels, bounds: Sequence[float] = DEFAULT_BUCKETS
     ) -> None:
-        bounds_t = tuple(float(b) for b in bounds)
-        if not bounds_t or list(bounds_t) != sorted(bounds_t):
-            raise ValueError(f"histogram {name!r}: bounds must be non-empty and sorted")
+        if bounds is DEFAULT_BUCKETS:  # pre-validated module constant
+            bounds_t = DEFAULT_BUCKETS
+        else:
+            bounds_t = tuple(float(b) for b in bounds)
+            if not bounds_t or list(bounds_t) != sorted(bounds_t):
+                raise ValueError(
+                    f"histogram {name!r}: bounds must be non-empty and sorted"
+                )
         self.name = name
         self.labels = labels
         self.bounds = bounds_t
@@ -119,11 +145,23 @@ class Histogram:
             self.vmin = v
         if v > self.vmax:
             self.vmax = v
-        for i, bound in enumerate(self.bounds):
-            if v <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # first bound >= v, or the overflow bucket — same ``v <= bound``
+        # semantics as a linear scan, O(log buckets) on the hot path.
+        self.bucket_counts[bisect_left(self.bounds, v)] += 1
+
+    def observe_many(self, values: Iterable[Union[int, float]]) -> None:
+        """Add a batch of observations (one attribute-lookup set for all)."""
+        bounds = self.bounds
+        buckets = self.bucket_counts
+        for value in values:
+            v = float(value)
+            self.count += 1
+            self.total += v
+            if v < self.vmin:
+                self.vmin = v
+            if v > self.vmax:
+                self.vmax = v
+            buckets[bisect_left(bounds, v)] += 1
 
     @property
     def mean(self) -> float:
@@ -155,25 +193,91 @@ class MetricsRegistry:
     concurrent writers of the same instrument must serialize
     themselves, the way :mod:`repro.serve` funnels every serve.*
     mutation through its queue lock.
+
+    The series write paths (:meth:`series_update`,
+    :meth:`histogram_observe_many`) are additionally *deferred*: they
+    buffer their materialized payloads and every read surface
+    (:meth:`snapshot`, :meth:`flat_summary`, ``len()``, any
+    get-or-create) drains the buffer in call order first, so reads see
+    exactly the state eager updates would have produced.  Writers that
+    are never read pay a list append per emission and stay bounded by
+    an amortized drain at :attr:`_PENDING_CAP`.
     """
+
+    #: drain ceiling for the deferred-update buffer: a tracer that is
+    #: written but never read (e.g. a discarded per-run tracer) stays
+    #: bounded, and the amortized inline drain stays off the common
+    #: microsecond-scale path.
+    _PENDING_CAP = 1024
 
     def __init__(self) -> None:
         self._metrics: Dict[_MetricKey, Union[Counter, Gauge, Histogram]] = {}
         self._lock = threading.Lock()
+        #: deferred series/histogram updates, applied on first read
+        #: (:meth:`snapshot`, :meth:`flat_summary`, any get-or-create).
+        self._pending: List[Tuple] = []
+
+    def _get_locked(self, cls: type, name: str, labels: Labels, *args: object):
+        """Get-or-create body; caller must hold :attr:`_lock`."""
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, *args)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {metric_key(name, labels)!r} already registered as "
+                f"{type(metric).__name__}, requested as {cls.__name__}"
+            )
+        return metric
+
+    def _drain_locked(self) -> None:
+        """Apply every deferred update; caller must hold :attr:`_lock`.
+
+        A single swap: updates racing in while we apply stay pending for
+        the next read — no stronger guarantee exists for a concurrent
+        read even with eager updates.
+        """
+        pending, self._pending = self._pending, []
+        metrics = self._metrics
+        for op in pending:
+            if op[0] == "series":
+                _, counter_name, gauge_name, label, rows = op
+                for v, amount, reading in rows:
+                    lt = _series_label(label, v)
+                    ck = (counter_name, lt)
+                    c = metrics.get(ck)
+                    if c is None:
+                        c = metrics[ck] = Counter(counter_name, lt)
+                    elif type(c) is not Counter:
+                        raise TypeError(
+                            f"metric {metric_key(counter_name, lt)!r} already "
+                            f"registered as {type(c).__name__}, requested as Counter"
+                        )
+                    c.value += amount
+                    gk = (gauge_name, lt)
+                    g = metrics.get(gk)
+                    if g is None:
+                        g = metrics[gk] = Gauge(gauge_name, lt)
+                    elif type(g) is not Gauge:
+                        raise TypeError(
+                            f"metric {metric_key(gauge_name, lt)!r} already "
+                            f"registered as {type(g).__name__}, requested as Gauge"
+                        )
+                    r = float(reading)
+                    g.value = r
+                    if r > g.high_water:
+                        g.high_water = r
+            else:  # ("hist", name, buckets, values)
+                _, name, buckets, values = op
+                h = self._get_locked(Histogram, name, (), buckets or DEFAULT_BUCKETS)
+                h.observe_many(values)
 
     def _get(self, cls: type, name: str, labels: Labels, *args: object):
-        key = (name, labels)
         with self._lock:
-            metric = self._metrics.get(key)
-            if metric is None:
-                metric = cls(name, labels, *args)
-                self._metrics[key] = metric
-            elif type(metric) is not cls:
-                raise TypeError(
-                    f"metric {metric_key(name, labels)!r} already registered as "
-                    f"{type(metric).__name__}, requested as {cls.__name__}"
-                )
-            return metric
+            if self._pending:
+                self._drain_locked()
+            return self._get_locked(cls, name, labels, *args)
 
     def counter(self, name: str, **labels: object) -> Counter:
         """Get or create a counter."""
@@ -192,8 +296,62 @@ class MetricsRegistry:
         """Get or create a histogram (``buckets`` only applies on creation)."""
         return self._get(Histogram, name, _labels_of(labels), buckets or DEFAULT_BUCKETS)
 
+    def series_update(
+        self,
+        counter_name: str,
+        gauge_name: str,
+        label: str,
+        rows: Iterable[Tuple[object, Union[int, float], Union[int, float]]],
+    ) -> None:
+        """Create-or-get and update a paired counter+gauge series in one
+        locked pass.
+
+        ``rows`` yields ``(label_value, counter_amount, gauge_reading)``;
+        each row increments ``counter_name{label=value}`` and sets
+        ``gauge_name{label=value}``.
+
+        The update is *deferred*: the materialized rows are buffered and
+        applied on the registry's next read (snapshot, flat summary, any
+        get-or-create), in call order, so the observable state is
+        identical to eager updates while the writer pays one list append
+        — the fix for the tracer-overhead regression the bench snapshot
+        caught.  The model's per-core emission fans two instrument names
+        out over every core on every run; a locked get-or-create plus a
+        method call per instrument dominated microsecond-scale model
+        runs, and even a fused eager pass still cost most of the run.
+        Never-read registries stay bounded by an amortized inline drain
+        at :attr:`_PENDING_CAP` buffered updates.
+        """
+        rows = rows if isinstance(rows, list) else list(rows)
+        for row in rows:  # validate at the call site, not at drain time
+            if row[1] < 0:
+                raise ValueError(
+                    f"counter {counter_name!r}: negative increment {row[1]}"
+                )
+        self._pending.append(("series", counter_name, gauge_name, label, rows))
+        if len(self._pending) >= self._PENDING_CAP:
+            with self._lock:
+                self._drain_locked()
+
+    def histogram_observe_many(
+        self,
+        name: str,
+        values: Iterable[Union[int, float]],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Observe a batch of values, deferred like :meth:`series_update`
+        (``buckets`` only applies if the histogram doesn't exist yet)."""
+        values = values if isinstance(values, list) else list(values)
+        self._pending.append(("hist", name, buckets, values))
+        if len(self._pending) >= self._PENDING_CAP:
+            with self._lock:
+                self._drain_locked()
+
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            if self._pending:
+                self._drain_locked()
+            return len(self._metrics)
 
     def snapshot(self) -> Dict[str, Dict]:
         """Deterministic JSON-serializable dump of every metric.
@@ -209,6 +367,8 @@ class MetricsRegistry:
         gauges: Dict[str, Dict[str, float]] = {}
         histograms: Dict[str, Dict] = {}
         with self._lock:
+            if self._pending:
+                self._drain_locked()
             items = sorted(self._metrics.items())
         for (name, labels), metric in items:
             key = metric_key(name, labels)
@@ -225,6 +385,8 @@ class MetricsRegistry:
         value, histograms by their compact summary."""
         out: Dict[str, object] = {}
         with self._lock:
+            if self._pending:
+                self._drain_locked()
             items = sorted(self._metrics.items())
         for (name, labels), metric in items:
             key = metric_key(name, labels)

@@ -1,0 +1,48 @@
+"""``repro.predict``: the microsecond answer tier.
+
+A trained :class:`~repro.predict.regressor.PerfRegressor` maps the
+structural feature vector of a campaign point
+(:mod:`repro.sparse.features`) to ``log(makespan / (nnz * iterations))``
+— a bounded seconds-per-nonzero-per-iteration quantity — so
+``SpMVExperiment(mode="predict")`` can answer a point without touching
+the cache characterization at all.  Labelled training rows are minted
+from our own ``mode="model"`` (or ``exact-trace``) runs
+(:mod:`repro.predict.dataset`), models are sha256-sealed store
+artifacts (:mod:`repro.predict.artifact`), and the differential
+harness (:mod:`repro.predict.harness`) quantifies per-machine error
+and speedup against the analytic model — the numbers behind
+``docs/PREDICTOR.md`` and the bench gate.
+"""
+
+from .artifact import (
+    MODEL_NAMESPACE,
+    PREDICT_MODEL_SCHEMA_VERSION,
+    TRAIN_NAMESPACE,
+    PredictFallbackWarning,
+    clear_predictor_cache,
+    get_predictor,
+    install_predictor,
+    load_predictor,
+    model_store_key,
+    save_predictor,
+)
+from .dataset import labelled_rows
+from .regressor import PerfRegressor, fit_perf_regressor
+from .train import train_predictor
+
+__all__ = [
+    "MODEL_NAMESPACE",
+    "TRAIN_NAMESPACE",
+    "PREDICT_MODEL_SCHEMA_VERSION",
+    "PredictFallbackWarning",
+    "PerfRegressor",
+    "fit_perf_regressor",
+    "labelled_rows",
+    "train_predictor",
+    "model_store_key",
+    "save_predictor",
+    "load_predictor",
+    "get_predictor",
+    "install_predictor",
+    "clear_predictor_cache",
+]

@@ -1,0 +1,201 @@
+"""Versioned, sha256-sealed predictor artifacts in the content store.
+
+A trained model is one npz bundle in the ``predict-models`` namespace:
+the regressor's flat arrays plus a ``__meta__`` member holding the
+canonical-JSON metadata (schema versions, machine, feature catalogue,
+training grid, in-sample error) encoded as a uint8 array so the whole
+artifact rides the store's existing npz seal.  Keys are pure functions
+of ``(schema version, feature schema version, machine cache key, tag)``
+— retraining overwrites in place, schema bumps orphan.
+
+Lookup is fail-soft by design: a missing, corrupt (seal-mismatched) or
+schema-incompatible artifact makes :func:`get_predictor` return
+``None`` after emitting **one** structured
+:class:`PredictFallbackWarning` per (machine, tag) per process, and
+``mode="predict"`` falls back to ``mode="model"`` — a degraded answer
+beats no answer, the same ladder philosophy as :mod:`repro.core.supervise`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ..machine.base import MachineModel
+from ..sparse.features import FEATURE_NAMES, FEATURE_SCHEMA_VERSION
+from ..store import ContentStore, digest_parts
+from .regressor import PerfRegressor
+
+__all__ = [
+    "PREDICT_MODEL_SCHEMA_VERSION",
+    "MODEL_NAMESPACE",
+    "TRAIN_NAMESPACE",
+    "PredictFallbackWarning",
+    "model_store_key",
+    "save_predictor",
+    "load_predictor",
+    "get_predictor",
+    "install_predictor",
+    "clear_predictor_cache",
+]
+
+#: bump on any change to the artifact layout or the target definition.
+PREDICT_MODEL_SCHEMA_VERSION = 2  # v2: training-envelope clipping (x_min/x_max)
+
+#: store namespaces: trained models and cached labelled training rows.
+MODEL_NAMESPACE = "predict-models"
+TRAIN_NAMESPACE = "predict-train"
+
+#: npz member carrying the canonical-JSON metadata as uint8 bytes.
+_META_NAME = "__meta__"
+
+
+class PredictFallbackWarning(RuntimeWarning):
+    """``mode="predict"`` fell back to ``mode="model"`` (no usable model)."""
+
+
+#: process-wide predictor memo: (machine cache key, tag) -> model.
+_PREDICTORS: Dict[Tuple[str, str], Optional[PerfRegressor]] = {}
+#: (machine cache key, tag) pairs that already warned about fallback.
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def model_store_key(machine_key: str, tag: str = "default") -> str:
+    """Content address of one machine's trained model artifact."""
+    return digest_parts(
+        "predict-model",
+        PREDICT_MODEL_SCHEMA_VERSION,
+        FEATURE_SCHEMA_VERSION,
+        machine_key,
+        tag,
+    )
+
+
+def _model_store(store: Optional[ContentStore]) -> ContentStore:
+    return store if store is not None else ContentStore(namespace=MODEL_NAMESPACE)
+
+
+def save_predictor(
+    machine: MachineModel,
+    model: PerfRegressor,
+    tag: str = "default",
+    store: Optional[ContentStore] = None,
+    extra_meta: Optional[Dict] = None,
+) -> str:
+    """Serialize one machine's model into the store; returns the key."""
+    meta = {
+        "schema_version": PREDICT_MODEL_SCHEMA_VERSION,
+        "feature_schema_version": FEATURE_SCHEMA_VERSION,
+        "machine": machine.machine_id,
+        "machine_key": machine.cache_key(),
+        "tag": tag,
+        "target": "log_makespan_per_nnz_iter",
+        "feature_names": list(model.feature_names),
+        "train_rows": model.train_rows,
+        "train_stats": dict(model.train_stats),
+        **(extra_meta or {}),
+    }
+    payload = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    arrays = model.to_arrays()
+    arrays[_META_NAME] = np.frombuffer(payload, dtype=np.uint8)
+    key = model_store_key(machine.cache_key(), tag)
+    _model_store(store).put_arrays(key, **arrays)
+    # A fresh save supersedes whatever the memo held (including a
+    # cached miss) and clears the warn-once latch for this pair.
+    memo_key = (machine.cache_key(), tag)
+    _PREDICTORS[memo_key] = model
+    _WARNED.discard(memo_key)
+    return key
+
+
+def load_meta(
+    machine: MachineModel, tag: str = "default", store: Optional[ContentStore] = None
+) -> Optional[Dict]:
+    """The artifact's metadata dict, or None when absent/corrupt."""
+    loaded = _load(machine, tag, store)
+    return loaded[1] if loaded is not None else None
+
+
+def _load(
+    machine: MachineModel, tag: str, store: Optional[ContentStore]
+) -> Optional[Tuple[PerfRegressor, Dict]]:
+    key = model_store_key(machine.cache_key(), tag)
+    arrays = _model_store(store).get_arrays(key)
+    if arrays is None:
+        return None
+    try:
+        meta = json.loads(bytes(arrays.pop(_META_NAME).tobytes()).decode("utf-8"))
+        if (
+            meta.get("schema_version") != PREDICT_MODEL_SCHEMA_VERSION
+            or meta.get("feature_schema_version") != FEATURE_SCHEMA_VERSION
+            or list(meta.get("feature_names", ())) != list(FEATURE_NAMES)
+        ):
+            return None
+        model = PerfRegressor.from_arrays(
+            arrays,
+            meta["feature_names"],
+            train_rows=int(meta.get("train_rows", 0)),
+            train_stats=meta.get("train_stats", {}),
+        )
+    except (KeyError, ValueError, json.JSONDecodeError):
+        return None
+    return model, meta
+
+
+def load_predictor(
+    machine: MachineModel, tag: str = "default", store: Optional[ContentStore] = None
+) -> Optional[PerfRegressor]:
+    """Load + verify one machine's model from disk (no memo, no warning).
+
+    Returns ``None`` when the artifact is absent, fails the store's
+    sha256 seal (the store quarantines it), or carries an incompatible
+    schema / feature catalogue.
+    """
+    loaded = _load(machine, tag, store)
+    return loaded[0] if loaded is not None else None
+
+
+def get_predictor(
+    machine: MachineModel, tag: str = "default"
+) -> Optional[PerfRegressor]:
+    """The process-cached predictor for one machine, or ``None``.
+
+    On the first miss per (machine, tag) a single structured
+    :class:`PredictFallbackWarning` is emitted; subsequent calls stay
+    silent and keep returning ``None`` until :func:`save_predictor` /
+    :func:`install_predictor` supplies a model or
+    :func:`clear_predictor_cache` resets the memo.
+    """
+    memo_key = (machine.cache_key(), tag)
+    if memo_key in _PREDICTORS:
+        return _PREDICTORS[memo_key]
+    model = load_predictor(machine, tag)
+    _PREDICTORS[memo_key] = model
+    if model is None and memo_key not in _WARNED:
+        _WARNED.add(memo_key)
+        warnings.warn(
+            f"no usable predictor artifact for machine "
+            f"{machine.machine_id!r} (tag {tag!r}): falling back to "
+            f"mode='model'; train one with 'repro predict train'",
+            PredictFallbackWarning,
+            stacklevel=3,
+        )
+    return model
+
+
+def install_predictor(
+    machine: MachineModel, model: PerfRegressor, tag: str = "default"
+) -> None:
+    """Seed the process memo directly (harness/tests; no disk write)."""
+    memo_key = (machine.cache_key(), tag)
+    _PREDICTORS[memo_key] = model
+    _WARNED.discard(memo_key)
+
+
+def clear_predictor_cache() -> None:
+    """Drop every memoized predictor and warn-once latch (test isolation)."""
+    _PREDICTORS.clear()
+    _WARNED.clear()

@@ -1,0 +1,196 @@
+"""Differential harness: predict-vs-model (and -vs-exact) per machine.
+
+One honest experiment per machine:
+
+1. **Model leg** — a fresh, cold sweep of ``suite x core counts`` in
+   ``mode="model"``, wallclock-timed.  Its records double as training
+   labels, so the predictor is graded on exactly the grid the model
+   leg paid for.
+2. **Train** — fit a :class:`~repro.predict.regressor.PerfRegressor`
+   on those labels and seed the process memo
+   (:func:`~repro.predict.artifact.install_predictor`); the disk
+   round-trip is covered by the artifact tests, not timed here.
+3. **Predict leg** — the same sweep re-run in ``mode="predict"`` with
+   fresh experiments.  The process-level feature memos are cleared
+   once, before the *first* machine's predict leg: the timed predict
+   total therefore pays the full O(nnz) extraction exactly once, which
+   is what a fresh predict-only client sweeping the zoo would pay —
+   matrix and partition features are machine-independent and shared
+   across machines by design (see :mod:`repro.sparse.features`).
+   Consequently the first machine's per-machine speedup is the cold
+   figure and later machines' are warm; the gate bounds the aggregate.
+4. **Error** — per-point relative makespan error of predict against
+   the model leg's ground truth, summarized per machine; optionally a
+   predict-vs-exact leg against ``mode="exact-trace"`` on machines
+   that support it (the SCC).
+
+``repro bench`` gates on the aggregate speedup and per-machine median
+error this report computes; ``tests/test_predict_differential.py``
+asserts the same bounds on a smaller grid.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.experiment import SpMVExperiment
+from ..machine import get_machine
+from ..sparse import features as _features
+from ..sparse.suite import build_matrix, entry_by_id
+from .artifact import install_predictor
+from .regressor import fit_perf_regressor
+
+__all__ = ["DEFAULT_BENCH_CORE_COUNTS", "DEFAULT_BENCH_IDS", "differential_report"]
+
+#: bench defaults: a few structurally distinct suite matrices swept
+#: over enough core counts that per-point costs dominate both legs.
+DEFAULT_BENCH_IDS: Tuple[int, ...] = (2, 7, 14, 24)
+DEFAULT_BENCH_CORE_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40, 48)
+
+
+def _pct(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+def _sweep(
+    exps: Dict[int, SpMVExperiment],
+    counts: Sequence[int],
+    mode: str,
+    iterations: int,
+) -> Tuple[float, Dict[Tuple[int, int], float]]:
+    """Run every (matrix, core count) point; returns (seconds, makespans)."""
+    out: Dict[Tuple[int, int], float] = {}
+    t0 = time.perf_counter()
+    for mid, exp in exps.items():
+        for n in counts:
+            res = exp.run(n_cores=n, mode=mode, iterations=iterations)
+            out[(mid, n)] = res.makespan
+    return time.perf_counter() - t0, out
+
+
+def differential_report(
+    machine_ids: Sequence[str] = ("scc-48", "xeonphi-61", "ft2000plus-64"),
+    ids: Sequence[int] = DEFAULT_BENCH_IDS,
+    core_counts: Sequence[int] = DEFAULT_BENCH_CORE_COUNTS,
+    scale: float = 0.05,
+    iterations: int = 4,
+    n_rounds: int = 150,
+    include_exact: bool = True,
+    exact_ids: Sequence[int] = (2,),
+    exact_core_counts: Sequence[int] = (2, 8),
+) -> Dict:
+    """Quantify predict-vs-model speed and error across the zoo.
+
+    Matrices are built once and shared across machines (the features
+    they yield are machine-independent); everything machine-specific —
+    model sweep, training, predict sweep — runs per machine.  Returns
+    a JSON-serializable report; see the module docstring for the legs.
+    """
+    mats = {mid: build_matrix(mid, scale=scale) for mid in ids}
+    names = {mid: entry_by_id(mid).name for mid in ids}
+    report: Dict = {"machines": {}, "grid": {
+        "ids": [int(i) for i in ids],
+        "matrices": [names[i] for i in ids],
+        "core_counts": [int(n) for n in core_counts],
+        "scale": scale,
+        "iterations": iterations,
+    }}
+    total_model_s = 0.0
+    total_predict_s = 0.0
+    cold = True
+
+    for machine_id in machine_ids:
+        machine = get_machine(machine_id)
+        counts = [n for n in core_counts if 1 <= n <= machine.n_cores]
+
+        # -- model leg (cold experiments; wallclock is the baseline) ----
+        model_exps = {
+            mid: SpMVExperiment(a, name=names[mid], machine=machine)
+            for mid, a in mats.items()
+        }
+        t_model, truth = _sweep(model_exps, counts, "model", iterations)
+
+        # -- training on the model leg's own records (not timed) --------
+        xs, ys = [], []
+        for mid, exp in model_exps.items():
+            for n in counts:
+                core_map = list(exp._resolve_mapping("distance_reduction", n))
+                xs.append(
+                    exp.point_feature_vector(
+                        n, core_map, machine.default_config, "csr", iterations
+                    )
+                )
+                ys.append(
+                    np.log(truth[(mid, n)] / (max(exp.a.nnz, 1) * max(iterations, 1)))
+                )
+        model = fit_perf_regressor(
+            np.vstack(xs), np.asarray(ys), list(_features.FEATURE_NAMES),
+            n_rounds=n_rounds,
+        )
+        install_predictor(machine, model)
+
+        # -- predict leg: fresh experiments; feature memos go cold once,
+        # before the first machine, so the aggregate timing pays the
+        # full O(nnz) extraction exactly once (the production reuse
+        # pattern — later machines share the machine-independent part) -
+        if cold:
+            _features._MF_MEMO.clear()
+            _features._PF_MEMO.clear()
+            cold = False
+        pred_exps = {
+            mid: SpMVExperiment(a, name=names[mid], machine=machine)
+            for mid, a in mats.items()
+        }
+        t_pred, predicted = _sweep(pred_exps, counts, "predict", iterations)
+
+        errs = [
+            abs(predicted[k] - truth[k]) / truth[k] * 100.0
+            for k in truth
+            if truth[k] > 0
+        ]
+        entry = {
+            "n_points": len(truth),
+            "t_model_s": t_model,
+            "t_predict_s": t_pred,
+            "speedup": t_model / t_pred if t_pred > 0 else float("inf"),
+            "median_rel_err_pct": _pct(errs, 50),
+            "p90_rel_err_pct": _pct(errs, 90),
+            "max_rel_err_pct": _pct(errs, 100),
+            "train_stats": dict(model.train_stats),
+        }
+
+        if include_exact and machine.supports_mode("exact-trace"):
+            exact_errs = []
+            e_counts = [n for n in exact_core_counts if 1 <= n <= machine.n_cores]
+            for mid in exact_ids:
+                if mid not in mats:
+                    continue
+                exp = pred_exps[mid]
+                for n in e_counts:
+                    exact = exp.run(n_cores=n, mode="exact-trace", iterations=iterations)
+                    pred = exp.run(n_cores=n, mode="predict", iterations=iterations)
+                    if exact.makespan > 0:
+                        exact_errs.append(
+                            abs(pred.makespan - exact.makespan) / exact.makespan * 100.0
+                        )
+            entry["exact"] = {
+                "n_points": len(exact_errs),
+                "median_rel_err_pct": _pct(exact_errs, 50),
+                "max_rel_err_pct": _pct(exact_errs, 100),
+            }
+
+        report["machines"][machine_id] = entry
+        total_model_s += t_model
+        total_predict_s += t_pred
+
+    med_errs = [m["median_rel_err_pct"] for m in report["machines"].values()]
+    report["aggregate"] = {
+        "t_model_s": total_model_s,
+        "t_predict_s": total_predict_s,
+        "speedup": total_model_s / total_predict_s if total_predict_s > 0 else float("inf"),
+        "worst_median_rel_err_pct": max(med_errs) if med_errs else 0.0,
+    }
+    return report

@@ -1,0 +1,86 @@
+"""Training recipe: grid sweep -> labelled rows -> sealed artifact."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..machine.base import MachineModel
+from ..sparse.features import FEATURE_NAMES
+from ..store import ContentStore
+from .artifact import save_predictor
+from .dataset import DEFAULT_TRAIN_CORE_COUNTS, labelled_rows
+from .regressor import PerfRegressor, fit_perf_regressor
+
+__all__ = ["train_predictor"]
+
+
+def train_predictor(
+    machine: MachineModel,
+    ids: Sequence[int],
+    core_counts: Sequence[int] = DEFAULT_TRAIN_CORE_COUNTS,
+    configs: Sequence[str] = ("conf0",),
+    mappings: Sequence[str] = ("distance_reduction",),
+    kernels: Sequence[str] = ("csr",),
+    scale: float = 0.05,
+    iterations: int = 4,
+    mode: str = "model",
+    n_rounds: int = 300,
+    learning_rate: float = 0.1,
+    l2: float = 1e-2,
+    tag: str = "default",
+    save: bool = True,
+    use_store: bool = True,
+    store: Optional[ContentStore] = None,
+    experiments: Optional[Dict] = None,
+) -> Tuple[PerfRegressor, Dict[str, float]]:
+    """Train one machine's predictor and (by default) persist it.
+
+    Returns ``(model, stats)`` where ``stats`` is the in-sample error
+    summary the fit computed (median/p90/max relative makespan error in
+    percent, plus the stump count).  ``save=True`` writes the sealed
+    artifact under the deterministic model key and seeds the process
+    memo, so a subsequent ``mode="predict"`` run picks it up with no
+    disk round-trip.
+    """
+    x, y = labelled_rows(
+        machine,
+        ids,
+        core_counts=core_counts,
+        configs=configs,
+        mappings=mappings,
+        kernels=kernels,
+        scale=scale,
+        iterations=iterations,
+        mode=mode,
+        use_store=use_store,
+        experiments=experiments,
+    )
+    model = fit_perf_regressor(
+        x, y, list(FEATURE_NAMES),
+        n_rounds=n_rounds, learning_rate=learning_rate, l2=l2,
+    )
+    if save:
+        save_predictor(
+            machine,
+            model,
+            tag=tag,
+            store=store,
+            extra_meta={
+                "train_grid": {
+                    "ids": list(ids),
+                    "core_counts": [int(n) for n in core_counts],
+                    "configs": list(configs),
+                    "mappings": list(mappings),
+                    "kernels": list(kernels),
+                    "scale": scale,
+                    "iterations": iterations,
+                    "mode": mode,
+                },
+                "fit": {
+                    "n_rounds": n_rounds,
+                    "learning_rate": learning_rate,
+                    "l2": l2,
+                },
+            },
+        )
+    return model, dict(model.train_stats)

@@ -71,8 +71,11 @@ JOB_STATES = ("queued", "running", "done")
 #: how a job's point got its record: ``store`` (dedup hit at submit),
 #: ``shared`` (another job was already computing it), ``simulated``
 #: (this job caused the execution), ``quarantined`` (every attempt and
-#: fallback failed; retryable on resubmission, never cached).
-POINT_ORIGINS = ("store", "shared", "simulated", "quarantined")
+#: fallback failed; retryable on resubmission, never cached),
+#: ``predicted`` (a ``mode="predict"`` job answered at admission from
+#: the trained predictor; never persisted — mode purity, see
+#: docs/PREDICTOR.md).
+POINT_ORIGINS = ("store", "shared", "simulated", "quarantined", "predicted")
 
 #: version prefix of every point store key; bump whenever the record
 #: shape or any upstream model constant changes meaning, orphaning old

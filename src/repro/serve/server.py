@@ -129,11 +129,13 @@ class CampaignServer:
             "serve.points_enqueued",
             "serve.simulations",
             "serve.quarantines",
+            "serve.predictions",
         ):
             count(name)
         self.queue.on_submit = lambda job: count("serve.jobs_submitted").inc()
         self.queue.on_dedup_hit = lambda: count("serve.dedup_hits").inc()
         self.queue.on_enqueue = lambda: count("serve.points_enqueued").inc()
+        self.queue.on_predict = lambda: count("serve.predictions").inc()
 
         def on_complete(quarantined: bool) -> None:
             if quarantined:

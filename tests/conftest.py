@@ -27,6 +27,28 @@ def _isolated_cache_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _clear_predictor_state():
+    """Reset the predict tier's process-level memos between tests.
+
+    The artifact cache keys on (machine cache key, tag), which does not
+    change when the store directory moves — without this reset, a
+    predictor trained by one test would be served to the next even
+    though its store is empty.  The warn-once set and the feature memos
+    reset for the same hermeticity reason.
+    """
+    from repro.predict.artifact import clear_predictor_cache
+    from repro.sparse import features
+
+    clear_predictor_cache()
+    features._MF_MEMO.clear()
+    features._PF_MEMO.clear()
+    yield
+    clear_predictor_cache()
+    features._MF_MEMO.clear()
+    features._PF_MEMO.clear()
+
+
 @pytest.fixture(scope="session")
 def topology() -> SCCTopology:
     return SCCTopology()

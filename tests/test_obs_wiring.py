@@ -151,3 +151,60 @@ class TestSweepAndEfficiency:
         results = {2: experiment.run(n_cores=2, iterations=2)}
         with pytest.raises(ValueError, match="1-core"):
             parallel_efficiency(results)
+
+
+class TestDeferredSeriesUpdates:
+    """The registry's deferred series write path: reads see exactly the
+    state eager updates would have produced, in call order."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_series_update_materializes_on_read(self):
+        m = self._registry()
+        m.series_update("c.lines", "c.time", "core", [(0, 10, 1.5), (1, 20, 2.5)])
+        flat = m.flat_summary()
+        assert flat["c.lines{core=0}"] == 10.0
+        assert flat["c.lines{core=1}"] == 20.0
+        assert flat["c.time{core=1}"] == 2.5
+
+    def test_updates_apply_in_call_order(self):
+        m = self._registry()
+        m.series_update("c", "g", "core", [(0, 1, 5.0)])
+        m.series_update("c", "g", "core", [(0, 2, 3.0)])
+        flat = m.flat_summary()
+        assert flat["c{core=0}"] == 3.0  # counter accumulates
+        assert flat["g{core=0}"] == 3.0  # gauge: last write wins
+        assert m.gauge("g", core=0).high_water == 5.0
+
+    def test_negative_increment_raises_at_the_call_site(self):
+        m = self._registry()
+        with pytest.raises(ValueError, match="negative increment"):
+            m.series_update("c", "g", "core", [(0, -1, 0.0)])
+        assert m.flat_summary() == {}  # nothing was buffered
+
+    def test_kind_mismatch_raises_on_drain(self):
+        m = self._registry()
+        m.counter("g", core=0)  # claim the gauge's (name, labels) as a counter
+        m.series_update("c", "g", "core", [(0, 1, 1.0)])
+        with pytest.raises(TypeError, match="requested as Gauge"):
+            m.snapshot()
+
+    def test_histogram_observe_many_equals_singles(self):
+        m_batch, m_single = self._registry(), self._registry()
+        values = [1e-9, 0.5, 3.0, 1e6]
+        m_batch.histogram_observe_many("h", values)
+        h = m_single.histogram("h")
+        for v in values:
+            h.observe(v)
+        assert m_batch.snapshot() == m_single.snapshot()
+
+    def test_pending_cap_drains_inline(self):
+        m = self._registry()
+        m._PENDING_CAP = 4
+        for i in range(10):
+            m.series_update("c", "g", "core", [(0, 1, float(i))])
+        assert len(m._pending) < 4
+        assert m.flat_summary()["c{core=0}"] == 10.0
